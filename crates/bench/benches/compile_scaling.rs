@@ -1,0 +1,29 @@
+//! Compile-time and circuit-size scaling of the full pipeline with code
+//! distance (the use-case 1 of the paper's introduction: resource estimation
+//! with a realistic hardware model).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiscc_core::instruction::{apply_instruction, Instruction};
+use tiscc_core::LogicalQubit;
+use tiscc_hw::HardwareModel;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_scaling_prepare_and_idle");
+    group.sample_size(10);
+    for d in [3usize, 5, 7, 9, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let rows = tiscc_core::plaquette::tile_rows(d) + 1;
+                let cols = tiscc_core::plaquette::tile_cols(d) + 1;
+                let mut hw = HardwareModel::new(rows, cols);
+                let mut patch = LogicalQubit::new(&mut hw, d, d, d, (0, 0)).unwrap();
+                apply_instruction(&mut hw, Instruction::PrepareZ, &mut patch).unwrap();
+                hw.circuit().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

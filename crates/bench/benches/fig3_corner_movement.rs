@@ -1,0 +1,26 @@
+//! Fig. 3 context: operator movement / deformation tracking — solving for
+//! the stabilizer product that moves a default-edge logical operator to the
+//! opposite edge, across code distances.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiscc_core::deform::movement_combination;
+use tiscc_core::plaquette::{build_stabilizers, logical_x_support};
+use tiscc_core::{Arrangement, StabKind};
+use tiscc_math::PauliOp;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_operator_movement");
+    for d in [3usize, 5, 7, 9] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            let stabs = build_stabilizers(d, d, Arrangement::Standard);
+            let from = logical_x_support(d, d, Arrangement::Standard);
+            let to: Vec<((usize, usize), PauliOp)> =
+                (0..d).map(|j| ((d - 1, j), PauliOp::X)).collect();
+            b.iter(|| movement_combination(d, d, &stabs, StabKind::X, &from, &to).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

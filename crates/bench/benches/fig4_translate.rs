@@ -1,0 +1,19 @@
+//! Fig. 4: the Move Right + Swap Left translation pair compiled at several
+//! distances (ion movement alone; cost dominated by junction traversals).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiscc_estimator::experiments::translation_report;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_translation");
+    group.sample_size(10);
+    for d in [2usize, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| translation_report(d).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 6: a full round of syndrome extraction (Z/N movement patterns) at
+//! several code distances — the inner loop of every logical time-step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiscc_core::LogicalQubit;
+use tiscc_hw::HardwareModel;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_syndrome_round");
+    group.sample_size(10);
+    for d in [3usize, 5, 7] {
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, &d| {
+            b.iter(|| {
+                let rows = tiscc_core::plaquette::tile_rows(d) + 1;
+                let cols = tiscc_core::plaquette::tile_cols(d) + 1;
+                let mut hw = HardwareModel::new(rows, cols);
+                let mut patch = LogicalQubit::new(&mut hw, d, d, 1, (0, 0)).unwrap();
+                patch.transversal_prepare_z(&mut hw).unwrap();
+                patch.syndrome_round(&mut hw, "bench round").unwrap();
+                hw.circuit().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,15 @@
+//! Sec. 3.4: the resource-estimation sweep over code distance for the
+//! representative instruction set (regenerates the scaling data).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiscc_estimator::tables::resource_sweep;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resource_sweep");
+    group.sample_size(10);
+    group.bench_function("d_2_3_5", |b| b.iter(|| resource_sweep(&[2, 3, 5], true).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

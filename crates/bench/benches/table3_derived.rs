@@ -1,0 +1,15 @@
+//! Table 3: the derived instruction set (Bell preparation/measurement,
+//! Extend-Split, Merge-Contract, Move, extension, contraction) at d = 2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiscc_estimator::tables::table3_rows;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3_derived");
+    group.sample_size(10);
+    group.bench_function("all_derived_d2", |b| b.iter(|| table3_rows(2, 1).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

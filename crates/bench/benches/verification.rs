@@ -1,0 +1,27 @@
+//! Sec. 4: the verification pipeline — compile, simulate and tomograph the
+//! Idle instruction (identity process) and the d = 7 idle-stability check
+//! standing in for the paper's d = 30 smoke test at benchmark scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verification");
+    group.sample_size(10);
+    group.bench_function("idle_process_tomography_d3", |b| {
+        b.iter(|| process_map_of(3, 3, 1, 5, |hw, p| p.idle(hw).map(|_| ())).unwrap())
+    });
+    group.bench_function("idle_stability_d7", |b| {
+        b.iter(|| {
+            let mut f = SingleTile::new(7, 7, 1).unwrap();
+            Fiducial::Zero.prepare(&mut f.hw, &mut f.patch).unwrap();
+            f.patch.syndrome_round(&mut f.hw, "second").unwrap();
+            let run = f.simulate(1);
+            run.outcomes.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

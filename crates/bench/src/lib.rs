@@ -1,0 +1,3 @@
+//! Benchmark harness crate: the Criterion benchmarks under `benches/`
+//! regenerate every table and figure of the TISCC paper (see DESIGN.md for
+//! the experiment index). The library itself is intentionally empty.

@@ -1,0 +1,68 @@
+//! The `tiscc` executable: compile one surface-code instruction at given code
+//! distances and print the resulting resource counts (mirrors the
+//! command-line usage described in Appendix B of the paper).
+//!
+//! ```text
+//! tiscc <instruction> [dx] [dz] [dt]
+//! ```
+//!
+//! `<instruction>` is one of: prepare_z, prepare_x, inject_y, inject_t,
+//! measure_z, measure_x, pauli_x, pauli_y, pauli_z, hadamard, idle,
+//! measure_xx, measure_zz.
+
+use tiscc_core::instruction::Instruction;
+use tiscc_estimator::tables::compile_instruction_row;
+
+fn parse_instruction(name: &str) -> Option<Instruction> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "prepare_z" => Instruction::PrepareZ,
+        "prepare_x" => Instruction::PrepareX,
+        "inject_y" => Instruction::InjectY,
+        "inject_t" => Instruction::InjectT,
+        "measure_z" => Instruction::MeasureZ,
+        "measure_x" => Instruction::MeasureX,
+        "pauli_x" => Instruction::PauliX,
+        "pauli_y" => Instruction::PauliY,
+        "pauli_z" => Instruction::PauliZ,
+        "hadamard" => Instruction::Hadamard,
+        "idle" => Instruction::Idle,
+        "measure_xx" => Instruction::MeasureXX,
+        "measure_zz" => Instruction::MeasureZZ,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+
+    let Some(instr_name) = positional.first() else {
+        eprintln!("usage: tiscc <instruction> [dx] [dz] [dt]");
+        eprintln!("instructions: prepare_z prepare_x inject_y inject_t measure_z measure_x");
+        eprintln!("              pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz");
+        std::process::exit(2);
+    };
+    let Some(instruction) = parse_instruction(instr_name) else {
+        eprintln!("unknown instruction '{instr_name}'");
+        std::process::exit(2);
+    };
+    let dx: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let dz: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(dx);
+    let dt: usize = positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(dz.max(dx));
+
+    match compile_instruction_row(instruction, dx, dz, dt) {
+        Ok(row) => {
+            println!(
+                "{} at dx={dx} dz={dz} dt={dt}: {} logical time-step(s), {} tile(s)",
+                instruction.name(),
+                row.logical_time_steps,
+                row.tiles
+            );
+            println!("{}", row.resources.render());
+        }
+        Err(e) => {
+            eprintln!("compilation failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! The four canonical stabilizer arrangements of a surface-code patch
+//! (paper Fig. 2).
+//!
+//! An arrangement is characterised by two independent bits:
+//! * whether the bulk checkerboard parity is flipped relative to the
+//!   standard arrangement (X and Z plaquettes swap positions), and
+//! * whether the boundary types are swapped (weight-2 Z stabilizers move
+//!   from the top/bottom edges to the left/right edges and vice versa),
+//!   which also flips the orientation of the default logical operators.
+//!
+//! A transversal Hadamard flips *both* bits (standard ↔ rotated,
+//! flipped ↔ rotated-flipped); the Flip Patch deformation flips only the
+//! boundary bit (standard ↔ flipped, rotated ↔ rotated-flipped).
+//! The measure-qubit movement patterns (Fig. 6) deviate from the default
+//! Z-pattern/N-pattern assignment exactly when the boundaries are swapped,
+//! i.e. when the logical operators have changed direction (Sec. 3.3).
+
+/// One of the four canonical stabilizer arrangements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Arrangement {
+    /// The standard arrangement of Fig. 1: logical Z vertical, logical X
+    /// horizontal, weight-2 Z stabilizers on the top/bottom boundaries.
+    Standard,
+    /// After a transversal Hadamard on the standard arrangement.
+    Rotated,
+    /// After a Flip Patch on the standard arrangement.
+    Flipped,
+    /// After both (in either order).
+    RotatedFlipped,
+}
+
+impl Arrangement {
+    /// True if the bulk checkerboard parity is flipped w.r.t. standard.
+    pub fn parity_flipped(self) -> bool {
+        matches!(self, Arrangement::Rotated | Arrangement::RotatedFlipped)
+    }
+
+    /// True if the boundary types (and logical-operator orientations) are
+    /// swapped w.r.t. standard.
+    pub fn boundaries_swapped(self) -> bool {
+        matches!(self, Arrangement::Rotated | Arrangement::Flipped)
+    }
+
+    /// True if the default logical Z operator runs vertically (top to
+    /// bottom); otherwise it runs horizontally.
+    pub fn logical_z_vertical(self) -> bool {
+        !self.boundaries_swapped()
+    }
+
+    /// True if the measure-qubit movement patterns deviate from the default
+    /// rule (Z-type → Z pattern, X-type → N pattern); see Sec. 3.3.
+    pub fn patterns_swapped(self) -> bool {
+        self.boundaries_swapped()
+    }
+
+    /// The arrangement reached after a transversal Hadamard.
+    pub fn after_transversal_hadamard(self) -> Arrangement {
+        match self {
+            Arrangement::Standard => Arrangement::Rotated,
+            Arrangement::Rotated => Arrangement::Standard,
+            Arrangement::Flipped => Arrangement::RotatedFlipped,
+            Arrangement::RotatedFlipped => Arrangement::Flipped,
+        }
+    }
+
+    /// The arrangement reached after a Flip Patch deformation.
+    pub fn after_flip_patch(self) -> Arrangement {
+        match self {
+            Arrangement::Standard => Arrangement::Flipped,
+            Arrangement::Flipped => Arrangement::Standard,
+            Arrangement::Rotated => Arrangement::RotatedFlipped,
+            Arrangement::RotatedFlipped => Arrangement::Rotated,
+        }
+    }
+
+    /// Reconstructs an arrangement from its two characteristic bits.
+    pub fn from_bits(parity_flipped: bool, boundaries_swapped: bool) -> Arrangement {
+        match (parity_flipped, boundaries_swapped) {
+            (false, false) => Arrangement::Standard,
+            (true, true) => Arrangement::Rotated,
+            (false, true) => Arrangement::Flipped,
+            (true, false) => Arrangement::RotatedFlipped,
+        }
+    }
+
+    /// All four arrangements, in the order of Fig. 2.
+    pub fn all() -> [Arrangement; 4] {
+        [
+            Arrangement::Standard,
+            Arrangement::Rotated,
+            Arrangement::Flipped,
+            Arrangement::RotatedFlipped,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hadamard_flips_both_bits() {
+        for a in Arrangement::all() {
+            let b = a.after_transversal_hadamard();
+            assert_ne!(a.parity_flipped(), b.parity_flipped());
+            assert_ne!(a.boundaries_swapped(), b.boundaries_swapped());
+            assert_eq!(b.after_transversal_hadamard(), a, "H is an involution");
+        }
+    }
+
+    #[test]
+    fn flip_patch_flips_only_boundaries() {
+        for a in Arrangement::all() {
+            let b = a.after_flip_patch();
+            assert_eq!(a.parity_flipped(), b.parity_flipped());
+            assert_ne!(a.boundaries_swapped(), b.boundaries_swapped());
+            assert_eq!(b.after_flip_patch(), a);
+        }
+    }
+
+    #[test]
+    fn from_bits_roundtrip() {
+        for a in Arrangement::all() {
+            assert_eq!(Arrangement::from_bits(a.parity_flipped(), a.boundaries_swapped()), a);
+        }
+    }
+
+    #[test]
+    fn pattern_rule_matches_paper_statement() {
+        // Patterns deviate for the rotated and flipped arrangements and are
+        // reset to the standard rule for rotated-flipped (Sec. 3.3).
+        assert!(!Arrangement::Standard.patterns_swapped());
+        assert!(Arrangement::Rotated.patterns_swapped());
+        assert!(Arrangement::Flipped.patterns_swapped());
+        assert!(!Arrangement::RotatedFlipped.patterns_swapped());
+    }
+
+    #[test]
+    fn hadamard_then_flip_reaches_rotated_flipped() {
+        let a = Arrangement::Standard
+            .after_transversal_hadamard()
+            .after_flip_patch();
+        assert_eq!(a, Arrangement::RotatedFlipped);
+        let b = Arrangement::Standard
+            .after_flip_patch()
+            .after_transversal_hadamard();
+        assert_eq!(b, Arrangement::RotatedFlipped);
+    }
+}

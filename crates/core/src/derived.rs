@@ -1,0 +1,212 @@
+//! The derived instruction set of paper Table 3.
+//!
+//! These instructions could be built from Table 1 members but are compiled
+//! more efficiently from the Table 2 primitives by exploiting stabilizer
+//! commutation (e.g. a state preparation can be fused with the following
+//! lattice-surgery merge because the prepared state need not be
+//! fault-tolerantly encoded first).
+
+use tiscc_hw::HardwareModel;
+
+use crate::patch::LogicalQubit;
+use crate::surgery::{
+    contract_keep_bottom, extend_down, measure_xx, merge_patches, Orientation,
+};
+use crate::syndrome::RoundRecord;
+use crate::tracker::LogicalOutcomeSpec;
+use crate::CoreError;
+
+/// One member of the Table 3 derived instruction set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DerivedInstruction {
+    /// Initialise a Bell state on two adjacent uninitialised tiles (1 step).
+    BellStatePreparation,
+    /// Destructive Bell-basis measurement of two adjacent tiles (1 step).
+    BellBasisMeasurement,
+    /// Patch extension followed by a split (1 step).
+    ExtendSplit,
+    /// Merge followed by a patch contraction (1 step).
+    MergeContract,
+    /// Move a patch to the adjacent tile (extension + contraction, 1 step).
+    Move,
+    /// Contract an extended two-tile patch to one tile (0 steps).
+    PatchContraction,
+    /// Extend a one-tile patch to two tiles (1 step).
+    PatchExtension,
+}
+
+impl DerivedInstruction {
+    /// Logical time-steps consumed (paper Table 3).
+    pub fn logical_time_steps(self) -> usize {
+        match self {
+            DerivedInstruction::PatchContraction => 0,
+            _ => 1,
+        }
+    }
+
+    /// Tiles in/out as listed in Table 3.
+    pub fn tiles(self) -> usize {
+        2
+    }
+
+    /// The paper's name for the instruction.
+    pub fn name(self) -> &'static str {
+        match self {
+            DerivedInstruction::BellStatePreparation => "Bell State Preparation",
+            DerivedInstruction::BellBasisMeasurement => "Bell Basis Measurement",
+            DerivedInstruction::ExtendSplit => "Extend-Split",
+            DerivedInstruction::MergeContract => "Merge-Contract",
+            DerivedInstruction::Move => "Move",
+            DerivedInstruction::PatchContraction => "Patch Contraction",
+            DerivedInstruction::PatchExtension => "Patch Extension",
+        }
+    }
+
+    /// Every derived instruction, in the order of Table 3.
+    pub fn all() -> &'static [DerivedInstruction] {
+        &[
+            DerivedInstruction::BellStatePreparation,
+            DerivedInstruction::BellBasisMeasurement,
+            DerivedInstruction::ExtendSplit,
+            DerivedInstruction::MergeContract,
+            DerivedInstruction::Move,
+            DerivedInstruction::PatchContraction,
+            DerivedInstruction::PatchExtension,
+        ]
+    }
+}
+
+/// Prepares a Bell pair on two vertically adjacent uninitialised tiles:
+/// both tiles are transversally prepared in |0⟩ and their joint XX operator
+/// is measured by lattice surgery. The returned outcome is the XX value; the
+/// pair is stabilised by `(outcome)·X_AX_B` and `+Z_AZ_B` after the tracked
+/// Pauli-frame corrections.
+pub fn bell_state_preparation(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<LogicalOutcomeSpec, CoreError> {
+    if upper.is_initialized() || lower.is_initialized() {
+        return Err(CoreError::InvalidState("Bell preparation requires uninitialised tiles".into()));
+    }
+    upper.transversal_prepare_z(hw)?;
+    lower.transversal_prepare_z(hw)?;
+    measure_xx(hw, upper, lower)
+}
+
+/// Destructive Bell-basis measurement of two vertically adjacent initialised
+/// tiles: the joint XX operator is measured by lattice surgery and the joint
+/// ZZ operator by transversal Z measurements of both tiles. Returns
+/// `(XX outcome, ZZ outcome)`; both tiles end uninitialised.
+pub fn bell_basis_measurement(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<(LogicalOutcomeSpec, LogicalOutcomeSpec), CoreError> {
+    let xx = measure_xx(hw, upper, lower)?;
+    let (z_upper, _) = upper.transversal_measure_z(hw)?;
+    let (z_lower, _) = lower.transversal_measure_z(hw)?;
+    let mut parity = z_upper.parity_of.clone();
+    parity.extend(z_lower.parity_of.iter().copied());
+    let zz = LogicalOutcomeSpec::new("ZZ", parity, z_upper.invert ^ z_lower.invert);
+    Ok((xx, zz))
+}
+
+/// Extend-Split: a `Prepare Z` on the second tile fused with a `Measure XX`
+/// between the two tiles, taking a single logical time-step in total.
+pub fn extend_split(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<LogicalOutcomeSpec, CoreError> {
+    upper.require_initialized("Extend-Split")?;
+    if lower.is_initialized() {
+        return Err(CoreError::InvalidState("Extend-Split target tile must be uninitialised".into()));
+    }
+    lower.transversal_prepare_z(hw)?;
+    measure_xx(hw, upper, lower)
+}
+
+/// Merge-Contract: the two patches are merged (1 step) and the merged patch
+/// is immediately contracted onto the lower tile (0 steps). The encoded
+/// state of the contracted output is the XX-merged logical qubit; the merge
+/// outcome is returned together with the new single-tile patch.
+pub fn merge_contract(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<(LogicalQubit, LogicalOutcomeSpec), CoreError> {
+    let lower_origin = lower.origin();
+    let keep = lower.dz();
+    let mut merge = merge_patches(hw, upper, lower, Orientation::Vertical)?;
+    let outcome = merge.joint_outcome.clone();
+    let patch = contract_keep_bottom(hw, &mut merge.merged, keep, lower_origin)?;
+    Ok((patch, outcome))
+}
+
+/// Patch Extension: grows an initialised one-tile patch into the adjacent
+/// uninitialised tile below while preserving the encoded state.
+pub fn patch_extension(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<(LogicalQubit, Vec<RoundRecord>), CoreError> {
+    extend_down(hw, upper, lower)
+}
+
+/// Patch Contraction: shrinks a two-tile patch onto its lower tile while
+/// preserving the encoded state.
+pub fn patch_contraction(
+    hw: &mut HardwareModel,
+    extended: &mut LogicalQubit,
+    keep_dz: usize,
+    bottom_origin: (u32, u32),
+) -> Result<LogicalQubit, CoreError> {
+    contract_keep_bottom(hw, extended, keep_dz, bottom_origin)
+}
+
+/// Move: transfers the encoded state of `upper` onto the tile of `lower`
+/// (which must be uninitialised) via a patch extension followed by a patch
+/// contraction, in one logical time-step.
+pub fn move_patch_down(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<LogicalQubit, CoreError> {
+    let keep = lower.dz();
+    let origin = lower.origin();
+    let (mut extended, _) = extend_down(hw, upper, lower)?;
+    contract_keep_bottom(hw, &mut extended, keep, origin)
+}
+
+/// Applies `split_patches` re-exported for users driving the primitives
+/// directly (kept here so the derived module covers every row of Table 3's
+/// sub-instruction list).
+pub use crate::surgery::split_patches as split;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_time_steps() {
+        use DerivedInstruction::*;
+        assert_eq!(BellStatePreparation.logical_time_steps(), 1);
+        assert_eq!(BellBasisMeasurement.logical_time_steps(), 1);
+        assert_eq!(ExtendSplit.logical_time_steps(), 1);
+        assert_eq!(MergeContract.logical_time_steps(), 1);
+        assert_eq!(Move.logical_time_steps(), 1);
+        assert_eq!(PatchExtension.logical_time_steps(), 1);
+        assert_eq!(PatchContraction.logical_time_steps(), 0);
+        assert_eq!(DerivedInstruction::all().len(), 7);
+    }
+
+    #[test]
+    fn bell_preparation_requires_uninitialised_tiles() {
+        let mut hw = HardwareModel::new(10, 6);
+        let mut a = LogicalQubit::new(&mut hw, 2, 2, 1, (0, 0)).unwrap();
+        let mut b = LogicalQubit::new(&mut hw, 2, 2, 1, (4, 0)).unwrap();
+        a.transversal_prepare_z(&mut hw).unwrap();
+        assert!(bell_state_preparation(&mut hw, &mut a, &mut b).is_err());
+    }
+}

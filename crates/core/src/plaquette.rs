@@ -1,0 +1,382 @@
+//! Patch geometry: stabilizer layout, logical-operator supports, tile
+//! dimensions and the mapping of a surface-code patch onto grid qsites.
+//!
+//! Conventions (see DESIGN.md):
+//! * Data qubits form a `dz`-row × `dx`-column array; data qubit `(i, j)`
+//!   lives on the horizontal-arm operation zone of tile unit
+//!   `(row_offset + i, j)`.
+//! * Plaquettes are indexed by *cells* `(r, c)` with
+//!   `r ∈ -1..dz-1`, `c ∈ -1..dx-1`: bulk cells have four corners,
+//!   boundary cells two. Cell `(r, c)` is anchored at tile unit
+//!   `(row_offset + r, c + 1)`, whose vertical arm is the private movement
+//!   corridor of that plaquette's measure qubit.
+//! * The tile spans `2⌈(dz+1)/2⌉` unit rows × `2⌈(dx+1)/2⌉` unit columns
+//!   (Sec. 2.3); the extra row(s) sit above the data (they are the ancilla
+//!   strip used by vertical lattice surgery of the patch above) and the
+//!   extra column(s) sit to the right (used by horizontal lattice surgery).
+
+use tiscc_grid::QSite;
+use tiscc_math::PauliOp;
+
+use crate::arrangement::Arrangement;
+
+/// Stabilizer type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StabKind {
+    /// X-type stabilizer (product of Pauli X on its support).
+    X,
+    /// Z-type stabilizer.
+    Z,
+}
+
+impl StabKind {
+    /// The Pauli label measured on each data qubit of the plaquette.
+    pub fn pauli(self) -> PauliOp {
+        match self {
+            StabKind::X => PauliOp::X,
+            StabKind::Z => PauliOp::Z,
+        }
+    }
+}
+
+/// One stabilizer plaquette of a patch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plaquette {
+    /// X or Z type.
+    pub kind: StabKind,
+    /// Cell coordinates `(r, c)`; `r = -1` / `c = -1` are the top / left
+    /// boundary rows of cells.
+    pub cell: (i32, i32),
+    /// Data-qubit coordinates in the corner slots `[NW, NE, SW, SE]`;
+    /// boundary plaquettes have two `None` entries.
+    pub corners: [Option<(usize, usize)>; 4],
+    /// Tile-relative unit whose measure-qubit home hosts this plaquette's
+    /// syndrome ion.
+    pub anchor: (u32, u32),
+}
+
+impl Plaquette {
+    /// The data coordinates actually present, in `[NW, NE, SW, SE]` order.
+    pub fn data_coords(&self) -> Vec<(usize, usize)> {
+        self.corners.iter().flatten().copied().collect()
+    }
+
+    /// The stabilizer weight (2 for boundary plaquettes, 4 for bulk).
+    pub fn weight(&self) -> usize {
+        self.corners.iter().flatten().count()
+    }
+}
+
+/// Number of unit rows in a logical tile for Z-distance `dz`:
+/// `2⌈(dz+1)/2⌉` (Sec. 2.3).
+pub fn tile_rows(dz: usize) -> u32 {
+    (2 * ((dz + 2) / 2)) as u32
+}
+
+/// Number of unit columns in a logical tile for X-distance `dx`.
+pub fn tile_cols(dx: usize) -> u32 {
+    (2 * ((dx + 2) / 2)) as u32
+}
+
+/// Number of strip rows above the data region (1 for odd `dz`, 2 for even).
+pub fn row_offset(dz: usize) -> u32 {
+    tile_rows(dz) - dz as u32
+}
+
+/// Number of strip columns to the right of the data region.
+pub fn col_strip(dx: usize) -> u32 {
+    tile_cols(dx) - dx as u32
+}
+
+/// Absolute unit hosting data qubit `(i, j)` of a patch whose tile origin is
+/// `origin` (unit coordinates) with the given Z distance.
+pub fn data_unit(origin: (u32, u32), dz: usize, i: usize, j: usize) -> (u32, u32) {
+    (origin.0 + row_offset(dz) + i as u32, origin.1 + j as u32)
+}
+
+/// The qsite (horizontal-arm operation zone) where data qubit `(i, j)` rests.
+pub fn data_site(origin: (u32, u32), dz: usize, i: usize, j: usize) -> QSite {
+    let (ur, uc) = data_unit(origin, dz, i, j);
+    QSite::new(4 * ur, 4 * uc + 2)
+}
+
+/// The memory zone from which a syndrome ion interacts with data qubit
+/// `(i, j)`: its west (`east = false`) or east (`east = true`) neighbour.
+pub fn approach_site(origin: (u32, u32), dz: usize, i: usize, j: usize, east: bool) -> QSite {
+    let (ur, uc) = data_unit(origin, dz, i, j);
+    QSite::new(4 * ur, 4 * uc + if east { 3 } else { 1 })
+}
+
+/// Absolute anchor unit of cell `(r, c)`.
+pub fn anchor_unit(origin: (u32, u32), dz: usize, cell: (i32, i32)) -> (u32, u32) {
+    let r = row_offset(dz) as i32 + cell.0;
+    let c = cell.1 + 1;
+    debug_assert!(r >= 0 && c >= 0, "anchor outside tile for cell {cell:?}");
+    (origin.0 + r as u32, origin.1 + c as u32)
+}
+
+/// The measure-qubit home site of the unit at absolute coordinates `unit`.
+pub fn measure_home_site(unit: (u32, u32)) -> QSite {
+    QSite::new(4 * unit.0 + 1, 4 * unit.1)
+}
+
+/// The data-qubit rest site of the unit at absolute coordinates `unit`.
+pub fn data_home_site(unit: (u32, u32)) -> QSite {
+    QSite::new(4 * unit.0, 4 * unit.1 + 2)
+}
+
+/// Builds the stabilizer set of a `dz × dx` patch in the given arrangement.
+///
+/// The bulk is a checkerboard; weight-2 boundary plaquettes are placed on the
+/// edges carrying their type, at the positions where the virtual continuation
+/// of the checkerboard matches that type. The total number of stabilizers is
+/// always `dx·dz − 1`.
+pub fn build_stabilizers(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<Plaquette> {
+    assert!(dx >= 2 && dz >= 2, "code distances must be at least 2");
+    let parity = arrangement.parity_flipped();
+    let swapped = arrangement.boundaries_swapped();
+    let bulk_is_x = |r: i32, c: i32| (((r + c).rem_euclid(2)) == 0) != parity;
+    // Boundary types: top/bottom carry Z (and left/right carry X) in the
+    // standard orientation; swapped otherwise.
+    let tb_kind = if swapped { StabKind::X } else { StabKind::Z };
+    let lr_kind = if swapped { StabKind::Z } else { StabKind::X };
+
+    let mut out = Vec::new();
+    // Bulk.
+    for r in 0..dz as i32 - 1 {
+        for c in 0..dx as i32 - 1 {
+            let kind = if bulk_is_x(r, c) { StabKind::X } else { StabKind::Z };
+            out.push(Plaquette {
+                kind,
+                cell: (r, c),
+                corners: [
+                    Some((r as usize, c as usize)),
+                    Some((r as usize, c as usize + 1)),
+                    Some((r as usize + 1, c as usize)),
+                    Some((r as usize + 1, c as usize + 1)),
+                ],
+                anchor: rel_anchor(dz, (r, c)),
+            });
+        }
+    }
+    // Top boundary (cells at r = -1): two south corners.
+    for c in 0..dx as i32 - 1 {
+        if bulk_is_x(-1, c) == (tb_kind == StabKind::X) {
+            out.push(Plaquette {
+                kind: tb_kind,
+                cell: (-1, c),
+                corners: [None, None, Some((0, c as usize)), Some((0, c as usize + 1))],
+                anchor: rel_anchor(dz, (-1, c)),
+            });
+        }
+    }
+    // Bottom boundary (cells at r = dz-1): two north corners.
+    let rb = dz as i32 - 1;
+    for c in 0..dx as i32 - 1 {
+        if bulk_is_x(rb, c) == (tb_kind == StabKind::X) {
+            out.push(Plaquette {
+                kind: tb_kind,
+                cell: (rb, c),
+                corners: [
+                    Some((dz - 1, c as usize)),
+                    Some((dz - 1, c as usize + 1)),
+                    None,
+                    None,
+                ],
+                anchor: rel_anchor(dz, (rb, c)),
+            });
+        }
+    }
+    // Left boundary (cells at c = -1): two east corners.
+    for r in 0..dz as i32 - 1 {
+        if bulk_is_x(r, -1) == (lr_kind == StabKind::X) {
+            out.push(Plaquette {
+                kind: lr_kind,
+                cell: (r, -1),
+                corners: [None, Some((r as usize, 0)), None, Some((r as usize + 1, 0))],
+                anchor: rel_anchor(dz, (r, -1)),
+            });
+        }
+    }
+    // Right boundary (cells at c = dx-1): two west corners.
+    let cb = dx as i32 - 1;
+    for r in 0..dz as i32 - 1 {
+        if bulk_is_x(r, cb) == (lr_kind == StabKind::X) {
+            out.push(Plaquette {
+                kind: lr_kind,
+                cell: (r, cb),
+                corners: [
+                    Some((r as usize, dx - 1)),
+                    None,
+                    Some((r as usize + 1, dx - 1)),
+                    None,
+                ],
+                anchor: rel_anchor(dz, (r, cb)),
+            });
+        }
+    }
+    debug_assert_eq!(out.len(), dx * dz - 1, "stabilizer count for {dx}x{dz}");
+    out
+}
+
+/// Tile-relative anchor unit of a cell.
+fn rel_anchor(dz: usize, cell: (i32, i32)) -> (u32, u32) {
+    let r = row_offset(dz) as i32 + cell.0;
+    let c = cell.1 + 1;
+    (r as u32, c as u32)
+}
+
+/// Default-edge logical X support: the top row for vertical-Z arrangements,
+/// the left column otherwise.
+pub fn logical_x_support(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<((usize, usize), PauliOp)> {
+    if arrangement.logical_z_vertical() {
+        (0..dx).map(|j| ((0, j), PauliOp::X)).collect()
+    } else {
+        (0..dz).map(|i| ((i, 0), PauliOp::X)).collect()
+    }
+}
+
+/// Default-edge logical Z support: the left column for vertical-Z
+/// arrangements, the top row otherwise.
+pub fn logical_z_support(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<((usize, usize), PauliOp)> {
+    if arrangement.logical_z_vertical() {
+        (0..dz).map(|i| ((i, 0), PauliOp::Z)).collect()
+    } else {
+        (0..dx).map(|j| ((0, j), PauliOp::Z)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiscc_math::Pauli;
+
+    fn as_pauli(dx: usize, dz: usize, support: &[((usize, usize), PauliOp)]) -> Pauli {
+        let sparse: Vec<(usize, PauliOp)> =
+            support.iter().map(|&((i, j), p)| (i * dx + j, p)).collect();
+        Pauli::from_sparse(dx * dz, &sparse)
+    }
+
+    fn plaquette_pauli(dx: usize, dz: usize, p: &Plaquette) -> Pauli {
+        let support: Vec<((usize, usize), PauliOp)> =
+            p.data_coords().into_iter().map(|c| (c, p.kind.pauli())).collect();
+        as_pauli(dx, dz, &support)
+    }
+
+    #[test]
+    fn stabilizer_count_is_n_minus_one() {
+        for (dx, dz) in [(2, 2), (3, 3), (3, 5), (5, 3), (4, 4), (5, 5), (2, 7), (6, 3)] {
+            for arr in Arrangement::all() {
+                let stabs = build_stabilizers(dx, dz, arr);
+                assert_eq!(stabs.len(), dx * dz - 1, "{dx}x{dz} {arr:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stabilizers_commute_pairwise_and_with_logicals() {
+        for (dx, dz) in [(2, 2), (3, 3), (3, 4), (4, 3), (5, 5)] {
+            for arr in Arrangement::all() {
+                let stabs = build_stabilizers(dx, dz, arr);
+                let paulis: Vec<Pauli> = stabs.iter().map(|p| plaquette_pauli(dx, dz, p)).collect();
+                for a in 0..paulis.len() {
+                    for b in a + 1..paulis.len() {
+                        assert!(
+                            paulis[a].commutes_with(&paulis[b]),
+                            "{dx}x{dz} {arr:?}: stabilizers {:?} and {:?} anticommute",
+                            stabs[a].cell,
+                            stabs[b].cell
+                        );
+                    }
+                }
+                let lx = as_pauli(dx, dz, &logical_x_support(dx, dz, arr));
+                let lz = as_pauli(dx, dz, &logical_z_support(dx, dz, arr));
+                for (p, s) in paulis.iter().zip(stabs.iter()) {
+                    assert!(p.commutes_with(&lx), "{arr:?} X_L vs {:?}", s.cell);
+                    assert!(p.commutes_with(&lz), "{arr:?} Z_L vs {:?}", s.cell);
+                }
+                assert!(!lx.commutes_with(&lz), "logical X and Z must anticommute");
+            }
+        }
+    }
+
+    #[test]
+    fn logical_weights_match_code_distances() {
+        let lx = logical_x_support(5, 3, Arrangement::Standard);
+        let lz = logical_z_support(5, 3, Arrangement::Standard);
+        assert_eq!(lx.len(), 5, "X_L weight = dx");
+        assert_eq!(lz.len(), 3, "Z_L weight = dz");
+        // In the rotated arrangement the orientations swap.
+        let lx_r = logical_x_support(5, 3, Arrangement::Rotated);
+        assert_eq!(lx_r.len(), 3);
+    }
+
+    #[test]
+    fn tile_dimensions_match_paper_formula() {
+        // 2*ceil((d+1)/2) rows/cols.
+        assert_eq!(tile_rows(3), 4);
+        assert_eq!(tile_rows(4), 6);
+        assert_eq!(tile_rows(5), 6);
+        assert_eq!(tile_cols(2), 4);
+        assert_eq!(tile_cols(7), 8);
+        assert_eq!(row_offset(3), 1);
+        assert_eq!(row_offset(4), 2);
+        assert_eq!(col_strip(5), 1);
+        assert_eq!(col_strip(6), 2);
+    }
+
+    #[test]
+    fn anchors_are_unique_and_inside_the_tile() {
+        for (dx, dz) in [(3, 3), (4, 4), (5, 3)] {
+            let stabs = build_stabilizers(dx, dz, Arrangement::Standard);
+            let mut seen = std::collections::HashSet::new();
+            for p in &stabs {
+                assert!(seen.insert(p.anchor), "anchor {:?} reused", p.anchor);
+                assert!(p.anchor.0 < tile_rows(dz), "anchor row inside tile");
+                assert!(p.anchor.1 < tile_cols(dx), "anchor col inside tile");
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_boundary_weights() {
+        let stabs = build_stabilizers(3, 3, Arrangement::Standard);
+        let bulk = stabs.iter().filter(|p| p.weight() == 4).count();
+        let boundary = stabs.iter().filter(|p| p.weight() == 2).count();
+        assert_eq!(bulk, 4);
+        assert_eq!(boundary, 4);
+        // Standard arrangement: top/bottom boundary stabilizers are Z-type,
+        // left/right are X-type.
+        for p in &stabs {
+            if p.weight() == 2 {
+                if p.cell.0 == -1 || p.cell.0 == 2 {
+                    assert_eq!(p.kind, StabKind::Z, "cell {:?}", p.cell);
+                } else {
+                    assert_eq!(p.kind, StabKind::X, "cell {:?}", p.cell);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn data_and_approach_sites_are_consistent_with_the_grid_layout() {
+        use tiscc_grid::{Layout, SiteKind};
+        let layout = Layout::new(8, 8);
+        let origin = (1, 1);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = data_site(origin, 3, i, j);
+                assert_eq!(layout.site_kind(d), Some(SiteKind::Operation));
+                for east in [false, true] {
+                    let a = approach_site(origin, 3, i, j, east);
+                    assert_eq!(layout.site_kind(a), Some(SiteKind::Memory));
+                    assert_eq!(a.manhattan(&d), 1, "approach site adjacent to data");
+                }
+            }
+        }
+        for p in build_stabilizers(3, 3, Arrangement::Standard) {
+            let site = measure_home_site(anchor_unit(origin, 3, p.cell));
+            assert_eq!(layout.site_kind(site), Some(SiteKind::Memory));
+        }
+    }
+}

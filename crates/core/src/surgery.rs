@@ -1,0 +1,492 @@
+//! Lattice surgery: merge, split, `Measure XX`/`Measure ZZ`, patch extension
+//! and patch contraction.
+//!
+//! A vertical merge of two vertically adjacent patches measures the joint
+//! logical `XX` operator; a horizontal merge measures `ZZ` (Sec. 2.3). The
+//! intermediate ancilla strip (one data row/column for odd code distances,
+//! two for even) is prepared in |0⟩ (vertical) or |+⟩ (horizontal), the
+//! merged patch is error-corrected for `dt` rounds, and the joint outcome is
+//! the parity of the first-round outcomes of the new seam stabilizers
+//! together with the operator-movement corrections of Sec. 4.5. The split
+//! measures the ancilla strip out again (Z basis for vertical, X basis for
+//! horizontal) and records the resulting byproduct in the Pauli frame of the
+//! second patch.
+
+use std::collections::HashMap;
+
+use tiscc_hw::HardwareModel;
+use tiscc_math::{Pauli, PauliOp};
+
+use crate::deform::{combination_for_target, plaquette_pauli, support_pauli};
+use crate::patch::LogicalQubit;
+use crate::plaquette::{col_strip, row_offset, StabKind};
+use crate::syndrome::RoundRecord;
+use crate::tracker::{LogicalOutcomeSpec, OperatorTracker};
+use crate::CoreError;
+
+/// Orientation of a lattice-surgery operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Orientation {
+    /// The two patches are vertically adjacent; the merge measures `XX`.
+    Vertical,
+    /// The two patches are horizontally adjacent; the merge measures `ZZ`.
+    Horizontal,
+}
+
+/// The result of a merge: the merged two-tile patch, the syndrome rounds
+/// executed while merged, the joint logical outcome and the bookkeeping
+/// needed to split again.
+#[derive(Debug)]
+pub struct MergeOutcome {
+    /// The merged patch (2 tiles).
+    pub merged: LogicalQubit,
+    /// The `dt` rounds of the merged patch.
+    pub rounds: Vec<RoundRecord>,
+    /// The joint `XX` (vertical) or `ZZ` (horizontal) outcome of the two
+    /// input patches' default logical operators.
+    pub joint_outcome: LogicalOutcomeSpec,
+    /// Orientation of the merge.
+    pub orientation: Orientation,
+    /// Range of merged data rows (vertical) or columns (horizontal) occupied
+    /// by the ancilla strip.
+    pub gap: std::ops::Range<usize>,
+}
+
+fn check_compatible(
+    first: &LogicalQubit,
+    second: &LogicalQubit,
+    orientation: Orientation,
+) -> Result<(), CoreError> {
+    if first.dx() != second.dx() || first.dz() != second.dz() || first.dt() != second.dt() {
+        return Err(CoreError::Incompatible("patches must share dx, dz and dt".into()));
+    }
+    if first.arrangement() != crate::Arrangement::Standard
+        || second.arrangement() != crate::Arrangement::Standard
+    {
+        return Err(CoreError::Incompatible(
+            "lattice surgery is implemented for the standard arrangement".into(),
+        ));
+    }
+    let adjacent = match orientation {
+        Orientation::Vertical => first.is_directly_above(second),
+        Orientation::Horizontal => first.is_directly_left_of(second),
+    };
+    if !adjacent {
+        return Err(CoreError::Incompatible(
+            "patches must occupy adjacent tiles in the surgery direction".into(),
+        ));
+    }
+    Ok(())
+}
+
+/// Merges two initialized patches (the `Merge` primitive, 1 logical
+/// time-step). The input patches are marked uninitialized; their ions become
+/// part of the merged patch.
+pub fn merge_patches(
+    hw: &mut HardwareModel,
+    first: &mut LogicalQubit,
+    second: &mut LogicalQubit,
+    orientation: Orientation,
+) -> Result<MergeOutcome, CoreError> {
+    first.require_initialized("Merge")?;
+    second.require_initialized("Merge")?;
+    check_compatible(first, second, orientation)?;
+
+    let dx = first.dx();
+    let dz = first.dz();
+    let dt = first.dt();
+    let (mdx, mdz, gap) = match orientation {
+        Orientation::Vertical => {
+            let g = row_offset(dz) as usize;
+            (dx, 2 * dz + g, dz..dz + g)
+        }
+        Orientation::Horizontal => {
+            let g = col_strip(dx) as usize;
+            (2 * dx + g, dz, dx..dx + g)
+        }
+    };
+
+    let mut merged = LogicalQubit::new(hw, mdx, mdz, dt, first.origin())?;
+
+    // Prepare the ancilla strip: |0⟩ for an XX merge, |+⟩ for a ZZ merge.
+    for idx in gap.clone() {
+        for other in 0..match orientation {
+            Orientation::Vertical => mdx,
+            Orientation::Horizontal => mdz,
+        } {
+            let (i, j) = match orientation {
+                Orientation::Vertical => (idx, other),
+                Orientation::Horizontal => (other, idx),
+            };
+            let ion = merged.data_ion(i, j)?;
+            match orientation {
+                Orientation::Vertical => hw.prepare_z(ion)?,
+                Orientation::Horizontal => hw.prepare_x(ion)?,
+            }
+        }
+    }
+
+    // Logical operators of the merged patch: the operator *parallel* to the
+    // seam is inherited from the first patch; the operator *perpendicular*
+    // to the seam spans both patches (its value is the product of the two
+    // input values since the strip is prepared in its +1 eigenstate).
+    merged.initialized = true;
+    match orientation {
+        Orientation::Vertical => {
+            merged.logical_x = first.logical_x.clone();
+            merged.logical_z = OperatorTracker {
+                support: (0..mdz).map(|i| ((i, 0), PauliOp::Z)).collect(),
+                frame: [first.logical_z.frame.clone(), second.logical_z.frame.clone()].concat(),
+                invert: first.logical_z.invert ^ second.logical_z.invert,
+            };
+        }
+        Orientation::Horizontal => {
+            merged.logical_z = first.logical_z.clone();
+            merged.logical_x = OperatorTracker {
+                support: (0..mdx).map(|j| ((0, j), PauliOp::X)).collect(),
+                frame: [first.logical_x.frame.clone(), second.logical_x.frame.clone()].concat(),
+                invert: first.logical_x.invert ^ second.logical_x.invert,
+            };
+        }
+    }
+
+    // dt rounds of error correction over the merged patch.
+    let mut rounds = Vec::with_capacity(dt);
+    for r in 0..dt {
+        rounds.push(merged.syndrome_round(hw, &format!("merge round {r}"))?);
+    }
+
+    // The joint outcome: parity of the first-round outcomes of the new seam
+    // stabilizers of the relevant type, corrected by the operator movement
+    // that connects the product of the seam stabilizers to the two patches'
+    // default logical representatives.
+    let seam_kind = match orientation {
+        Orientation::Vertical => StabKind::X,
+        Orientation::Horizontal => StabKind::Z,
+    };
+    let touches_gap = |p: &crate::Plaquette| {
+        p.data_coords().iter().any(|&(i, j)| match orientation {
+            Orientation::Vertical => gap.contains(&i),
+            Orientation::Horizontal => gap.contains(&j),
+        })
+    };
+    let seam_cells: Vec<(i32, i32)> = merged
+        .stabilizers()
+        .iter()
+        .filter(|p| p.kind == seam_kind && touches_gap(p))
+        .map(|p| p.cell)
+        .collect();
+
+    // Product of the seam stabilizers as a Pauli over the merged patch.
+    let mut seam_product = Pauli::identity(mdz * mdx);
+    for p in merged.stabilizers() {
+        if p.kind == seam_kind && touches_gap(p) {
+            seam_product.mul_assign(&plaquette_pauli(mdz, mdx, p));
+        }
+    }
+    // Product of the two default-edge logical representatives, written in
+    // merged coordinates (the second patch's coordinates are offset past the
+    // ancilla strip).
+    let offset = gap.end;
+    let mut rep_product = support_pauli(mdz, mdx, &shift_support(&first_rep(first, orientation), (0, 0)));
+    let second_shift = match orientation {
+        Orientation::Vertical => (offset, 0),
+        Orientation::Horizontal => (0, offset),
+    };
+    rep_product.mul_assign(&support_pauli(
+        mdz,
+        mdx,
+        &shift_support(&first_rep(second, orientation), second_shift),
+    ));
+
+    // The correction connects the seam product to the representative product
+    // using the patches' own (non-seam) stabilizers of the same type.
+    let mut target = seam_product.clone();
+    target.mul_assign(&rep_product);
+    let own_stabs: Vec<&crate::Plaquette> = merged
+        .stabilizers()
+        .iter()
+        .filter(|p| p.kind == seam_kind && !touches_gap(p))
+        .collect();
+    let correction_cells = combination_for_target(mdz, mdx, &own_stabs, &target).ok_or_else(|| {
+        CoreError::NoDeformationPath("seam product does not reduce to the default logical product".into())
+    })?;
+
+    let first_round = &rounds[0];
+    let mut parity_of: Vec<usize> = Vec::new();
+    for cell in seam_cells.iter().chain(correction_cells.iter()) {
+        parity_of.push(first_round.index_of(*cell).ok_or_else(|| {
+            CoreError::NoDeformationPath(format!("cell {cell:?} missing from the merge round"))
+        })?);
+    }
+    let (name, frames, inverts) = match orientation {
+        Orientation::Vertical => (
+            "XX",
+            [first.logical_x.frame.clone(), second.logical_x.frame.clone()].concat(),
+            first.logical_x.invert ^ second.logical_x.invert,
+        ),
+        Orientation::Horizontal => (
+            "ZZ",
+            [first.logical_z.frame.clone(), second.logical_z.frame.clone()].concat(),
+            first.logical_z.invert ^ second.logical_z.invert,
+        ),
+    };
+    parity_of.extend(frames);
+    let joint_outcome = LogicalOutcomeSpec::new(name, parity_of, inverts);
+
+    first.mark_uninitialized();
+    second.mark_uninitialized();
+
+    Ok(MergeOutcome { merged, rounds, joint_outcome, orientation, gap })
+}
+
+fn first_rep(patch: &LogicalQubit, orientation: Orientation) -> Vec<((usize, usize), PauliOp)> {
+    match orientation {
+        Orientation::Vertical => patch.logical_x.support.clone(),
+        Orientation::Horizontal => patch.logical_z.support.clone(),
+    }
+}
+
+fn shift_support(
+    support: &[((usize, usize), PauliOp)],
+    shift: (usize, usize),
+) -> Vec<((usize, usize), PauliOp)> {
+    support
+        .iter()
+        .map(|&((i, j), p)| ((i + shift.0, j + shift.1), p))
+        .collect()
+}
+
+/// Splits a merged patch back into its two constituents (the `Split`
+/// primitive, 0 logical time-steps): the ancilla strip is measured out and
+/// the byproduct is recorded in the second patch's Pauli frame. Returns the
+/// joint outcome of the surgery for convenience.
+pub fn split_patches(
+    hw: &mut HardwareModel,
+    outcome: &MergeOutcome,
+    first: &mut LogicalQubit,
+    second: &mut LogicalQubit,
+) -> Result<LogicalOutcomeSpec, CoreError> {
+    let merged = &outcome.merged;
+    let dx = first.dx();
+    let dz = first.dz();
+
+    // Measure the ancilla strip out.
+    let mut strip_indices: HashMap<(usize, usize), usize> = HashMap::new();
+    for idx in outcome.gap.clone() {
+        for other in 0..match outcome.orientation {
+            Orientation::Vertical => merged.dx(),
+            Orientation::Horizontal => merged.dz(),
+        } {
+            let (i, j) = match outcome.orientation {
+                Orientation::Vertical => (idx, other),
+                Orientation::Horizontal => (other, idx),
+            };
+            let ion = merged.data_ion(i, j)?;
+            let label = format!("split ancilla ({i},{j})");
+            let m = match outcome.orientation {
+                Orientation::Vertical => hw.measure_z(ion, &label)?,
+                Orientation::Horizontal => hw.measure_x(ion, &label)?,
+            };
+            strip_indices.insert((i, j), m);
+        }
+    }
+
+    // Byproduct: the split randomises the product of the logical operators
+    // perpendicular to the seam by the parity of the strip outcomes along
+    // the representative's row/column; fold it into the second patch's frame.
+    match outcome.orientation {
+        Orientation::Vertical => {
+            let col = first.logical_z.support.first().map(|&((_, j), _)| j).unwrap_or(0);
+            for idx in outcome.gap.clone() {
+                second.logical_z.frame.push(strip_indices[&(idx, col)]);
+            }
+        }
+        Orientation::Horizontal => {
+            let row = first.logical_x.support.first().map(|&((i, _), _)| i).unwrap_or(0);
+            for idx in outcome.gap.clone() {
+                second.logical_x.frame.push(strip_indices[&(row, idx)]);
+            }
+        }
+    }
+
+    // Refresh the latest-round records of both patches from the merged
+    // rounds wherever the stabilizer is unchanged, and drop stale entries
+    // (the former outer-boundary stabilizers along the seam).
+    let last_round = outcome.rounds.last().expect("merge ran at least one round");
+    let second_shift = match outcome.orientation {
+        Orientation::Vertical => (outcome.gap.end as i32, 0),
+        Orientation::Horizontal => (0, outcome.gap.end as i32),
+    };
+    refresh_latest(first, merged, (0, 0), last_round, dz, dx);
+    refresh_latest(second, merged, second_shift, last_round, dz, dx);
+
+    first.initialized = true;
+    second.initialized = true;
+    Ok(outcome.joint_outcome.clone())
+}
+
+fn refresh_latest(
+    patch: &mut LogicalQubit,
+    merged: &LogicalQubit,
+    shift: (i32, i32),
+    round: &RoundRecord,
+    dz: usize,
+    dx: usize,
+) {
+    let _ = (dz, dx);
+    let mut fresh: HashMap<(i32, i32), usize> = HashMap::new();
+    for p in patch.stabilizers() {
+        let merged_cell = (p.cell.0 + shift.0, p.cell.1 + shift.1);
+        let Some(mp) = merged.stabilizers().iter().find(|m| m.cell == merged_cell) else {
+            continue;
+        };
+        // Same operator? (same kind and same data support once shifted)
+        let shifted: Vec<(usize, usize)> = p
+            .data_coords()
+            .iter()
+            .map(|&(i, j)| ((i as i32 + shift.0) as usize, (j as i32 + shift.1) as usize))
+            .collect();
+        if mp.kind == p.kind && mp.data_coords() == shifted {
+            if let Some(idx) = round.index_of(merged_cell) {
+                fresh.insert(p.cell, idx);
+            }
+        }
+    }
+    patch.latest_round = fresh;
+}
+
+/// The `Measure XX` instruction: vertical merge followed by a split
+/// (1 logical time-step). Returns the joint outcome specification.
+pub fn measure_xx(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower: &mut LogicalQubit,
+) -> Result<LogicalOutcomeSpec, CoreError> {
+    let merge = merge_patches(hw, upper, lower, Orientation::Vertical)?;
+    split_patches(hw, &merge, upper, lower)
+}
+
+/// The `Measure ZZ` instruction: horizontal merge followed by a split
+/// (1 logical time-step).
+pub fn measure_zz(
+    hw: &mut HardwareModel,
+    left: &mut LogicalQubit,
+    right: &mut LogicalQubit,
+) -> Result<LogicalOutcomeSpec, CoreError> {
+    let merge = merge_patches(hw, left, right, Orientation::Horizontal)?;
+    split_patches(hw, &merge, left, right)
+}
+
+/// Patch extension (Table 3): grows an initialized one-tile patch downward
+/// into the (uninitialized) tile below, preserving the encoded state.
+/// Consumes both inputs and returns the two-tile patch (1 logical time-step).
+pub fn extend_down(
+    hw: &mut HardwareModel,
+    upper: &mut LogicalQubit,
+    lower_tile: &mut LogicalQubit,
+) -> Result<(LogicalQubit, Vec<RoundRecord>), CoreError> {
+    upper.require_initialized("Patch Extension")?;
+    if lower_tile.is_initialized() {
+        return Err(CoreError::InvalidState("extension target tile must be uninitialized".into()));
+    }
+    check_compatible_layout(upper, lower_tile)?;
+
+    let dx = upper.dx();
+    let dz = upper.dz();
+    let dt = upper.dt();
+    let gap = row_offset(dz) as usize;
+    let mdz = 2 * dz + gap;
+    let mut extended = LogicalQubit::new(hw, dx, mdz, dt, upper.origin())?;
+    // Everything below the original patch is freshly prepared in |0⟩.
+    for i in dz..mdz {
+        for j in 0..dx {
+            hw.prepare_z(extended.data_ion(i, j)?)?;
+        }
+    }
+    extended.initialized = true;
+    extended.logical_x = upper.logical_x.clone();
+    extended.logical_z = OperatorTracker {
+        support: (0..mdz).map(|i| ((i, 0), PauliOp::Z)).collect(),
+        frame: upper.logical_z.frame.clone(),
+        invert: upper.logical_z.invert,
+    };
+    let mut rounds = Vec::with_capacity(dt);
+    for r in 0..dt {
+        rounds.push(extended.syndrome_round(hw, &format!("extension round {r}"))?);
+    }
+    upper.mark_uninitialized();
+    lower_tile.mark_uninitialized();
+    Ok((extended, rounds))
+}
+
+fn check_compatible_layout(upper: &LogicalQubit, lower: &LogicalQubit) -> Result<(), CoreError> {
+    if upper.dx() != lower.dx() || upper.dz() != lower.dz() || upper.dt() != lower.dt() {
+        return Err(CoreError::Incompatible("patches must share dx, dz and dt".into()));
+    }
+    if !upper.is_directly_above(lower) {
+        return Err(CoreError::Incompatible("tiles must be vertically adjacent".into()));
+    }
+    Ok(())
+}
+
+/// Patch contraction (Table 3): shrinks an extended (two-tile-tall) patch to
+/// its bottom tile, preserving the encoded state (0 logical time-steps).
+/// The rows removed are measured in the Z basis after the logical X
+/// representative has been moved off them; both resulting sign corrections
+/// are recorded in the returned patch's Pauli frames.
+pub fn contract_keep_bottom(
+    hw: &mut HardwareModel,
+    extended: &mut LogicalQubit,
+    keep_dz: usize,
+    bottom_origin: (u32, u32),
+) -> Result<LogicalQubit, CoreError> {
+    extended.require_initialized("Patch Contraction")?;
+    let dx = extended.dx();
+    let mdz = extended.dz();
+    if keep_dz >= mdz {
+        return Err(CoreError::Incompatible("contraction must remove at least one row".into()));
+    }
+    let removed = mdz - keep_dz;
+
+    // Move the logical X representative into the kept region.
+    crate::deform::move_logical_x_to_row(extended, removed)?;
+
+    // Measure the removed rows out in the Z basis.
+    let mut removed_indices: HashMap<(usize, usize), usize> = HashMap::new();
+    for i in 0..removed {
+        for j in 0..dx {
+            let ion = extended.data_ion(i, j)?;
+            let m = hw.measure_z(ion, &format!("contraction data ({i},{j})"))?;
+            removed_indices.insert((i, j), m);
+        }
+    }
+
+    let mut bottom = LogicalQubit::new(hw, dx, keep_dz, extended.dt(), bottom_origin)?;
+    bottom.initialized = true;
+    bottom.logical_x = OperatorTracker {
+        support: extended
+            .logical_x
+            .support
+            .iter()
+            .map(|&((i, j), p)| ((i - removed, j), p))
+            .collect(),
+        frame: extended.logical_x.frame.clone(),
+        invert: extended.logical_x.invert,
+    };
+    let zcol = extended.logical_z.support.first().map(|&((_, j), _)| j).unwrap_or(0);
+    let mut zframe = extended.logical_z.frame.clone();
+    for i in 0..removed {
+        zframe.push(removed_indices[&(i, zcol)]);
+    }
+    bottom.logical_z = OperatorTracker {
+        support: (0..keep_dz).map(|i| ((i, zcol), PauliOp::Z)).collect(),
+        frame: zframe,
+        invert: extended.logical_z.invert,
+    };
+    // Carry over fresh syndrome values for the stabilizers that survive.
+    let last: RoundRecord = RoundRecord { measurements: extended.latest_round.clone() };
+    refresh_latest(&mut bottom, extended, (removed as i32, 0), &last, keep_dz, dx);
+    extended.mark_uninitialized();
+    Ok(bottom)
+}

@@ -1,0 +1,83 @@
+//! Logical-operator tracking and classically-defined logical outcomes.
+//!
+//! TISCC output is only meaningful together with classical post-processing
+//! rules (paper Sec. 4.5): logical operators are tracked as a *physical
+//! representative* plus a Pauli frame given by a set of measurement indices
+//! whose outcome parity flips the sign, and logical measurement results are
+//! parities of recorded measurement outcomes.
+
+use tiscc_grid::QubitId;
+use tiscc_math::PauliOp;
+
+/// A logical operator tracked in patch-local data-qubit coordinates.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct OperatorTracker {
+    /// Physical support: data coordinate and Pauli label.
+    pub support: Vec<((usize, usize), PauliOp)>,
+    /// Measurement indices whose outcome parity flips the operator's sign.
+    pub frame: Vec<usize>,
+    /// Static sign flip accumulated at compile time.
+    pub invert: bool,
+}
+
+impl OperatorTracker {
+    /// A tracker with the given support and an empty frame.
+    pub fn new(support: Vec<((usize, usize), PauliOp)>) -> Self {
+        OperatorTracker { support, frame: Vec::new(), invert: false }
+    }
+}
+
+/// A logical operator resolved to physical ions, ready to be handed to the
+/// simulator (it mirrors `tiscc_orqcs::postprocess::CorrectedOperator`; the
+/// compiler crate does not depend on the simulator, so the struct is
+/// duplicated here with identical meaning).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrackedOperator {
+    /// Physical support as (ion, Pauli label) pairs.
+    pub support: Vec<(QubitId, PauliOp)>,
+    /// Measurement indices whose outcome parity flips the sign.
+    pub frame: Vec<usize>,
+    /// Static sign flip.
+    pub invert: bool,
+}
+
+/// A classical logical outcome defined as a parity of measurement outcomes
+/// (e.g. the result of a `Measure XX` instruction or of a transversal
+/// logical measurement).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LogicalOutcomeSpec {
+    /// Human-readable name (`"XX"`, `"Z_L"`, ...).
+    pub name: String,
+    /// Measurement indices whose parity defines the value.
+    pub parity_of: Vec<usize>,
+    /// Static inversion.
+    pub invert: bool,
+}
+
+impl LogicalOutcomeSpec {
+    /// Creates a named outcome from a list of measurement indices.
+    pub fn new(name: impl Into<String>, parity_of: Vec<usize>, invert: bool) -> Self {
+        LogicalOutcomeSpec { name: name.into(), parity_of, invert }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trackers_default_to_trivial_frame() {
+        let t = OperatorTracker::new(vec![((0, 0), PauliOp::X)]);
+        assert!(t.frame.is_empty());
+        assert!(!t.invert);
+        assert_eq!(t.support.len(), 1);
+    }
+
+    #[test]
+    fn outcome_spec_builder() {
+        let o = LogicalOutcomeSpec::new("XX", vec![3, 5], true);
+        assert_eq!(o.name, "XX");
+        assert_eq!(o.parity_of, vec![3, 5]);
+        assert!(o.invert);
+    }
+}

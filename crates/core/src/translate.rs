@@ -1,0 +1,125 @@
+//! Patch translation by ion movement alone (paper Sec. 2.5, Fig. 4).
+//!
+//! `Move Right` shuttles every data ion of a patch one unit column toward
+//! the ancilla strip of its own tile (right-most column first, so each
+//! destination zone is vacated just in time), after the ion parked on the
+//! strip has stepped aside onto its spare memory zone; `Swap Left` is the
+//! mirror-image dance that brings every ion back. The pair involves no gate
+//! operations at all, so it acts as the identity on the encoded state; its
+//! cost — dominated by junction traversals — is what the Fig. 4 experiment
+//! estimates. Single-direction translations (which leave the patch bound to
+//! a shifted set of zones and are the building block of patch-rotation
+//! protocols) are deliberately not exposed; like the rotation protocols
+//! themselves they are future work in the paper as well.
+
+use tiscc_grid::QSite;
+use tiscc_hw::HardwareModel;
+
+use crate::patch::LogicalQubit;
+use crate::plaquette::{data_home_site, row_offset};
+use crate::CoreError;
+
+/// `Move Right` immediately followed by `Swap Left` (Fig. 4): every data ion
+/// of the patch is shuttled one unit column to the right and back, returning
+/// to its original trapping zone. Returns the number of transport operations
+/// emitted (used for resource estimation).
+pub fn move_right_then_swap_left(
+    hw: &mut HardwareModel,
+    patch: &mut LogicalQubit,
+) -> Result<usize, CoreError> {
+    patch.require_initialized("Move Right / Swap Left")?;
+    let dx = patch.dx() as u32;
+    let dz = patch.dz();
+    let origin = patch.origin();
+    let strip_col = dx;
+    let ops_before = hw.circuit().len();
+
+    for i in 0..dz as u32 {
+        let r = row_offset(dz) + i;
+        let unit = |c: u32| (origin.0 + r, origin.1 + c);
+        let strip_ion = patch
+            .data_ion_at_unit(r, strip_col)
+            .ok_or_else(|| CoreError::MissingIon(format!("strip ion in tile row {r}")))?;
+        let strip_unit = unit(strip_col);
+        let spare = QSite::new(4 * strip_unit.0, 4 * strip_unit.1 + 3);
+
+        // ---- Move Right: strip ion steps aside, data shifts right. ----
+        hw.route_and_move(strip_ion, spare)?;
+        for j in (0..dx).rev() {
+            let ion = patch
+                .data_ion_at_unit(r, j)
+                .ok_or_else(|| CoreError::MissingIon(format!("data ion in tile unit ({r},{j})")))?;
+            hw.route_and_move(ion, data_home_site(unit(j + 1)))?;
+        }
+
+        // ---- Swap Left: data shifts back, strip ion returns home. ----
+        for j in 0..dx {
+            let site_now = data_home_site(unit(j + 1));
+            let ion = hw
+                .grid()
+                .qubit_at(site_now)
+                .ok_or_else(|| CoreError::MissingIon(format!("ion expected at {site_now}")))?;
+            hw.route_and_move(ion, data_home_site(unit(j)))?;
+        }
+        hw.route_and_move(strip_ion, data_home_site(strip_unit))?;
+    }
+    Ok(hw.circuit().len() - ops_before)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plaquette::{data_site, tile_cols, tile_rows};
+
+    fn hw_for(dx: usize, dz: usize) -> HardwareModel {
+        HardwareModel::new(tile_rows(dz) + 2, tile_cols(dx) + 2)
+    }
+
+    #[test]
+    fn round_trip_restores_every_ion_position() {
+        let mut hw = hw_for(3, 3);
+        let mut patch = LogicalQubit::new(&mut hw, 3, 3, 2, (0, 0)).unwrap();
+        patch.transversal_prepare_z(&mut hw).unwrap();
+        let before: Vec<_> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| {
+                let ion = patch.data_ion(i, j).unwrap();
+                (ion, hw.grid().position_of(ion).unwrap())
+            })
+            .collect();
+        let ops = move_right_then_swap_left(&mut hw, &mut patch).unwrap();
+        assert!(ops > 0);
+        for (ion, site) in before {
+            assert_eq!(hw.grid().position_of(ion), Some(site));
+        }
+        for i in 0..3 {
+            for j in 0..3 {
+                let ion = patch.data_ion(i, j).unwrap();
+                assert_eq!(hw.grid().position_of(ion), Some(data_site(patch.origin(), 3, i, j)));
+            }
+        }
+    }
+
+    #[test]
+    fn translation_emits_only_transport_operations() {
+        let mut hw = hw_for(3, 4);
+        let mut patch = LogicalQubit::new(&mut hw, 3, 4, 2, (0, 0)).unwrap();
+        patch.transversal_prepare_z(&mut hw).unwrap();
+        let before = hw.circuit().len();
+        move_right_then_swap_left(&mut hw, &mut patch).unwrap();
+        assert!(hw.circuit().len() > before);
+        for op in &hw.circuit().ops()[before..] {
+            assert!(op.op.is_transport(), "saw non-transport op {:?}", op.op);
+        }
+    }
+
+    #[test]
+    fn uninitialized_patches_are_rejected() {
+        let mut hw = hw_for(2, 2);
+        let mut patch = LogicalQubit::new(&mut hw, 2, 2, 2, (0, 0)).unwrap();
+        assert!(matches!(
+            move_right_then_swap_left(&mut hw, &mut patch),
+            Err(CoreError::InvalidState(_))
+        ));
+    }
+}

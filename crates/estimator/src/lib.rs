@@ -1,0 +1,22 @@
+//! Resource-estimation sweeps, verification campaigns and table generation.
+//!
+//! This crate drives the compiler (`tiscc-core`) and the quasi-Clifford
+//! simulator (`tiscc-orqcs`) to regenerate every table and figure of the
+//! TISCC paper:
+//!
+//! * [`tables`] — Tables 1–3 (instruction sets with logical time-step
+//!   accounting), Table 5 (native gate set and durations) and the Sec. 3.4
+//!   resource-estimation sweep,
+//! * [`verify`] — the Sec. 4 verification harness: logical state and process
+//!   tomography of compiled circuits, with Pauli-frame corrections,
+//! * [`experiments`] — the figure-level reports (arrangements, operator
+//!   movement, translation, syndrome-extraction patterns).
+//!
+//! Parameter sweeps are embarrassingly parallel and use `rayon`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod tables;
+pub mod verify;

@@ -1,0 +1,251 @@
+//! The Sec. 4 verification harness: compiles TISCC operations, simulates the
+//! resulting hardware circuits with the quasi-Clifford simulator, and performs
+//! state / process tomography in the logical sub-space with the Pauli-frame
+//! corrections of Sec. 4.5.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tiscc_core::{CoreError, LogicalQubit, TrackedOperator};
+use tiscc_hw::HardwareModel;
+use tiscc_orqcs::postprocess::CorrectedOperator;
+use tiscc_orqcs::tomography::BlochVector;
+use tiscc_orqcs::{Interpreter, RunResult};
+
+/// Converts a compiler-side tracked logical operator into the simulator-side
+/// corrected operator.
+pub fn corrected(op: &TrackedOperator) -> CorrectedOperator {
+    CorrectedOperator {
+        support: op.support.clone(),
+        frame: op.frame.clone(),
+        invert: op.invert,
+    }
+}
+
+/// The six fiducial logical input states used for process tomography.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fiducial {
+    /// |0⟩ logical.
+    Zero,
+    /// |1⟩ logical.
+    One,
+    /// |+⟩ logical.
+    Plus,
+    /// |−⟩ logical.
+    Minus,
+    /// |+i⟩ logical.
+    PlusI,
+    /// |−i⟩ logical.
+    MinusI,
+}
+
+impl Fiducial {
+    /// All six fiducials in the order used by
+    /// [`tiscc_orqcs::tomography::ProcessMap::from_fiducial_images`].
+    pub fn all() -> [Fiducial; 6] {
+        [
+            Fiducial::Zero,
+            Fiducial::One,
+            Fiducial::Plus,
+            Fiducial::Minus,
+            Fiducial::PlusI,
+            Fiducial::MinusI,
+        ]
+    }
+
+    /// The ideal Bloch vector of the fiducial.
+    pub fn bloch(self) -> BlochVector {
+        match self {
+            Fiducial::Zero => BlochVector::new(0.0, 0.0, 1.0),
+            Fiducial::One => BlochVector::new(0.0, 0.0, -1.0),
+            Fiducial::Plus => BlochVector::new(1.0, 0.0, 0.0),
+            Fiducial::Minus => BlochVector::new(-1.0, 0.0, 0.0),
+            Fiducial::PlusI => BlochVector::new(0.0, 1.0, 0.0),
+            Fiducial::MinusI => BlochVector::new(0.0, -1.0, 0.0),
+        }
+    }
+
+    /// Compiles the preparation of this fiducial logical state onto `patch`
+    /// (fault-tolerant preparation plus logical Paulis / injection).
+    pub fn prepare(
+        self,
+        hw: &mut HardwareModel,
+        patch: &mut LogicalQubit,
+    ) -> Result<(), CoreError> {
+        use tiscc_math::PauliOp;
+        match self {
+            Fiducial::Zero => {
+                patch.transversal_prepare_z(hw)?;
+            }
+            Fiducial::One => {
+                patch.transversal_prepare_z(hw)?;
+                patch.apply_logical_pauli(hw, PauliOp::X)?;
+            }
+            Fiducial::Plus => {
+                patch.transversal_prepare_x(hw)?;
+            }
+            Fiducial::Minus => {
+                patch.transversal_prepare_x(hw)?;
+                patch.apply_logical_pauli(hw, PauliOp::Z)?;
+            }
+            Fiducial::PlusI => {
+                patch.inject_y(hw)?;
+            }
+            Fiducial::MinusI => {
+                patch.inject_y(hw)?;
+                patch.apply_logical_pauli(hw, PauliOp::Z)?;
+            }
+        }
+        // One round of error correction brings the patch to a quiescent state
+        // (and provides fresh stabilizer values for later operator movement).
+        patch.syndrome_round(hw, "fiducial quiescence")?;
+        Ok(())
+    }
+}
+
+/// A single-tile verification fixture: a hardware model hosting one patch,
+/// with the grid snapshot taken before any operation was compiled.
+pub struct SingleTile {
+    /// The hardware model accumulating the compiled circuit.
+    pub hw: HardwareModel,
+    /// The patch under test.
+    pub patch: LogicalQubit,
+    snapshot: Vec<(tiscc_grid::QubitId, tiscc_grid::QSite)>,
+}
+
+impl SingleTile {
+    /// Creates a fresh grid hosting a single `dx × dz` patch with temporal
+    /// distance `dt`.
+    pub fn new(dx: usize, dz: usize, dt: usize) -> Result<Self, CoreError> {
+        let rows = tiscc_core::plaquette::tile_rows(dz) + 2;
+        let cols = tiscc_core::plaquette::tile_cols(dx) + 2;
+        let mut hw = HardwareModel::new(rows, cols);
+        let patch = LogicalQubit::new(&mut hw, dx, dz, dt, (0, 0))?;
+        let snapshot = hw.grid().snapshot();
+        Ok(SingleTile { hw, patch, snapshot })
+    }
+
+    /// Runs the compiled circuit on the stabilizer simulator.
+    pub fn simulate(&self, seed: u64) -> RunResult {
+        let interpreter = Interpreter::new(&self.snapshot);
+        let mut rng = StdRng::seed_from_u64(seed);
+        interpreter
+            .run(self.hw.circuit(), &mut rng)
+            .expect("compiled circuit must be Clifford-simulable")
+    }
+
+    /// The logical Bloch vector of the patch in a simulation run, with all
+    /// Pauli-frame corrections applied.
+    pub fn logical_bloch(&self, run: &RunResult) -> BlochVector {
+        let x = corrected(&self.patch.tracked_x().unwrap()).expectation(run) as f64;
+        let y = corrected(&self.patch.tracked_y().unwrap()).expectation(run) as f64;
+        let z = corrected(&self.patch.tracked_z().unwrap()).expectation(run) as f64;
+        BlochVector::new(x, y, z)
+    }
+}
+
+/// A two-tile (vertically adjacent) verification fixture.
+pub struct TwoTiles {
+    /// The hardware model accumulating the compiled circuit.
+    pub hw: HardwareModel,
+    /// The upper patch.
+    pub upper: LogicalQubit,
+    /// The lower patch.
+    pub lower: LogicalQubit,
+    snapshot: Vec<(tiscc_grid::QubitId, tiscc_grid::QSite)>,
+}
+
+impl TwoTiles {
+    /// Creates a fresh grid hosting two vertically adjacent patches.
+    pub fn new(dx: usize, dz: usize, dt: usize) -> Result<Self, CoreError> {
+        let rows = 2 * tiscc_core::plaquette::tile_rows(dz) + 2;
+        let cols = tiscc_core::plaquette::tile_cols(dx) + 2;
+        let mut hw = HardwareModel::new(rows, cols);
+        let upper = LogicalQubit::new(&mut hw, dx, dz, dt, (0, 0))?;
+        let lower =
+            LogicalQubit::new(&mut hw, dx, dz, dt, (tiscc_core::plaquette::tile_rows(dz), 0))?;
+        let snapshot = hw.grid().snapshot();
+        Ok(TwoTiles { hw, upper, lower, snapshot })
+    }
+
+    /// Creates a fresh grid hosting two horizontally adjacent patches.
+    pub fn new_horizontal(dx: usize, dz: usize, dt: usize) -> Result<Self, CoreError> {
+        let rows = tiscc_core::plaquette::tile_rows(dz) + 2;
+        let cols = 2 * tiscc_core::plaquette::tile_cols(dx) + 2;
+        let mut hw = HardwareModel::new(rows, cols);
+        let upper = LogicalQubit::new(&mut hw, dx, dz, dt, (0, 0))?;
+        let lower =
+            LogicalQubit::new(&mut hw, dx, dz, dt, (0, tiscc_core::plaquette::tile_cols(dx)))?;
+        let snapshot = hw.grid().snapshot();
+        Ok(TwoTiles { hw, upper, lower, snapshot })
+    }
+
+    /// Runs the compiled circuit on the stabilizer simulator.
+    pub fn simulate(&self, seed: u64) -> RunResult {
+        let interpreter = Interpreter::new(&self.snapshot);
+        let mut rng = StdRng::seed_from_u64(seed);
+        interpreter
+            .run(self.hw.circuit(), &mut rng)
+            .expect("compiled circuit must be Clifford-simulable")
+    }
+
+    /// Corrected expectation value of the product of two tracked operators
+    /// (one per patch).
+    pub fn joint_expectation(
+        &self,
+        run: &RunResult,
+        a: &TrackedOperator,
+        b: &TrackedOperator,
+    ) -> i8 {
+        let mut support = a.support.clone();
+        support.extend(b.support.iter().cloned());
+        let mut frame = a.frame.clone();
+        frame.extend(b.frame.iter().copied());
+        let op = CorrectedOperator { support, frame, invert: a.invert ^ b.invert };
+        op.expectation(run)
+    }
+}
+
+/// Reconstructs the logical process map of a single-tile operation by
+/// preparing each fiducial input, applying `operation`, simulating, and
+/// reading the corrected logical Bloch vector.
+pub fn process_map_of<F>(
+    dx: usize,
+    dz: usize,
+    dt: usize,
+    seed: u64,
+    mut operation: F,
+) -> Result<tiscc_orqcs::ProcessMap, CoreError>
+where
+    F: FnMut(&mut HardwareModel, &mut LogicalQubit) -> Result<(), CoreError>,
+{
+    let mut images = Vec::with_capacity(6);
+    for (k, fiducial) in Fiducial::all().into_iter().enumerate() {
+        let mut fixture = SingleTile::new(dx, dz, dt)?;
+        fiducial.prepare(&mut fixture.hw, &mut fixture.patch)?;
+        operation(&mut fixture.hw, &mut fixture.patch)?;
+        let run = fixture.simulate(seed.wrapping_add(k as u64));
+        images.push(fixture.logical_bloch(&run));
+    }
+    let images: [BlochVector; 6] = images.try_into().expect("six fiducials");
+    Ok(tiscc_orqcs::ProcessMap::from_fiducial_images(&images))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fiducial_preparation_round_trips_through_the_simulator() {
+        for fiducial in Fiducial::all() {
+            let mut fixture = SingleTile::new(2, 2, 1).unwrap();
+            fiducial.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
+            let run = fixture.simulate(11);
+            let bloch = fixture.logical_bloch(&run);
+            assert!(
+                bloch.distance(&fiducial.bloch()) < 1e-9,
+                "{fiducial:?}: got {bloch:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Ion occupancy tracking on the trapped-ion grid.
+//!
+//! The [`GridManager`] mirrors the class of the same name in the paper
+//! (Appendix B.1): it owns the [`Layout`], hands out qubit identifiers when
+//! ions are loaded, and enforces the hardware validity rules that no two
+//! ions occupy the same site and that ions never rest on a junction.
+
+use std::collections::HashMap;
+
+use crate::layout::Layout;
+use crate::site::{QSite, SiteKind};
+
+/// Identifier of a physical ion/qubit managed by a [`GridManager`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QubitId(pub u32);
+
+/// Errors raised by occupancy bookkeeping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GridError {
+    /// The addressed site does not exist on the layout.
+    NoSuchSite(QSite),
+    /// An ion may not be placed on or rest at a junction.
+    RestingOnJunction(QSite),
+    /// The target site is already occupied by another ion.
+    Occupied(QSite, QubitId),
+    /// The named qubit is not (or no longer) present on the grid.
+    UnknownQubit(QubitId),
+    /// A movement step was requested between non-adjacent zones.
+    NotAdjacent(QSite, QSite),
+}
+
+impl std::fmt::Display for GridError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GridError::NoSuchSite(s) => write!(f, "site {s} does not exist on the layout"),
+            GridError::RestingOnJunction(s) => write!(f, "ions may not rest on junction {s}"),
+            GridError::Occupied(s, q) => write!(f, "site {s} is already occupied by qubit {q:?}"),
+            GridError::UnknownQubit(q) => write!(f, "qubit {q:?} is not on the grid"),
+            GridError::NotAdjacent(a, b) => write!(f, "sites {a} and {b} are not adjacent"),
+        }
+    }
+}
+
+impl std::error::Error for GridError {}
+
+/// Owns the grid layout and the current position of every ion.
+#[derive(Clone, Debug)]
+pub struct GridManager {
+    layout: Layout,
+    occupancy: HashMap<QSite, QubitId>,
+    positions: HashMap<QubitId, QSite>,
+    next_id: u32,
+}
+
+impl GridManager {
+    /// Creates a manager for a grid of `unit_rows × unit_cols` repeating
+    /// units with no ions loaded.
+    pub fn new(unit_rows: u32, unit_cols: u32) -> Self {
+        GridManager {
+            layout: Layout::new(unit_rows, unit_cols),
+            occupancy: HashMap::new(),
+            positions: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The underlying layout.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Number of ions currently on the grid.
+    pub fn qubit_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Loads a new ion at `site` and returns its identifier.
+    pub fn place_qubit(&mut self, site: QSite) -> Result<QubitId, GridError> {
+        self.check_restable(site)?;
+        if let Some(&q) = self.occupancy.get(&site) {
+            return Err(GridError::Occupied(site, q));
+        }
+        let id = QubitId(self.next_id);
+        self.next_id += 1;
+        self.occupancy.insert(site, id);
+        self.positions.insert(id, site);
+        Ok(id)
+    }
+
+    /// Removes an ion from the grid (e.g. after a destructive measurement
+    /// when the zone is recycled).
+    pub fn remove_qubit(&mut self, id: QubitId) -> Result<QSite, GridError> {
+        let site = self
+            .positions
+            .remove(&id)
+            .ok_or(GridError::UnknownQubit(id))?;
+        self.occupancy.remove(&site);
+        Ok(site)
+    }
+
+    /// The ion occupying `site`, if any.
+    pub fn qubit_at(&self, site: QSite) -> Option<QubitId> {
+        self.occupancy.get(&site).copied()
+    }
+
+    /// The current site of ion `id`.
+    pub fn position_of(&self, id: QubitId) -> Option<QSite> {
+        self.positions.get(&id).copied()
+    }
+
+    /// True if `site` exists, is a trapping zone and holds no ion.
+    pub fn is_free(&self, site: QSite) -> bool {
+        self.layout.is_trapping_zone(site) && !self.occupancy.contains_key(&site)
+    }
+
+    /// Relocates ion `id` to the *adjacent* trapping zone `to` (a single
+    /// shuttle step). Junction hops are expressed as two shuttle steps by the
+    /// routing layer, and the transient junction crossing is validated by the
+    /// scheduler, so the destination of any step recorded here must be a
+    /// trapping zone.
+    pub fn step_qubit(&mut self, id: QubitId, to: QSite) -> Result<(), GridError> {
+        let from = self
+            .positions
+            .get(&id)
+            .copied()
+            .ok_or(GridError::UnknownQubit(id))?;
+        self.check_restable(to)?;
+        if let Some(&other) = self.occupancy.get(&to) {
+            if other != id {
+                return Err(GridError::Occupied(to, other));
+            }
+        }
+        // A legal single step ends on an adjacent zone, or on a zone that is
+        // two steps away through exactly one junction.
+        if !self.is_step_reachable(from, to) {
+            return Err(GridError::NotAdjacent(from, to));
+        }
+        self.occupancy.remove(&from);
+        self.occupancy.insert(to, id);
+        self.positions.insert(id, to);
+        Ok(())
+    }
+
+    /// Teleports ion `id` to any free trapping zone without adjacency
+    /// checks. Used when re-binding a logical patch after operations whose
+    /// movement legality was already validated step-by-step (and in tests).
+    pub fn relocate_qubit(&mut self, id: QubitId, to: QSite) -> Result<(), GridError> {
+        let from = self
+            .positions
+            .get(&id)
+            .copied()
+            .ok_or(GridError::UnknownQubit(id))?;
+        self.check_restable(to)?;
+        if let Some(&other) = self.occupancy.get(&to) {
+            if other != id {
+                return Err(GridError::Occupied(to, other));
+            }
+        }
+        self.occupancy.remove(&from);
+        self.occupancy.insert(to, id);
+        self.positions.insert(id, to);
+        Ok(())
+    }
+
+    /// Snapshot of `(qubit, site)` pairs, sorted by qubit id. Used by the
+    /// simulator to bind tableau qubit indices to ions.
+    pub fn snapshot(&self) -> Vec<(QubitId, QSite)> {
+        let mut v: Vec<_> = self.positions.iter().map(|(&q, &s)| (q, s)).collect();
+        v.sort_by_key(|&(q, _)| q);
+        v
+    }
+
+    fn check_restable(&self, site: QSite) -> Result<(), GridError> {
+        match self.layout.site_kind(site) {
+            None => Err(GridError::NoSuchSite(site)),
+            Some(SiteKind::Junction) => Err(GridError::RestingOnJunction(site)),
+            Some(_) => Ok(()),
+        }
+    }
+
+    fn is_step_reachable(&self, from: QSite, to: QSite) -> bool {
+        if from == to {
+            return true;
+        }
+        let neighbors = self.layout.neighbors(from);
+        if neighbors.contains(&to) {
+            return true;
+        }
+        // Through exactly one junction: both zones adjacent to the same
+        // junction.
+        neighbors.iter().any(|&n| {
+            self.layout.site_kind(n) == Some(SiteKind::Junction)
+                && self.layout.neighbors(n).contains(&to)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_and_remove() {
+        let mut g = GridManager::new(2, 2);
+        let home = g.layout().data_home(0, 0);
+        let q = g.place_qubit(home).unwrap();
+        assert_eq!(g.qubit_at(home), Some(q));
+        assert_eq!(g.position_of(q), Some(home));
+        assert_eq!(g.qubit_count(), 1);
+        // Double occupancy is rejected.
+        assert!(matches!(g.place_qubit(home), Err(GridError::Occupied(_, _))));
+        let freed = g.remove_qubit(q).unwrap();
+        assert_eq!(freed, home);
+        assert!(g.is_free(home));
+    }
+
+    #[test]
+    fn junctions_are_not_restable() {
+        let mut g = GridManager::new(1, 1);
+        let err = g.place_qubit(QSite::new(0, 0)).unwrap_err();
+        assert!(matches!(err, GridError::RestingOnJunction(_)));
+        let err = g.place_qubit(QSite::new(1, 1)).unwrap_err();
+        assert!(matches!(err, GridError::NoSuchSite(_)));
+    }
+
+    #[test]
+    fn step_adjacent_and_through_junction() {
+        let mut g = GridManager::new(2, 2);
+        let q = g.place_qubit(QSite::new(0, 1)).unwrap();
+        // Adjacent shuttle along the horizontal arm.
+        g.step_qubit(q, QSite::new(0, 2)).unwrap();
+        g.step_qubit(q, QSite::new(0, 3)).unwrap();
+        // Through the junction at (0,4) onto the next unit's arm.
+        g.step_qubit(q, QSite::new(0, 5)).unwrap();
+        assert_eq!(g.position_of(q), Some(QSite::new(0, 5)));
+        // Jumping two zones in one step is rejected.
+        assert!(matches!(
+            g.step_qubit(q, QSite::new(0, 7)),
+            Err(GridError::NotAdjacent(_, _))
+        ));
+    }
+
+    #[test]
+    fn step_into_occupied_zone_is_rejected() {
+        let mut g = GridManager::new(1, 2);
+        let a = g.place_qubit(QSite::new(0, 1)).unwrap();
+        let _b = g.place_qubit(QSite::new(0, 2)).unwrap();
+        assert!(matches!(
+            g.step_qubit(a, QSite::new(0, 2)),
+            Err(GridError::Occupied(_, _))
+        ));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_qubit() {
+        let mut g = GridManager::new(2, 2);
+        let a = g.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = g.place_qubit(QSite::new(1, 0)).unwrap();
+        let snap = g.snapshot();
+        assert_eq!(snap, vec![(a, QSite::new(0, 1)), (b, QSite::new(1, 0))]);
+    }
+}

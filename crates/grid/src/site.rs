@@ -1,0 +1,69 @@
+//! Quantum-site addresses and roles.
+
+/// The role a quantum site plays in the trapped-ion architecture
+/// (paper Fig. 1: 'M' memory, 'O' operation, 'J' junction).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A memory trapping zone: ions are stored here between operations.
+    Memory,
+    /// An operation trapping zone: gate interactions are scheduled here.
+    Operation,
+    /// A junction connecting a down-ward and a right-ward segment. Ions may
+    /// move *through* a junction but never rest on one.
+    Junction,
+}
+
+/// The address of a quantum site ("qsite") in fine-grained grid coordinates.
+///
+/// Sites exist only on the lattice lines of the repeating-unit tiling (rows
+/// or columns that are multiples of 4); see [`crate::Layout`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QSite {
+    /// Fine-grained row coordinate.
+    pub row: u32,
+    /// Fine-grained column coordinate.
+    pub col: u32,
+}
+
+impl QSite {
+    /// Convenience constructor.
+    pub fn new(row: u32, col: u32) -> Self {
+        QSite { row, col }
+    }
+
+    /// Manhattan distance to another site, in units of the zone pitch.
+    pub fn manhattan(&self, other: &QSite) -> u32 {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+impl std::fmt::Debug for QSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+impl std::fmt::Display for QSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.row, self.col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manhattan_distance() {
+        let a = QSite::new(0, 1);
+        let b = QSite::new(4, 3);
+        assert_eq!(a.manhattan(&b), 6);
+        assert_eq!(b.manhattan(&a), 6);
+        assert_eq!(a.manhattan(&a), 0);
+    }
+
+    #[test]
+    fn display_is_row_dot_col() {
+        assert_eq!(QSite::new(8, 13).to_string(), "8.13");
+    }
+}

@@ -1,0 +1,252 @@
+//! Time-resolved hardware circuits.
+//!
+//! A [`Circuit`] is an ordered list of [`TimedOp`]s. The *stream order* of
+//! the list defines logical (causal) order per ion and is what the simulator
+//! replays; the `start_us` timestamps record the ASAP schedule used for
+//! resource estimation and for junction-conflict resolution (paper Sec. 3.3–3.4).
+
+use tiscc_grid::{QSite, QubitId};
+
+use crate::ops::NativeOp;
+
+/// One scheduled native operation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedOp {
+    /// The native operation.
+    pub op: NativeOp,
+    /// The qsites addressed, in operand order. For transport this is
+    /// `[from, to]`; for `ZZ` the two interacting zones; otherwise one site.
+    pub sites: Vec<QSite>,
+    /// The ions involved, in operand order (one ion for transport).
+    pub qubits: Vec<QubitId>,
+    /// Scheduled start time in microseconds.
+    pub start_us: f64,
+    /// Duration in microseconds.
+    pub duration_us: f64,
+    /// For junction moves: the junction exclusively held during the hop.
+    pub junction: Option<QSite>,
+    /// For `MeasureZ`: index into [`Circuit::measurements`].
+    pub measurement: Option<usize>,
+}
+
+impl TimedOp {
+    /// Scheduled end time in microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.duration_us
+    }
+}
+
+/// Record of one mid-circuit or final measurement, used by the verification
+/// layer to connect simulated outcomes to post-processing rules (Sec. 4.5).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MeasurementRecord {
+    /// Sequential measurement index within the circuit.
+    pub index: usize,
+    /// The ion measured.
+    pub qubit: QubitId,
+    /// The zone where the measurement happened.
+    pub site: QSite,
+    /// Scheduled start time of the measurement.
+    pub start_us: f64,
+    /// Free-form label attached by the compiler (e.g. `"plaquette Z (1,2) round 0"`).
+    pub label: String,
+}
+
+/// A compiled, time-resolved hardware circuit.
+#[derive(Clone, Debug, Default)]
+pub struct Circuit {
+    ops: Vec<TimedOp>,
+    measurements: Vec<MeasurementRecord>,
+}
+
+impl Circuit {
+    /// An empty circuit.
+    pub fn new() -> Self {
+        Circuit::default()
+    }
+
+    /// Builds a circuit from a list of already-scheduled operations (used by
+    /// the resource estimator to account for a sub-range of a larger compiled
+    /// circuit). Measurement records are not carried over; counters that need
+    /// them fall back to counting `Measure_Z` operations.
+    pub fn from_ops(ops: Vec<TimedOp>) -> Self {
+        Circuit { ops, measurements: Vec::new() }
+    }
+
+    /// Appends an operation (builder use only; prefer [`crate::HardwareModel`]).
+    pub(crate) fn push(&mut self, op: TimedOp) {
+        self.ops.push(op);
+    }
+
+    /// Appends a measurement record and returns its index.
+    pub(crate) fn push_measurement(&mut self, mut rec: MeasurementRecord) -> usize {
+        let idx = self.measurements.len();
+        rec.index = idx;
+        self.measurements.push(rec);
+        idx
+    }
+
+    /// Replaces a measurement record once its schedule is known.
+    pub(crate) fn replace_measurement(&mut self, idx: usize, rec: MeasurementRecord) {
+        self.measurements[idx] = rec;
+    }
+
+    /// The operations in stream (causal) order.
+    pub fn ops(&self) -> &[TimedOp] {
+        &self.ops
+    }
+
+    /// The measurement records in emission order.
+    pub fn measurements(&self) -> &[MeasurementRecord] {
+        &self.measurements
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the circuit contains no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Total wall-clock duration (makespan) in microseconds.
+    pub fn makespan_us(&self) -> f64 {
+        self.ops.iter().map(TimedOp::end_us).fold(0.0, f64::max)
+    }
+
+    /// Count of operations of a given kind.
+    pub fn count_of(&self, op: NativeOp) -> usize {
+        self.ops.iter().filter(|t| t.op == op).count()
+    }
+
+    /// Every distinct trapping zone touched by the circuit (junctions held
+    /// during hops are not included; they are counted separately by the
+    /// resource report).
+    pub fn zones_touched(&self) -> std::collections::BTreeSet<QSite> {
+        self.ops.iter().flat_map(|t| t.sites.iter().copied()).collect()
+    }
+
+    /// Every distinct junction traversed.
+    pub fn junctions_touched(&self) -> std::collections::BTreeSet<QSite> {
+        self.ops.iter().filter_map(|t| t.junction).collect()
+    }
+
+    /// Concatenates another circuit's operations after this one, offsetting
+    /// its schedule so it starts no earlier than this circuit's makespan.
+    /// Measurement indices of `other` are re-based.
+    pub fn extend_sequential(&mut self, other: &Circuit) {
+        let offset = self.makespan_us();
+        let meas_offset = self.measurements.len();
+        for op in &other.ops {
+            let mut op = op.clone();
+            op.start_us += offset;
+            op.measurement = op.measurement.map(|m| m + meas_offset);
+            self.ops.push(op);
+        }
+        for rec in &other.measurements {
+            let mut rec = rec.clone();
+            rec.index += meas_offset;
+            rec.start_us += offset;
+            self.measurements.push(rec);
+        }
+    }
+
+    /// Human-readable listing: one line per operation,
+    /// `t=<start>us <mnemonic> <site> [<site>]`.
+    pub fn render_listing(&self) -> String {
+        let mut out = String::new();
+        for op in &self.ops {
+            out.push_str(&format!("t={:>10.2}us  {:<10}", op.start_us, op.op.mnemonic()));
+            for s in &op.sites {
+                out.push_str(&format!(" {s}"));
+            }
+            if let Some(j) = op.junction {
+                out.push_str(&format!(" via {j}"));
+            }
+            if let Some(m) = op.measurement {
+                out.push_str(&format!("  -> m{m}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_op(op: NativeOp, start: f64) -> TimedOp {
+        TimedOp {
+            op,
+            sites: vec![QSite::new(0, 1)],
+            qubits: vec![QubitId(0)],
+            start_us: start,
+            duration_us: op.duration_us(),
+            junction: None,
+            measurement: None,
+        }
+    }
+
+    #[test]
+    fn makespan_and_counts() {
+        let mut c = Circuit::new();
+        c.push(dummy_op(NativeOp::PrepareZ, 0.0));
+        c.push(dummy_op(NativeOp::ZPi2, 10.0));
+        c.push(dummy_op(NativeOp::MeasureZ, 13.0));
+        assert_eq!(c.len(), 3);
+        assert!((c.makespan_us() - 133.0).abs() < 1e-9);
+        assert_eq!(c.count_of(NativeOp::ZPi2), 1);
+        assert_eq!(c.count_of(NativeOp::ZZ), 0);
+        assert_eq!(c.zones_touched().len(), 1);
+    }
+
+    #[test]
+    fn extend_sequential_offsets_schedule_and_measurements() {
+        let mut a = Circuit::new();
+        a.push(dummy_op(NativeOp::PrepareZ, 0.0));
+        let m = a.push_measurement(MeasurementRecord {
+            index: 0,
+            qubit: QubitId(0),
+            site: QSite::new(0, 1),
+            start_us: 10.0,
+            label: "first".into(),
+        });
+        assert_eq!(m, 0);
+        let mut meas_op = dummy_op(NativeOp::MeasureZ, 10.0);
+        meas_op.measurement = Some(0);
+        a.push(meas_op);
+
+        let mut b = Circuit::new();
+        b.push(dummy_op(NativeOp::PrepareZ, 0.0));
+        b.push_measurement(MeasurementRecord {
+            index: 0,
+            qubit: QubitId(0),
+            site: QSite::new(0, 1),
+            start_us: 10.0,
+            label: "second".into(),
+        });
+        let mut meas_op = dummy_op(NativeOp::MeasureZ, 10.0);
+        meas_op.measurement = Some(0);
+        b.push(meas_op);
+
+        let before = a.makespan_us();
+        a.extend_sequential(&b);
+        assert_eq!(a.measurements().len(), 2);
+        assert_eq!(a.measurements()[1].index, 1);
+        assert_eq!(a.measurements()[1].label, "second");
+        assert_eq!(a.ops().last().unwrap().measurement, Some(1));
+        assert!(a.ops()[2].start_us >= before);
+    }
+
+    #[test]
+    fn listing_contains_mnemonics() {
+        let mut c = Circuit::new();
+        c.push(dummy_op(NativeOp::ZZ, 0.0));
+        let listing = c.render_listing();
+        assert!(listing.contains("ZZ"));
+        assert!(listing.contains("0.1"));
+    }
+}

@@ -1,0 +1,33 @@
+//! Trapped-ion hardware model: native gate set, literature-derived timings,
+//! time-resolved circuits, ASAP scheduling and resource accounting.
+//!
+//! This crate is the bottom layer of the TISCC stack (paper Secs. 3.2–3.4).
+//! It exposes:
+//!
+//! * [`NativeOp`] — the native trapped-ion gate set of paper Table 5/Fig. 5
+//!   (specialised Pauli rotations, `ZZ`, state preparation, measurement and
+//!   the `Move`/`Junction` transport primitives) together with their nominal
+//!   durations,
+//! * [`Circuit`] — a time-resolved hardware circuit: every emitted operation
+//!   carries the qsites it acts on, the ions involved and its start time,
+//! * [`HardwareModel`] — the builder that appends native operations with
+//!   ASAP (as-soon-as-possible) scheduling, accounts for parallelism,
+//!   resolves junction conflicts by serialising the conflicting hops, and
+//!   compiles composite gates (Hadamard, CNOT) into natives following the
+//!   Quantinuum H1 constructions,
+//! * [`ResourceReport`] — the space-time resource counters of paper Sec. 3.4,
+//! * [`validity`] — an independent replay checker for compiled circuits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod model;
+pub mod ops;
+pub mod resources;
+pub mod validity;
+
+pub use circuit::{Circuit, MeasurementRecord, TimedOp};
+pub use model::{HardwareModel, HwError};
+pub use ops::NativeOp;
+pub use resources::ResourceReport;

@@ -1,0 +1,445 @@
+//! The hardware model: compiles requested gates into scheduled native
+//! operations on the trapped-ion grid.
+//!
+//! `HardwareModel` mirrors the class of the same name in the paper
+//! (Appendix B.1): it "defines a set of native hardware operations and
+//! related parameters, compiles gates requested by `LogicalQubit` to the
+//! native gate set and adds native gates to a time-resolved hardware
+//! circuit". Scheduling is ASAP: every emitted operation starts as soon as
+//! all ions, zones and junctions it needs are free and the current barrier
+//! has passed. Junction conflicts are therefore resolved by serialising the
+//! conflicting hops, exactly as described in paper Sec. 3.3.
+
+use std::collections::HashMap;
+
+use tiscc_grid::{route_avoiding, GridError, GridManager, MoveStep, QSite, QubitId, SiteKind};
+
+use crate::circuit::{Circuit, MeasurementRecord, TimedOp};
+use crate::ops::NativeOp;
+
+/// Errors raised while compiling onto the hardware model.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HwError {
+    /// An occupancy or addressing error from the grid layer.
+    Grid(GridError),
+    /// A two-qubit gate was requested between ions that are not in adjacent
+    /// trapping zones.
+    NotAdjacent(QSite, QSite),
+    /// No route exists between the two zones (e.g. every path is blocked).
+    NoRoute(QSite, QSite),
+}
+
+impl From<GridError> for HwError {
+    fn from(e: GridError) -> Self {
+        HwError::Grid(e)
+    }
+}
+
+impl std::fmt::Display for HwError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HwError::Grid(e) => write!(f, "grid error: {e}"),
+            HwError::NotAdjacent(a, b) => {
+                write!(f, "two-qubit gate requested between non-adjacent zones {a} and {b}")
+            }
+            HwError::NoRoute(a, b) => write!(f, "no route from {a} to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for HwError {}
+
+/// Builder of time-resolved hardware circuits over a [`GridManager`].
+#[derive(Clone, Debug)]
+pub struct HardwareModel {
+    grid: GridManager,
+    circuit: Circuit,
+    site_busy: HashMap<QSite, f64>,
+    qubit_busy: HashMap<QubitId, f64>,
+    junction_busy: HashMap<QSite, f64>,
+    barrier_us: f64,
+}
+
+impl HardwareModel {
+    /// A model over a fresh grid of `unit_rows × unit_cols` repeating units.
+    pub fn new(unit_rows: u32, unit_cols: u32) -> Self {
+        HardwareModel {
+            grid: GridManager::new(unit_rows, unit_cols),
+            circuit: Circuit::new(),
+            site_busy: HashMap::new(),
+            qubit_busy: HashMap::new(),
+            junction_busy: HashMap::new(),
+            barrier_us: 0.0,
+        }
+    }
+
+    /// The grid manager (read access).
+    pub fn grid(&self) -> &GridManager {
+        &self.grid
+    }
+
+    /// The circuit compiled so far.
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Consumes the model and returns the compiled circuit.
+    pub fn into_circuit(self) -> Circuit {
+        self.circuit
+    }
+
+    /// Current makespan of the compiled circuit in microseconds.
+    pub fn now_us(&self) -> f64 {
+        self.circuit.makespan_us()
+    }
+
+    /// Loads a new ion at `site`.
+    pub fn place_qubit(&mut self, site: QSite) -> Result<QubitId, HwError> {
+        Ok(self.grid.place_qubit(site)?)
+    }
+
+    /// Removes an ion from the grid (its zone becomes reusable).
+    pub fn remove_qubit(&mut self, qubit: QubitId) -> Result<QSite, HwError> {
+        Ok(self.grid.remove_qubit(qubit)?)
+    }
+
+    /// Inserts a global barrier: every subsequently emitted operation starts
+    /// no earlier than the current makespan. Used between rounds of error
+    /// correction so that logical time-steps are cleanly separated.
+    pub fn barrier(&mut self) {
+        self.barrier_us = self.now_us();
+    }
+
+    /// The position of `qubit`, or an error if it is not on the grid.
+    pub fn position_of(&self, qubit: QubitId) -> Result<QSite, HwError> {
+        self.grid
+            .position_of(qubit)
+            .ok_or(HwError::Grid(GridError::UnknownQubit(qubit)))
+    }
+
+    fn ready_time(&self, qubits: &[QubitId], sites: &[QSite], junction: Option<QSite>) -> f64 {
+        let mut t = self.barrier_us;
+        for q in qubits {
+            t = t.max(*self.qubit_busy.get(q).unwrap_or(&0.0));
+        }
+        for s in sites {
+            t = t.max(*self.site_busy.get(s).unwrap_or(&0.0));
+        }
+        if let Some(j) = junction {
+            t = t.max(*self.junction_busy.get(&j).unwrap_or(&0.0));
+        }
+        t
+    }
+
+    fn emit(
+        &mut self,
+        op: NativeOp,
+        qubits: Vec<QubitId>,
+        sites: Vec<QSite>,
+        junction: Option<QSite>,
+        measurement: Option<usize>,
+    ) -> f64 {
+        let duration = op.duration_us();
+        let start = self.ready_time(&qubits, &sites, junction);
+        let end = start + duration;
+        for q in &qubits {
+            self.qubit_busy.insert(*q, end);
+        }
+        for s in &sites {
+            self.site_busy.insert(*s, end);
+        }
+        if let Some(j) = junction {
+            self.junction_busy.insert(j, end);
+        }
+        self.circuit.push(TimedOp {
+            op,
+            sites,
+            qubits,
+            start_us: start,
+            duration_us: duration,
+            junction,
+            measurement,
+        });
+        start
+    }
+
+    /// Applies a single-qubit native gate to the ion's current zone.
+    pub fn apply_1q(&mut self, op: NativeOp, qubit: QubitId) -> Result<(), HwError> {
+        debug_assert_eq!(op.arity(), 1, "apply_1q used with a two-site op");
+        let site = self.position_of(qubit)?;
+        self.emit(op, vec![qubit], vec![site], None, None);
+        Ok(())
+    }
+
+    /// Prepares the ion in |0⟩.
+    pub fn prepare_z(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::PrepareZ, qubit)
+    }
+
+    /// Prepares the ion in |+⟩ (`Prepare_Z` followed by a native Hadamard).
+    pub fn prepare_x(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.prepare_z(qubit)?;
+        self.hadamard(qubit)
+    }
+
+    /// Measures the ion in the Z basis; returns the measurement index.
+    pub fn measure_z(&mut self, qubit: QubitId, label: &str) -> Result<usize, HwError> {
+        let site = self.position_of(qubit)?;
+        let idx = self.circuit.push_measurement(MeasurementRecord {
+            index: 0,
+            qubit,
+            site,
+            start_us: 0.0,
+            label: label.to_string(),
+        });
+        let start = self.emit(NativeOp::MeasureZ, vec![qubit], vec![site], None, Some(idx));
+        // Patch the recorded start time now that the schedule is known.
+        if let Some(rec) = self.circuit.measurements().get(idx) {
+            let mut rec = rec.clone();
+            rec.start_us = start;
+            self.circuit.replace_measurement(idx, rec);
+        }
+        Ok(idx)
+    }
+
+    /// Measures the ion in the X basis (native Hadamard, then `Measure_Z`).
+    pub fn measure_x(&mut self, qubit: QubitId, label: &str) -> Result<usize, HwError> {
+        self.hadamard(qubit)?;
+        self.measure_z(qubit, label)
+    }
+
+    /// The Hadamard gate compiled to natives: `H ≅ Y_{π/4} · Z_{π/2}`
+    /// (apply `Z_{π/2}` first, then `Y_{π/4}`), following the Quantinuum H1
+    /// construction of single-qubit Cliffords from a Z rotation and one
+    /// X-Y-plane pulse.
+    pub fn hadamard(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::ZPi2, qubit)?;
+        self.apply_1q(NativeOp::YPi4, qubit)
+    }
+
+    /// Pauli X as the native `X_{π/2}` pulse (equal up to global phase).
+    pub fn pauli_x(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::XPi2, qubit)
+    }
+
+    /// Pauli Y as the native `Y_{π/2}` pulse.
+    pub fn pauli_y(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::YPi2, qubit)
+    }
+
+    /// Pauli Z as the native `Z_{π/2}` pulse.
+    pub fn pauli_z(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::ZPi2, qubit)
+    }
+
+    /// The S gate (`Z_{π/4}` up to global phase).
+    pub fn s_gate(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::ZPi4, qubit)
+    }
+
+    /// The S† gate.
+    pub fn s_dag(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::ZPi4Dag, qubit)
+    }
+
+    /// The T gate (`Z_{π/8}` up to global phase) — the only non-Clifford.
+    pub fn t_gate(&mut self, qubit: QubitId) -> Result<(), HwError> {
+        self.apply_1q(NativeOp::ZPi8, qubit)
+    }
+
+    /// Applies the native `(ZZ)_{π/4}` interaction between two ions, which
+    /// must sit in adjacent trapping zones.
+    pub fn apply_zz(&mut self, a: QubitId, b: QubitId) -> Result<(), HwError> {
+        let sa = self.position_of(a)?;
+        let sb = self.position_of(b)?;
+        if !self.are_adjacent_zones(sa, sb) {
+            return Err(HwError::NotAdjacent(sa, sb));
+        }
+        self.emit(NativeOp::ZZ, vec![a, b], vec![sa, sb], None, None);
+        Ok(())
+    }
+
+    /// CNOT compiled to natives following the H1 construction:
+    /// `CNOT(c,t) = H_t · [ (ZZ)_{π/4} · Z_{-π/4}(c) · Z_{-π/4}(t) ] · H_t`
+    /// (the bracketed factors are diagonal and mutually commuting). The two
+    /// ions must sit in adjacent zones.
+    pub fn cnot(&mut self, control: QubitId, target: QubitId) -> Result<(), HwError> {
+        self.hadamard(target)?;
+        self.apply_1q(NativeOp::ZPi4Dag, control)?;
+        self.apply_1q(NativeOp::ZPi4Dag, target)?;
+        self.apply_zz(control, target)?;
+        self.hadamard(target)
+    }
+
+    fn are_adjacent_zones(&self, a: QSite, b: QSite) -> bool {
+        self.grid.layout().neighbors(a).contains(&b)
+    }
+
+    /// Emits the transport operations for a pre-computed route and updates
+    /// ion positions step by step.
+    pub fn move_along(&mut self, qubit: QubitId, steps: &[MoveStep]) -> Result<(), HwError> {
+        for step in steps {
+            match *step {
+                MoveStep::Shuttle { from, to } => {
+                    self.grid.step_qubit(qubit, to)?;
+                    self.emit(NativeOp::Move, vec![qubit], vec![from, to], None, None);
+                }
+                MoveStep::JunctionHop { from, to, junction } => {
+                    self.grid.step_qubit(qubit, to)?;
+                    self.emit(NativeOp::JunctionMove, vec![qubit], vec![from, to], Some(junction), None);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Routes `qubit` to `dest`, avoiding every zone currently occupied by
+    /// another ion, and emits the transport operations.
+    pub fn route_and_move(&mut self, qubit: QubitId, dest: QSite) -> Result<(), HwError> {
+        let from = self.position_of(qubit)?;
+        if from == dest {
+            return Ok(());
+        }
+        let blocked: std::collections::HashSet<QSite> = self
+            .grid
+            .snapshot()
+            .into_iter()
+            .filter(|&(q, _)| q != qubit)
+            .map(|(_, s)| s)
+            .collect();
+        let steps = route_avoiding(self.grid.layout(), from, dest, &blocked)
+            .ok_or(HwError::NoRoute(from, dest))?;
+        self.move_along(qubit, &steps)
+    }
+
+    /// True if `site` is an operation or memory zone free of ions.
+    pub fn is_free_zone(&self, site: QSite) -> bool {
+        self.grid.is_free(site)
+            && matches!(
+                self.grid.layout().site_kind(site),
+                Some(SiteKind::Memory) | Some(SiteKind::Operation)
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_gates_are_scheduled_sequentially_per_ion() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        hw.apply_1q(NativeOp::XPi2, q).unwrap();
+        hw.apply_1q(NativeOp::ZPi2, q).unwrap();
+        let ops = hw.circuit().ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].start_us, 0.0);
+        assert_eq!(ops[1].start_us, 10.0);
+        assert_eq!(ops[2].start_us, 20.0);
+        assert!((hw.now_us() - 23.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_ions_run_in_parallel() {
+        let mut hw = HardwareModel::new(1, 2);
+        let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = hw.place_qubit(QSite::new(0, 5)).unwrap();
+        hw.prepare_z(a).unwrap();
+        hw.prepare_z(b).unwrap();
+        let ops = hw.circuit().ops();
+        assert_eq!(ops[0].start_us, 0.0);
+        assert_eq!(ops[1].start_us, 0.0, "ops on different ions/zones overlap in time");
+        assert!((hw.now_us() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn barrier_serialises_rounds() {
+        let mut hw = HardwareModel::new(1, 2);
+        let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = hw.place_qubit(QSite::new(0, 5)).unwrap();
+        hw.prepare_z(a).unwrap();
+        hw.barrier();
+        hw.prepare_z(b).unwrap();
+        let ops = hw.circuit().ops();
+        assert_eq!(ops[1].start_us, 10.0);
+    }
+
+    #[test]
+    fn zz_requires_adjacency() {
+        let mut hw = HardwareModel::new(1, 2);
+        let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = hw.place_qubit(QSite::new(0, 5)).unwrap();
+        assert!(matches!(hw.apply_zz(a, b), Err(HwError::NotAdjacent(_, _))));
+        // After routing b next to a, the gate succeeds.
+        hw.route_and_move(b, QSite::new(0, 2)).unwrap();
+        hw.apply_zz(a, b).unwrap();
+        assert_eq!(hw.circuit().count_of(NativeOp::ZZ), 1);
+    }
+
+    #[test]
+    fn junction_conflicts_are_serialised() {
+        let mut hw = HardwareModel::new(2, 2);
+        // Two ions that both need to hop through the junction at (0,4).
+        let a = hw.place_qubit(QSite::new(0, 3)).unwrap();
+        let b = hw.place_qubit(QSite::new(1, 4)).unwrap();
+        hw.move_along(
+            a,
+            &[MoveStep::JunctionHop { from: QSite::new(0, 3), to: QSite::new(0, 5), junction: QSite::new(0, 4) }],
+        )
+        .unwrap();
+        hw.move_along(
+            b,
+            &[MoveStep::JunctionHop { from: QSite::new(1, 4), to: QSite::new(0, 3), junction: QSite::new(0, 4) }],
+        )
+        .unwrap();
+        let ops = hw.circuit().ops();
+        assert_eq!(ops.len(), 2);
+        // The second hop cannot start before the first releases the junction.
+        assert!(ops[1].start_us >= ops[0].end_us() - 1e-9);
+    }
+
+    #[test]
+    fn measurement_records_are_labelled_and_timed() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        let idx = hw.measure_z(q, "data (0,0) final").unwrap();
+        assert_eq!(idx, 0);
+        let rec = &hw.circuit().measurements()[0];
+        assert_eq!(rec.label, "data (0,0) final");
+        assert!((rec.start_us - 10.0).abs() < 1e-9);
+        assert_eq!(rec.qubit, q);
+    }
+
+    #[test]
+    fn cnot_expands_to_expected_native_sequence() {
+        let mut hw = HardwareModel::new(1, 1);
+        let c = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let t = hw.place_qubit(QSite::new(0, 2)).unwrap();
+        hw.cnot(c, t).unwrap();
+        let kinds: Vec<NativeOp> = hw.circuit().ops().iter().map(|o| o.op).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                NativeOp::ZPi2,
+                NativeOp::YPi4,
+                NativeOp::ZPi4Dag,
+                NativeOp::ZPi4Dag,
+                NativeOp::ZZ,
+                NativeOp::ZPi2,
+                NativeOp::YPi4,
+            ]
+        );
+    }
+
+    #[test]
+    fn route_and_move_emits_transport_and_updates_position() {
+        let mut hw = HardwareModel::new(2, 2);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.route_and_move(q, QSite::new(1, 4)).unwrap();
+        assert_eq!(hw.grid().position_of(q), Some(QSite::new(1, 4)));
+        assert!(hw.circuit().count_of(NativeOp::JunctionMove) >= 1);
+    }
+}

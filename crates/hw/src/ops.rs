@@ -1,0 +1,184 @@
+//! The native trapped-ion gate set and its nominal durations.
+//!
+//! The paper (Table 5/Fig. 5) specialises the Quantinuum H1 native set to the
+//! rotations needed for Clifford+T surface-code circuits:
+//! `P_θ = e^{-iPθ}` for `P ∈ {X, Y, Z}` and `θ ∈ {π/2, ±π/4, ±π/8}`, the
+//! entangling `(ZZ)_{π/4}` interaction, `Prepare_Z`, `Measure_Z`, and the
+//! `Move`/`Junction` transport operations.
+
+/// One native hardware operation.
+///
+/// Durations are literature-derived (paper Sec. 3.2): transport at 80 m/s
+/// between zones and 4 m/s through junctions over a 420 µm pitch; the
+/// `(ZZ)_{π/4}` time is dominated by the implied split/merge/cool steps
+/// (≈ 2 ms).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NativeOp {
+    /// Prepare an ion in |0⟩ (10 µs).
+    PrepareZ,
+    /// Measure an ion in the Z basis (120 µs).
+    MeasureZ,
+    /// `X_{π/2} = e^{-iπX/2}` — equals Pauli X up to global phase (10 µs).
+    XPi2,
+    /// `X_{π/4} = e^{-iπX/4}` — the √X gate up to phase (10 µs).
+    XPi4,
+    /// `X_{-π/4}` — inverse √X (10 µs).
+    XPi4Dag,
+    /// `Y_{π/2}` — Pauli Y up to phase (10 µs).
+    YPi2,
+    /// `Y_{π/4}` — √Y up to phase (10 µs).
+    YPi4,
+    /// `Y_{-π/4}` — inverse √Y (10 µs).
+    YPi4Dag,
+    /// `Z_{π/2}` — Pauli Z up to phase (3 µs).
+    ZPi2,
+    /// `Z_{π/4}` — the S gate up to phase (3 µs).
+    ZPi4,
+    /// `Z_{-π/4}` — S† up to phase (3 µs).
+    ZPi4Dag,
+    /// `Z_{π/8}` — the T gate up to phase (3 µs). The only non-Clifford.
+    ZPi8,
+    /// `Z_{-π/8}` — T† up to phase (3 µs).
+    ZPi8Dag,
+    /// `(ZZ)_{π/4} = e^{-iπ Z⊗Z/4}` between two adjacent zones (2000 µs).
+    ZZ,
+    /// Shuttle between two adjacent trapping zones of one segment (5.25 µs).
+    Move,
+    /// Transport through a junction, compiled as `Move zoneA zoneB` and
+    /// charged two junction traversals (2 × 105 µs).
+    JunctionMove,
+}
+
+impl NativeOp {
+    /// Nominal duration in microseconds (paper Table 5/Fig. 5).
+    pub fn duration_us(self) -> f64 {
+        match self {
+            NativeOp::PrepareZ => 10.0,
+            NativeOp::MeasureZ => 120.0,
+            NativeOp::XPi2 | NativeOp::XPi4 | NativeOp::XPi4Dag => 10.0,
+            NativeOp::YPi2 | NativeOp::YPi4 | NativeOp::YPi4Dag => 10.0,
+            NativeOp::ZPi2
+            | NativeOp::ZPi4
+            | NativeOp::ZPi4Dag
+            | NativeOp::ZPi8
+            | NativeOp::ZPi8Dag => 3.0,
+            NativeOp::ZZ => 2000.0,
+            NativeOp::Move => 5.25,
+            NativeOp::JunctionMove => 210.0,
+        }
+    }
+
+    /// Number of qsites the operation addresses (2 for `ZZ` and transport,
+    /// 1 otherwise).
+    pub fn arity(self) -> usize {
+        match self {
+            NativeOp::ZZ | NativeOp::Move | NativeOp::JunctionMove => 2,
+            _ => 1,
+        }
+    }
+
+    /// True for operations that transport ions rather than act on their
+    /// internal state.
+    pub fn is_transport(self) -> bool {
+        matches!(self, NativeOp::Move | NativeOp::JunctionMove)
+    }
+
+    /// True for gates (including preparation/measurement) as opposed to
+    /// transport.
+    pub fn is_gate(self) -> bool {
+        !self.is_transport()
+    }
+
+    /// True if the operation is a Clifford-group unitary, preparation or
+    /// measurement; only `Z_{±π/8}` (the T gate) is non-Clifford.
+    pub fn is_clifford(self) -> bool {
+        !matches!(self, NativeOp::ZPi8 | NativeOp::ZPi8Dag)
+    }
+
+    /// The mnemonic used in textual circuit listings (mirrors the paper's
+    /// instruction names).
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            NativeOp::PrepareZ => "Prepare_Z",
+            NativeOp::MeasureZ => "Measure_Z",
+            NativeOp::XPi2 => "X_pi/2",
+            NativeOp::XPi4 => "X_pi/4",
+            NativeOp::XPi4Dag => "X_-pi/4",
+            NativeOp::YPi2 => "Y_pi/2",
+            NativeOp::YPi4 => "Y_pi/4",
+            NativeOp::YPi4Dag => "Y_-pi/4",
+            NativeOp::ZPi2 => "Z_pi/2",
+            NativeOp::ZPi4 => "Z_pi/4",
+            NativeOp::ZPi4Dag => "Z_-pi/4",
+            NativeOp::ZPi8 => "Z_pi/8",
+            NativeOp::ZPi8Dag => "Z_-pi/8",
+            NativeOp::ZZ => "ZZ",
+            NativeOp::Move => "Move",
+            NativeOp::JunctionMove => "Junction",
+        }
+    }
+
+    /// Every native operation, in the order of paper Table 5.
+    pub fn all() -> &'static [NativeOp] {
+        &[
+            NativeOp::PrepareZ,
+            NativeOp::MeasureZ,
+            NativeOp::XPi2,
+            NativeOp::XPi4,
+            NativeOp::XPi4Dag,
+            NativeOp::YPi2,
+            NativeOp::YPi4,
+            NativeOp::YPi4Dag,
+            NativeOp::ZPi2,
+            NativeOp::ZPi4,
+            NativeOp::ZPi4Dag,
+            NativeOp::ZPi8,
+            NativeOp::ZPi8Dag,
+            NativeOp::ZZ,
+            NativeOp::Move,
+            NativeOp::JunctionMove,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_match_paper_table5() {
+        assert_eq!(NativeOp::PrepareZ.duration_us(), 10.0);
+        assert_eq!(NativeOp::MeasureZ.duration_us(), 120.0);
+        assert_eq!(NativeOp::XPi2.duration_us(), 10.0);
+        assert_eq!(NativeOp::YPi4.duration_us(), 10.0);
+        assert_eq!(NativeOp::ZPi2.duration_us(), 3.0);
+        assert_eq!(NativeOp::ZPi8.duration_us(), 3.0);
+        assert_eq!(NativeOp::ZZ.duration_us(), 2000.0);
+        assert_eq!(NativeOp::Move.duration_us(), 5.25);
+        // One junction traversal is 105 µs; a compiled junction move is two.
+        assert_eq!(NativeOp::JunctionMove.duration_us(), 210.0);
+    }
+
+    #[test]
+    fn arity_and_classification() {
+        assert_eq!(NativeOp::ZZ.arity(), 2);
+        assert_eq!(NativeOp::Move.arity(), 2);
+        assert_eq!(NativeOp::PrepareZ.arity(), 1);
+        assert!(NativeOp::Move.is_transport());
+        assert!(!NativeOp::Move.is_gate());
+        assert!(NativeOp::ZZ.is_gate());
+        assert!(NativeOp::ZPi4.is_clifford());
+        assert!(!NativeOp::ZPi8.is_clifford());
+        assert!(!NativeOp::ZPi8Dag.is_clifford());
+    }
+
+    #[test]
+    fn all_lists_every_variant_once() {
+        let all = NativeOp::all();
+        assert_eq!(all.len(), 16);
+        let mut set = std::collections::HashSet::new();
+        for op in all {
+            assert!(set.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Space-time resource accounting (paper Sec. 3.4).
+//!
+//! Given a compiled [`Circuit`] and the [`Layout`] it was compiled for, the
+//! [`ResourceReport`] computes the quantities the paper reports for every
+//! surface-code patch operation: execution time, grid area, space-time
+//! volume, number of trapping zones, trapping-zone-seconds and *active*
+//! trapping-zone-seconds, plus native-operation counts.
+
+use std::collections::BTreeMap;
+
+use tiscc_grid::{Layout, ZONE_WIDTH_M};
+
+use crate::circuit::Circuit;
+use crate::ops::NativeOp;
+
+/// Space-time resources consumed by one compiled hardware circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResourceReport {
+    /// Total wall-clock execution time in seconds.
+    pub execution_time_s: f64,
+    /// Area of the bounding box of all zones touched, in square metres.
+    pub area_m2: f64,
+    /// `execution_time_s * area_m2` (paper: space-time volume, s·m²).
+    pub spacetime_volume_s_m2: f64,
+    /// Number of distinct trapping zones touched.
+    pub trapping_zones: usize,
+    /// Number of distinct junctions traversed.
+    pub junctions: usize,
+    /// `trapping_zones * execution_time_s`: zone-seconds reserved.
+    pub zone_seconds: f64,
+    /// Σ over operations of `duration * zones involved`: zone-seconds during
+    /// which zones are actively performing an operation.
+    pub active_zone_seconds: f64,
+    /// Count of every native operation kind appearing in the circuit.
+    pub op_counts: BTreeMap<&'static str, usize>,
+    /// Total number of native operations.
+    pub total_ops: usize,
+    /// Total number of measurements.
+    pub measurements: usize,
+}
+
+impl ResourceReport {
+    /// Computes the report for `circuit` compiled on `layout`.
+    pub fn from_circuit(circuit: &Circuit, layout: &Layout) -> Self {
+        let execution_time_s = circuit.makespan_us() * 1e-6;
+        let zones = circuit.zones_touched();
+        let junctions = circuit.junctions_touched();
+
+        // Bounding box of every fine coordinate touched (zones and junctions),
+        // converted to physical area: each fine step is one zone pitch.
+        let area_m2 = {
+            let all: Vec<_> = zones.iter().copied().chain(junctions.iter().copied()).collect();
+            if all.is_empty() {
+                0.0
+            } else {
+                let rmin = all.iter().map(|s| s.row).min().unwrap();
+                let rmax = all.iter().map(|s| s.row).max().unwrap();
+                let cmin = all.iter().map(|s| s.col).min().unwrap();
+                let cmax = all.iter().map(|s| s.col).max().unwrap();
+                let height = (rmax - rmin + 1) as f64 * ZONE_WIDTH_M;
+                let width = (cmax - cmin + 1) as f64 * ZONE_WIDTH_M;
+                height * width
+            }
+        };
+
+        let mut op_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut active_zone_seconds = 0.0;
+        for op in circuit.ops() {
+            *op_counts.entry(op.op.mnemonic()).or_insert(0) += 1;
+            let zones_involved = op.sites.len() + usize::from(op.junction.is_some());
+            active_zone_seconds += op.duration_us * 1e-6 * zones_involved as f64;
+        }
+
+        // Sanity: the circuit must fit on the layout it claims to use.
+        debug_assert!(zones.iter().all(|&z| layout.contains(z)));
+
+        ResourceReport {
+            execution_time_s,
+            area_m2,
+            spacetime_volume_s_m2: execution_time_s * area_m2,
+            trapping_zones: zones.len(),
+            junctions: junctions.len(),
+            zone_seconds: zones.len() as f64 * execution_time_s,
+            active_zone_seconds,
+            op_counts,
+            total_ops: circuit.len(),
+            measurements: circuit
+                .measurements()
+                .len()
+                .max(circuit.count_of(NativeOp::MeasureZ)),
+        }
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("execution time      : {:.6} s\n", self.execution_time_s));
+        out.push_str(&format!("grid area           : {:.3e} m^2\n", self.area_m2));
+        out.push_str(&format!(
+            "space-time volume   : {:.3e} s*m^2\n",
+            self.spacetime_volume_s_m2
+        ));
+        out.push_str(&format!("trapping zones      : {}\n", self.trapping_zones));
+        out.push_str(&format!("junctions traversed : {}\n", self.junctions));
+        out.push_str(&format!("zone-seconds        : {:.6}\n", self.zone_seconds));
+        out.push_str(&format!("active zone-seconds : {:.6}\n", self.active_zone_seconds));
+        out.push_str(&format!("native operations   : {}\n", self.total_ops));
+        out.push_str(&format!("measurements        : {}\n", self.measurements));
+        for (name, count) in &self.op_counts {
+            out.push_str(&format!("  {name:<10} x {count}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::HardwareModel;
+    use tiscc_grid::QSite;
+
+    #[test]
+    fn report_counts_basic_quantities() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        hw.apply_1q(NativeOp::XPi2, q).unwrap();
+        hw.measure_z(q, "final").unwrap();
+        let layout = hw.grid().layout().clone();
+        let report = ResourceReport::from_circuit(hw.circuit(), &layout);
+
+        assert!((report.execution_time_s - 140e-6).abs() < 1e-12);
+        assert_eq!(report.trapping_zones, 1);
+        assert_eq!(report.junctions, 0);
+        assert_eq!(report.total_ops, 3);
+        assert_eq!(report.measurements, 1);
+        assert_eq!(report.op_counts["Prepare_Z"], 1);
+        assert_eq!(report.op_counts["Measure_Z"], 1);
+        // One zone touched -> bounding box is a single pitch square.
+        assert!((report.area_m2 - ZONE_WIDTH_M * ZONE_WIDTH_M).abs() < 1e-15);
+        // All ops involve one zone, so active zone-seconds equals total busy time.
+        assert!((report.active_zone_seconds - 140e-6).abs() < 1e-12);
+        assert!((report.zone_seconds - 140e-6).abs() < 1e-12);
+        assert!((report.spacetime_volume_s_m2 - report.execution_time_s * report.area_m2).abs() < 1e-18);
+    }
+
+    #[test]
+    fn transport_enlarges_area_and_counts_junctions() {
+        let mut hw = HardwareModel::new(2, 2);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.route_and_move(q, QSite::new(4, 1)).unwrap();
+        let layout = hw.grid().layout().clone();
+        let report = ResourceReport::from_circuit(hw.circuit(), &layout);
+        assert!(report.junctions >= 1);
+        assert!(report.trapping_zones >= 2);
+        assert!(report.area_m2 > ZONE_WIDTH_M * ZONE_WIDTH_M);
+    }
+
+    #[test]
+    fn render_mentions_every_counter() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        let layout = hw.grid().layout().clone();
+        let report = ResourceReport::from_circuit(hw.circuit(), &layout);
+        let text = report.render();
+        for needle in [
+            "execution time",
+            "grid area",
+            "space-time volume",
+            "trapping zones",
+            "zone-seconds",
+            "active zone-seconds",
+            "Prepare_Z",
+        ] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Independent validity checking of compiled circuits.
+//!
+//! The paper (Sec. 1, Sec. 3.3) states that TISCC "ensures the validity of a
+//! compiled hardware circuit by simulating ion movements on the grid and
+//! resolving junction conflicts". The [`HardwareModel`](crate::HardwareModel)
+//! enforces those rules *constructively* while emitting; this module replays
+//! a finished circuit and re-checks them independently, so a bug in the
+//! scheduler cannot silently produce an invalid circuit.
+//!
+//! Checked invariants:
+//! 1. every transport step moves an ion between zones that are adjacent or
+//!    connected through exactly one junction, and the destination zone is
+//!    empty at that point of the stream;
+//! 2. no two operations overlap in time on the same trapping zone;
+//! 3. no two junction hops overlap in time on the same junction;
+//! 4. gates address the zone their ion actually occupies at that point.
+
+use std::collections::HashMap;
+
+use tiscc_grid::{Layout, QSite, QubitId, SiteKind};
+
+use crate::circuit::Circuit;
+use crate::ops::NativeOp;
+
+/// A violation found while replaying a circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidityError {
+    /// Two timed operations overlap on the same zone.
+    ZoneTimeConflict {
+        /// The contended zone.
+        site: QSite,
+        /// Start time of the later operation (µs).
+        at_us: f64,
+    },
+    /// Two junction hops overlap on the same junction.
+    JunctionTimeConflict {
+        /// The contended junction.
+        junction: QSite,
+        /// Start time of the later hop (µs).
+        at_us: f64,
+    },
+    /// A transport step between zones that are not connected by a single
+    /// shuttle or junction hop.
+    IllegalStep(QSite, QSite),
+    /// A transport step into a zone that already holds another ion.
+    DestinationOccupied(QSite, QubitId),
+    /// A gate addressed to a zone that does not hold the ion it names.
+    WrongSite {
+        /// The ion named by the operation.
+        qubit: QubitId,
+        /// The zone the operation addresses.
+        claimed: QSite,
+        /// The zone the ion actually occupies (None if not on the grid).
+        actual: Option<QSite>,
+    },
+    /// A named ion never appeared in the initial placement.
+    UnknownQubit(QubitId),
+}
+
+impl std::fmt::Display for ValidityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidityError::ZoneTimeConflict { site, at_us } => {
+                write!(f, "zone {site} used by two overlapping operations at t={at_us}us")
+            }
+            ValidityError::JunctionTimeConflict { junction, at_us } => {
+                write!(f, "junction {junction} traversed by two overlapping hops at t={at_us}us")
+            }
+            ValidityError::IllegalStep(a, b) => write!(f, "illegal transport step {a} -> {b}"),
+            ValidityError::DestinationOccupied(s, q) => {
+                write!(f, "transport into occupied zone {s} (held by {q:?})")
+            }
+            ValidityError::WrongSite { qubit, claimed, actual } => write!(
+                f,
+                "operation addresses zone {claimed} for {qubit:?}, which is at {actual:?}"
+            ),
+            ValidityError::UnknownQubit(q) => write!(f, "operation names unknown qubit {q:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ValidityError {}
+
+/// Replays `circuit` against `layout`, starting from `initial_positions`
+/// (the grid snapshot taken *before* compilation began), and returns the
+/// first violation found, or `Ok(())`.
+pub fn check_circuit(
+    layout: &Layout,
+    initial_positions: &[(QubitId, QSite)],
+    circuit: &Circuit,
+) -> Result<(), ValidityError> {
+    let mut pos: HashMap<QubitId, QSite> = initial_positions.iter().copied().collect();
+    let mut occ: HashMap<QSite, QubitId> = initial_positions.iter().map(|&(q, s)| (s, q)).collect();
+
+    // --- stream-order checks (movement legality, gate addressing) ---
+    for op in circuit.ops() {
+        match op.op {
+            NativeOp::Move | NativeOp::JunctionMove => {
+                let q = op.qubits[0];
+                let (from, to) = (op.sites[0], op.sites[1]);
+                let cur = *pos.get(&q).ok_or(ValidityError::UnknownQubit(q))?;
+                if cur != from {
+                    return Err(ValidityError::WrongSite { qubit: q, claimed: from, actual: Some(cur) });
+                }
+                let legal = if op.op == NativeOp::Move {
+                    layout.neighbors(from).contains(&to)
+                } else {
+                    // Junction hop: both zones adjacent to the recorded junction.
+                    match op.junction {
+                        Some(j) => {
+                            layout.site_kind(j) == Some(SiteKind::Junction)
+                                && layout.neighbors(j).contains(&from)
+                                && layout.neighbors(j).contains(&to)
+                        }
+                        None => false,
+                    }
+                };
+                if !legal {
+                    return Err(ValidityError::IllegalStep(from, to));
+                }
+                if let Some(&other) = occ.get(&to) {
+                    if other != q {
+                        return Err(ValidityError::DestinationOccupied(to, other));
+                    }
+                }
+                occ.remove(&from);
+                occ.insert(to, q);
+                pos.insert(q, to);
+            }
+            _ => {
+                for (&q, &s) in op.qubits.iter().zip(op.sites.iter()) {
+                    match pos.get(&q) {
+                        None => return Err(ValidityError::UnknownQubit(q)),
+                        Some(&actual) if actual != s => {
+                            return Err(ValidityError::WrongSite { qubit: q, claimed: s, actual: Some(actual) })
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // --- temporal checks (zone and junction exclusivity) ---
+    let mut zone_intervals: HashMap<QSite, Vec<(f64, f64)>> = HashMap::new();
+    let mut junction_intervals: HashMap<QSite, Vec<(f64, f64)>> = HashMap::new();
+    for op in circuit.ops() {
+        for &s in &op.sites {
+            zone_intervals.entry(s).or_default().push((op.start_us, op.end_us()));
+        }
+        if let Some(j) = op.junction {
+            junction_intervals.entry(j).or_default().push((op.start_us, op.end_us()));
+        }
+    }
+    const EPS: f64 = 1e-9;
+    for (site, mut intervals) in zone_intervals {
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 - EPS {
+                return Err(ValidityError::ZoneTimeConflict { site, at_us: w[1].0 });
+            }
+        }
+    }
+    for (junction, mut intervals) in junction_intervals {
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        for w in intervals.windows(2) {
+            if w[1].0 < w[0].1 - EPS {
+                return Err(ValidityError::JunctionTimeConflict { junction, at_us: w[1].0 });
+            }
+        }
+    }
+
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::HardwareModel;
+
+    #[test]
+    fn scheduler_output_passes_validation() {
+        let mut hw = HardwareModel::new(2, 2);
+        let initial: Vec<_> = {
+            let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+            let b = hw.place_qubit(QSite::new(1, 0)).unwrap();
+            let snapshot = hw.grid().snapshot();
+            hw.prepare_z(a).unwrap();
+            hw.prepare_z(b).unwrap();
+            hw.route_and_move(b, QSite::new(0, 2)).unwrap();
+            hw.apply_zz(a, b).unwrap();
+            hw.measure_z(b, "syndrome").unwrap();
+            snapshot
+        };
+        let layout = hw.grid().layout().clone();
+        check_circuit(&layout, &initial, hw.circuit()).expect("valid circuit");
+    }
+
+    #[test]
+    fn hand_built_conflicting_circuit_is_rejected() {
+        use crate::circuit::TimedOp;
+        let layout = Layout::new(1, 1);
+        let q0 = QubitId(0);
+        let q1 = QubitId(1);
+        let site = QSite::new(0, 1);
+        let other = QSite::new(0, 2);
+        let mut circuit = Circuit::new();
+        // Two gates overlapping in time on the same zone.
+        circuit.push(TimedOp {
+            op: NativeOp::PrepareZ,
+            sites: vec![site],
+            qubits: vec![q0],
+            start_us: 0.0,
+            duration_us: 10.0,
+            junction: None,
+            measurement: None,
+        });
+        circuit.push(TimedOp {
+            op: NativeOp::XPi2,
+            sites: vec![site],
+            qubits: vec![q0],
+            start_us: 5.0,
+            duration_us: 10.0,
+            junction: None,
+            measurement: None,
+        });
+        let err = check_circuit(&layout, &[(q0, site), (q1, other)], &circuit).unwrap_err();
+        assert!(matches!(err, ValidityError::ZoneTimeConflict { .. }));
+    }
+
+    #[test]
+    fn wrong_site_addressing_is_rejected() {
+        use crate::circuit::TimedOp;
+        let layout = Layout::new(1, 1);
+        let q0 = QubitId(0);
+        let mut circuit = Circuit::new();
+        circuit.push(TimedOp {
+            op: NativeOp::PrepareZ,
+            sites: vec![QSite::new(0, 2)],
+            qubits: vec![q0],
+            start_us: 0.0,
+            duration_us: 10.0,
+            junction: None,
+            measurement: None,
+        });
+        let err = check_circuit(&layout, &[(q0, QSite::new(0, 1))], &circuit).unwrap_err();
+        assert!(matches!(err, ValidityError::WrongSite { .. }));
+    }
+
+    #[test]
+    fn illegal_transport_step_is_rejected() {
+        use crate::circuit::TimedOp;
+        let layout = Layout::new(1, 1);
+        let q0 = QubitId(0);
+        let mut circuit = Circuit::new();
+        circuit.push(TimedOp {
+            op: NativeOp::Move,
+            sites: vec![QSite::new(0, 1), QSite::new(0, 3)],
+            qubits: vec![q0],
+            start_us: 0.0,
+            duration_us: 5.25,
+            junction: None,
+            measurement: None,
+        });
+        let err = check_circuit(&layout, &[(q0, QSite::new(0, 1))], &circuit).unwrap_err();
+        assert!(matches!(err, ValidityError::IllegalStep(_, _)));
+    }
+}

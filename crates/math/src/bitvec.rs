@@ -1,0 +1,170 @@
+//! A packed, fixed-length bit vector over GF(2).
+//!
+//! Used as the row type of [`crate::F2Matrix`] and as the X/Z component
+//! vectors of [`crate::Pauli`]. Words are 64-bit; all operations are `O(n/64)`.
+
+/// A fixed-length vector of bits packed into `u64` words.
+///
+/// The length is set at construction and never changes; all binary
+/// operations require operands of equal length and panic otherwise (length
+/// mismatches are always programming errors in this codebase).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit vector of length `len`.
+    pub fn zeros(len: usize) -> Self {
+        BitVec {
+            len,
+            words: vec![0u64; len.div_ceil(64)],
+        }
+    }
+
+    /// Length in bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the vector has zero length.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    ///
+    /// # Panics
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        let mask = 1u64 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Flips bit `i`.
+    #[inline]
+    pub fn flip(&mut self, i: usize) {
+        assert!(i < self.len, "bit index {i} out of range {}", self.len);
+        self.words[i / 64] ^= 1u64 << (i % 64);
+    }
+
+    /// XOR-accumulates `other` into `self` (vector addition over GF(2)).
+    pub fn xor_assign(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a ^= *b;
+        }
+    }
+
+    /// Bitwise AND popcount with `other`, reduced mod 2 (the GF(2) inner
+    /// product). This is the quantity that decides Pauli commutation.
+    pub fn dot(&self, other: &BitVec) -> bool {
+        assert_eq!(self.len, other.len, "BitVec length mismatch");
+        let mut acc = 0u32;
+        for (a, b) in self.words.iter().zip(other.words.iter()) {
+            acc ^= (a & b).count_ones() & 1;
+        }
+        acc & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True if no bit is set.
+    pub fn is_zero(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Index of the lowest set bit, if any.
+    pub fn first_one(&self) -> Option<usize> {
+        for (wi, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                let idx = wi * 64 + w.trailing_zeros() as usize;
+                return (idx < self.len).then_some(idx);
+            }
+        }
+        None
+    }
+
+    /// Iterator over the indices of set bits, in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.len).filter(move |&i| self.get(i))
+    }
+}
+
+impl std::fmt::Debug for BitVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for i in 0..self.len {
+            write!(f, "{}", u8::from(self.get(i)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut v = BitVec::zeros(130);
+        v.set(0, true);
+        v.set(64, true);
+        v.set(129, true);
+        assert!(v.get(0) && v.get(64) && v.get(129));
+        assert!(!v.get(1) && !v.get(63) && !v.get(128));
+        assert_eq!(v.count_ones(), 3);
+        v.set(64, false);
+        assert_eq!(v.count_ones(), 2);
+    }
+
+    #[test]
+    fn xor_and_dot() {
+        let mut a = BitVec::zeros(70);
+        let mut b = BitVec::zeros(70);
+        a.set(3, true);
+        a.set(65, true);
+        b.set(3, true);
+        b.set(10, true);
+        assert!(a.dot(&b)); // overlap only at bit 3 -> odd
+        a.xor_assign(&b);
+        assert!(!a.get(3));
+        assert!(a.get(10) && a.get(65));
+    }
+
+    #[test]
+    fn first_one_and_iter() {
+        let mut v = BitVec::zeros(100);
+        assert_eq!(v.first_one(), None);
+        v.set(77, true);
+        v.set(12, true);
+        assert_eq!(v.first_one(), Some(12));
+        assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![12, 77]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        let v = BitVec::zeros(10);
+        v.get(10);
+    }
+}

@@ -1,0 +1,184 @@
+//! Dense GF(2) matrices with row reduction, rank and solving.
+//!
+//! The surface-code compiler uses an `F2Matrix` as the symplectic
+//! parity-check matrix of a patch (one row per stabilizer, columns
+//! `[X-part | Z-part]`), and the simulator uses one to decide whether a Pauli
+//! operator lies in the row space of a stabilizer group (and with which
+//! combination, so the sign can be recovered).
+
+use crate::BitVec;
+
+/// A dense matrix over GF(2), stored as a vector of packed rows.
+#[derive(Clone, Debug)]
+pub struct F2Matrix {
+    cols: usize,
+    rows: Vec<BitVec>,
+}
+
+impl F2Matrix {
+    /// Creates an empty matrix with `cols` columns and no rows.
+    pub fn new(cols: usize) -> Self {
+        F2Matrix { cols, rows: Vec::new() }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row length differs from the column count.
+    pub fn push_row(&mut self, row: BitVec) {
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        self.rows.push(row);
+    }
+
+    /// Borrow of row `i`.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Iterator over rows.
+    pub fn rows(&self) -> impl Iterator<Item = &BitVec> {
+        self.rows.iter()
+    }
+
+    /// Entry at (`r`, `c`).
+    pub fn get(&self, r: usize, c: usize) -> bool {
+        self.rows[r].get(c)
+    }
+
+    /// Rank of the matrix (number of pivots after Gaussian elimination).
+    pub fn rank(&self) -> usize {
+        let mut work: Vec<BitVec> = self.rows.clone();
+        let mut rank = 0usize;
+        for col in 0..self.cols {
+            // Find a pivot row at or below `rank` with a 1 in `col`.
+            let Some(pivot) = (rank..work.len()).find(|&r| work[r].get(col)) else {
+                continue;
+            };
+            work.swap(rank, pivot);
+            let pivot_row = work[rank].clone();
+            for (r, row) in work.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&pivot_row);
+                }
+            }
+            rank += 1;
+            if rank == work.len() {
+                break;
+            }
+        }
+        rank
+    }
+
+    /// Solves `x^T * M = target` for `x` (i.e. expresses `target` as a GF(2)
+    /// combination of the rows of the matrix). Returns the indicator vector
+    /// of which rows participate, or `None` if `target` is not in the row
+    /// space.
+    ///
+    /// This is how the simulator recovers the *sign* of a Pauli that lies in
+    /// a stabilizer group: first find which generators multiply to it, then
+    /// re-multiply those generators with phase tracking.
+    pub fn solve_combination(&self, target: &BitVec) -> Option<Vec<usize>> {
+        assert_eq!(target.len(), self.cols, "target length mismatch");
+        // Augment each working row with an identity tag so that after
+        // elimination we still know which original rows were combined.
+        let n = self.rows.len();
+        let mut work: Vec<(BitVec, BitVec)> = self
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let mut tag = BitVec::zeros(n);
+                tag.set(i, true);
+                (r.clone(), tag)
+            })
+            .collect();
+
+        let mut acc = target.clone();
+        let mut acc_tag = BitVec::zeros(n);
+        let mut rank = 0usize;
+        for col in 0..self.cols {
+            let Some(pivot) = (rank..work.len()).find(|&r| work[r].0.get(col)) else {
+                continue;
+            };
+            work.swap(rank, pivot);
+            let (prow, ptag) = (work[rank].0.clone(), work[rank].1.clone());
+            for (r, (row, tag)) in work.iter_mut().enumerate() {
+                if r != rank && row.get(col) {
+                    row.xor_assign(&prow);
+                    tag.xor_assign(&ptag);
+                }
+            }
+            if acc.get(col) {
+                acc.xor_assign(&prow);
+                acc_tag.xor_assign(&ptag);
+            }
+            rank += 1;
+            if rank == work.len() {
+                break;
+            }
+        }
+        if acc.is_zero() {
+            Some(acc_tag.iter_ones().collect())
+        } else {
+            None
+        }
+    }
+
+    /// True if `target` lies in the row space of the matrix.
+    pub fn contains_in_rowspace(&self, target: &BitVec) -> bool {
+        self.solve_combination(target).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(bits: &[usize], len: usize) -> BitVec {
+        let mut r = BitVec::zeros(len);
+        for &b in bits {
+            r.set(b, true);
+        }
+        r
+    }
+
+    #[test]
+    fn rank_of_identity_and_dependent_rows() {
+        let mut m = F2Matrix::new(4);
+        m.push_row(row(&[0], 4));
+        m.push_row(row(&[1], 4));
+        m.push_row(row(&[0, 1], 4)); // dependent
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    fn solve_combination_finds_generators() {
+        let mut m = F2Matrix::new(5);
+        m.push_row(row(&[0, 1], 5));
+        m.push_row(row(&[1, 2], 5));
+        m.push_row(row(&[3], 5));
+        // target = row0 + row1 = {0,2}
+        let combo = m.solve_combination(&row(&[0, 2], 5)).expect("in rowspace");
+        assert_eq!(combo, vec![0, 1]);
+        // target not in rowspace
+        assert!(m.solve_combination(&row(&[4], 5)).is_none());
+    }
+
+    #[test]
+    fn empty_matrix_rowspace_is_zero_only() {
+        let m = F2Matrix::new(3);
+        assert!(m.contains_in_rowspace(&BitVec::zeros(3)));
+        assert!(!m.contains_in_rowspace(&row(&[1], 3)));
+        assert_eq!(m.rank(), 0);
+    }
+}

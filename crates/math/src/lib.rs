@@ -1,0 +1,22 @@
+//! GF(2) linear algebra and Pauli-string algebra.
+//!
+//! These are the mathematical substrates shared by the TISCC surface-code
+//! compiler (`tiscc-core`, which maintains a parity-check matrix and logical
+//! operators for every [`LogicalQubit`]) and by the quasi-Clifford simulator
+//! (`tiscc-orqcs`, which represents stabilizer groups as sets of Pauli
+//! strings and needs to test membership of a Pauli in a stabilizer group).
+//!
+//! The crate is dependency-free and deliberately small: a packed bit vector
+//! ([`BitVec`]), a dense GF(2) matrix with row reduction and solving
+//! ([`F2Matrix`]), and a phase-tracking Pauli string ([`Pauli`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod f2;
+pub mod pauli;
+
+pub use bitvec::BitVec;
+pub use f2::F2Matrix;
+pub use pauli::{Pauli, PauliOp};

@@ -1,0 +1,287 @@
+//! Phase-tracking Pauli strings.
+//!
+//! A [`Pauli`] represents an operator `i^phase · Π_j X_j^{x_j} Z_j^{z_j}`
+//! over `n` qubits. Tracking the power of `i` exactly (mod 4) is what lets
+//! the stabilizer machinery recover the *sign* of logical operators and
+//! stabilizers, which is the whole point of the paper's post-processing
+//! workflow (Sec. 4.5).
+
+use crate::BitVec;
+
+/// A single-qubit Pauli label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PauliOp {
+    /// Identity.
+    I,
+    /// Pauli X.
+    X,
+    /// Pauli Y.
+    Y,
+    /// Pauli Z.
+    Z,
+}
+
+impl PauliOp {
+    /// The (x, z) symplectic components of this label.
+    pub fn xz(self) -> (bool, bool) {
+        match self {
+            PauliOp::I => (false, false),
+            PauliOp::X => (true, false),
+            PauliOp::Y => (true, true),
+            PauliOp::Z => (false, true),
+        }
+    }
+}
+
+/// An `n`-qubit Pauli operator `i^phase · Π_j X_j^{x_j} Z_j^{z_j}`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Pauli {
+    /// X components, one bit per qubit.
+    x: BitVec,
+    /// Z components, one bit per qubit.
+    z: BitVec,
+    /// Power of `i` in front of the `X^x Z^z` normal form, mod 4.
+    phase: u8,
+}
+
+impl Pauli {
+    /// The identity operator on `n` qubits.
+    pub fn identity(n: usize) -> Self {
+        Pauli { x: BitVec::zeros(n), z: BitVec::zeros(n), phase: 0 }
+    }
+
+    /// A single-qubit Pauli `op` acting on `qubit` of an `n`-qubit register.
+    ///
+    /// `Y` is represented as `i·X·Z`, so its phase exponent is 1.
+    pub fn single(n: usize, qubit: usize, op: PauliOp) -> Self {
+        let mut p = Pauli::identity(n);
+        let (xb, zb) = op.xz();
+        p.x.set(qubit, xb);
+        p.z.set(qubit, zb);
+        if op == PauliOp::Y {
+            p.phase = 1;
+        }
+        p
+    }
+
+    /// Builds a Hermitian Pauli string from sparse `(qubit, op)` pairs; all
+    /// unlisted qubits carry identity. Duplicate qubit entries are multiplied
+    /// together in order.
+    pub fn from_sparse(n: usize, ops: &[(usize, PauliOp)]) -> Self {
+        let mut p = Pauli::identity(n);
+        for &(q, op) in ops {
+            p.mul_assign(&Pauli::single(n, q, op));
+        }
+        p
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.x.len()
+    }
+
+    /// X-component bit vector.
+    pub fn x_bits(&self) -> &BitVec {
+        &self.x
+    }
+
+    /// Z-component bit vector.
+    pub fn z_bits(&self) -> &BitVec {
+        &self.z
+    }
+
+    /// The symplectic vector `[x | z]` of length `2n`, used as a row of the
+    /// parity-check matrix.
+    pub fn symplectic(&self) -> BitVec {
+        let n = self.num_qubits();
+        let mut v = BitVec::zeros(2 * n);
+        for i in 0..n {
+            if self.x.get(i) {
+                v.set(i, true);
+            }
+            if self.z.get(i) {
+                v.set(n + i, true);
+            }
+        }
+        v
+    }
+
+    /// Phase exponent (power of `i`, mod 4) of the `X^x Z^z` normal form.
+    pub fn phase_exponent(&self) -> u8 {
+        self.phase
+    }
+
+    /// Multiplies by a global factor of `i^k`.
+    pub fn mul_phase(&mut self, k: u8) {
+        self.phase = (self.phase + k) % 4;
+    }
+
+    /// Multiplies by -1.
+    pub fn negate(&mut self) {
+        self.mul_phase(2);
+    }
+
+    /// Overwrites the X/Z bits at `qubit` without touching the phase.
+    ///
+    /// Callers that replace a qubit's local operator (e.g. the stabilizer
+    /// tableau applying a Clifford conjugation) are responsible for folding
+    /// the corresponding phase change in via [`Pauli::mul_phase`].
+    pub fn set_bits_at(&mut self, qubit: usize, x: bool, z: bool) {
+        self.x.set(qubit, x);
+        self.z.set(qubit, z);
+    }
+
+    /// The single-qubit label at `qubit` (ignoring the global phase).
+    pub fn op_at(&self, qubit: usize) -> PauliOp {
+        match (self.x.get(qubit), self.z.get(qubit)) {
+            (false, false) => PauliOp::I,
+            (true, false) => PauliOp::X,
+            (true, true) => PauliOp::Y,
+            (false, true) => PauliOp::Z,
+        }
+    }
+
+    /// Number of qubits on which the operator acts non-trivially.
+    pub fn weight(&self) -> usize {
+        (0..self.num_qubits())
+            .filter(|&i| self.x.get(i) || self.z.get(i))
+            .count()
+    }
+
+    /// True if the operator is a (possibly signed) identity.
+    pub fn is_identity_up_to_phase(&self) -> bool {
+        self.x.is_zero() && self.z.is_zero()
+    }
+
+    /// In-place multiplication `self <- self * other` with exact phase
+    /// tracking: moving the `Z` part of `self` past the `X` part of `other`
+    /// contributes `(-1)^(z_self · x_other)`.
+    pub fn mul_assign(&mut self, other: &Pauli) {
+        assert_eq!(self.num_qubits(), other.num_qubits(), "qubit count mismatch");
+        let swaps = self.z.dot(&other.x); // parity of anti-commuting swaps
+        self.phase = (self.phase + other.phase + if swaps { 2 } else { 0 }) % 4;
+        self.x.xor_assign(&other.x);
+        self.z.xor_assign(&other.z);
+    }
+
+    /// Returns `self * other`.
+    pub fn mul(&self, other: &Pauli) -> Pauli {
+        let mut out = self.clone();
+        out.mul_assign(other);
+        out
+    }
+
+    /// True if the two operators commute (phases are irrelevant).
+    pub fn commutes_with(&self, other: &Pauli) -> bool {
+        !(self.x.dot(&other.z) ^ self.z.dot(&other.x))
+    }
+
+    /// The ±1 sign of a Hermitian Pauli, i.e. of an operator of the form
+    /// `±(tensor product of I/X/Y/Z)`. Returns `None` if the operator is not
+    /// Hermitian (phase inconsistent with its Y-count), which would indicate
+    /// a bookkeeping bug elsewhere.
+    pub fn hermitian_sign(&self) -> Option<i8> {
+        // Each Y contributes X·Z = -i·Y, i.e. the normal form of +Y carries
+        // phase exponent 1. A Hermitian string with sign s therefore has
+        // phase ≡ (#Y + 2·[s = -1]) mod 4.
+        let ys = (0..self.num_qubits())
+            .filter(|&i| self.x.get(i) && self.z.get(i))
+            .count() as u8;
+        match (self.phase + 4 - ys % 4) % 4 {
+            0 => Some(1),
+            2 => Some(-1),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Pauli {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.hermitian_sign() {
+            Some(1) => write!(f, "+")?,
+            Some(-1) => write!(f, "-")?,
+            _ => write!(f, "i^{} ", self.phase)?,
+        }
+        for q in 0..self.num_qubits() {
+            let c = match self.op_at(q) {
+                PauliOp::I => '_',
+                PauliOp::X => 'X',
+                PauliOp::Y => 'Y',
+                PauliOp::Z => 'Z',
+            };
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_qubit_products() {
+        let n = 1;
+        let x = Pauli::single(n, 0, PauliOp::X);
+        let z = Pauli::single(n, 0, PauliOp::Z);
+        let y = Pauli::single(n, 0, PauliOp::Y);
+
+        // X * Z = -i Y  -> phase exponent of X^1 Z^1 normal form is 0, which
+        // equals -i * (i X Z) = -i * Y.
+        let xz = x.mul(&z);
+        assert_eq!(xz.op_at(0), PauliOp::Y);
+        assert_eq!(xz.phase_exponent(), 0);
+
+        // Z * X = +i Y (normal form picks up the swap factor).
+        let zx = z.mul(&x);
+        assert_eq!(zx.op_at(0), PauliOp::Y);
+        assert_eq!(zx.phase_exponent(), 2);
+
+        // Y * Y = I with sign +1.
+        let yy = y.mul(&y);
+        assert!(yy.is_identity_up_to_phase());
+        assert_eq!(yy.hermitian_sign(), Some(1));
+
+        // X * Y = iZ (not Hermitian); Y * X = -iZ.
+        assert_eq!(x.mul(&y).hermitian_sign(), None);
+    }
+
+    #[test]
+    fn commutation_rules() {
+        let n = 3;
+        let x0 = Pauli::single(n, 0, PauliOp::X);
+        let z0 = Pauli::single(n, 0, PauliOp::Z);
+        let z1 = Pauli::single(n, 1, PauliOp::Z);
+        assert!(!x0.commutes_with(&z0));
+        assert!(x0.commutes_with(&z1));
+        let xx = Pauli::from_sparse(n, &[(0, PauliOp::X), (1, PauliOp::X)]);
+        let zz = Pauli::from_sparse(n, &[(0, PauliOp::Z), (1, PauliOp::Z)]);
+        assert!(xx.commutes_with(&zz));
+    }
+
+    #[test]
+    fn hermitian_sign_tracks_negation() {
+        let n = 2;
+        let mut p = Pauli::from_sparse(n, &[(0, PauliOp::Y), (1, PauliOp::Z)]);
+        assert_eq!(p.hermitian_sign(), Some(1));
+        p.negate();
+        assert_eq!(p.hermitian_sign(), Some(-1));
+        assert_eq!(p.weight(), 2);
+    }
+
+    #[test]
+    fn symplectic_layout() {
+        let p = Pauli::from_sparse(3, &[(0, PauliOp::X), (2, PauliOp::Y)]);
+        let v = p.symplectic();
+        // X part in columns 0..3, Z part in columns 3..6.
+        assert!(v.get(0) && v.get(2) && v.get(5));
+        assert!(!v.get(1) && !v.get(3) && !v.get(4));
+    }
+
+    #[test]
+    fn from_sparse_duplicate_entries_multiply() {
+        let p = Pauli::from_sparse(1, &[(0, PauliOp::X), (0, PauliOp::X)]);
+        assert!(p.is_identity_up_to_phase());
+        assert_eq!(p.hermitian_sign(), Some(1));
+    }
+}

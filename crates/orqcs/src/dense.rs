@@ -1,0 +1,275 @@
+//! A small dense state-vector simulator.
+//!
+//! Used as an independent reference to validate the Clifford conjugation
+//! tables of [`crate::gates`] and the composite-gate decompositions of the
+//! hardware model (Hadamard, CNOT) on few-qubit registers. It supports the
+//! exact native rotations `P_θ = e^{-iPθ}` including the non-Clifford
+//! `Z_{π/8}`, so T-state injection can be checked exactly on small systems.
+
+/// A complex number (we avoid external dependencies for this tiny need).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// 0 + 0i.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// 0 + 1i.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Constructor.
+    pub fn new(re: f64, im: f64) -> Self {
+        C64 { re, im }
+    }
+
+    /// `e^{iθ}`.
+    pub fn cis(theta: f64) -> Self {
+        C64 { re: theta.cos(), im: theta.sin() }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        C64 { re: self.re, im: -self.im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+impl std::ops::Add for C64 {
+    type Output = C64;
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl std::ops::Sub for C64 {
+    type Output = C64;
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl std::ops::Mul for C64 {
+    type Output = C64;
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl std::ops::Mul<f64> for C64 {
+    type Output = C64;
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+/// A 2×2 complex matrix (single-qubit gate).
+pub type Mat2 = [[C64; 2]; 2];
+
+/// Dense state-vector over `n` qubits (`n ≤ 20` practically; tests use ≤ 6).
+#[derive(Clone, Debug)]
+pub struct DenseState {
+    n: usize,
+    amps: Vec<C64>,
+}
+
+impl DenseState {
+    /// |0…0⟩ on `n` qubits.
+    pub fn zero_state(n: usize) -> Self {
+        let mut amps = vec![C64::ZERO; 1 << n];
+        amps[0] = C64::ONE;
+        DenseState { n, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.n
+    }
+
+    /// The raw amplitudes (little-endian: qubit 0 is the least significant bit).
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Applies a single-qubit unitary to `qubit`.
+    pub fn apply_1q(&mut self, qubit: usize, u: &Mat2) {
+        assert!(qubit < self.n);
+        let stride = 1usize << qubit;
+        for base in 0..self.amps.len() {
+            if base & stride == 0 {
+                let a = self.amps[base];
+                let b = self.amps[base | stride];
+                self.amps[base] = u[0][0] * a + u[0][1] * b;
+                self.amps[base | stride] = u[1][0] * a + u[1][1] * b;
+            }
+        }
+    }
+
+    /// Applies `e^{-iθ Z⊗Z}` between two qubits (the native two-qubit gate).
+    pub fn apply_zz(&mut self, q1: usize, q2: usize, theta: f64) {
+        assert!(q1 < self.n && q2 < self.n && q1 != q2);
+        for (idx, amp) in self.amps.iter_mut().enumerate() {
+            let z1 = if idx >> q1 & 1 == 1 { -1.0 } else { 1.0 };
+            let z2 = if idx >> q2 & 1 == 1 { -1.0 } else { 1.0 };
+            *amp = *amp * C64::cis(-theta * z1 * z2);
+        }
+    }
+
+    /// Expectation value of a Pauli string given as `(qubit, 'X'|'Y'|'Z')`
+    /// pairs (all other qubits identity). Returns a real number.
+    pub fn expectation_pauli(&self, ops: &[(usize, char)]) -> f64 {
+        // ⟨ψ|P|ψ⟩ = Σ_j conj(ψ_j) (P ψ)_j
+        let mut acc = C64::ZERO;
+        for (idx, amp) in self.amps.iter().enumerate() {
+            // Compute P|idx⟩ = phase * |idx'⟩.
+            let mut target = idx;
+            let mut phase = C64::ONE;
+            for &(q, p) in ops {
+                let bit = idx >> q & 1;
+                match p {
+                    'X' => target ^= 1 << q,
+                    'Y' => {
+                        target ^= 1 << q;
+                        // Y|0⟩ = i|1⟩, Y|1⟩ = -i|0⟩
+                        phase = phase * if bit == 0 { C64::I } else { C64::new(0.0, -1.0) };
+                    }
+                    'Z' => {
+                        if bit == 1 {
+                            phase = phase * C64::new(-1.0, 0.0);
+                        }
+                    }
+                    _ => panic!("unknown Pauli label {p}"),
+                }
+            }
+            acc = acc + self.amps[target].conj() * phase * *amp;
+        }
+        acc.re
+    }
+
+    /// Probability that measuring `qubit` in the Z basis yields 1.
+    pub fn prob_one(&self, qubit: usize) -> f64 {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(idx, _)| idx >> qubit & 1 == 1)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Fidelity |⟨other|self⟩|² with another state of the same size.
+    pub fn fidelity(&self, other: &DenseState) -> f64 {
+        assert_eq!(self.n, other.n);
+        let mut acc = C64::ZERO;
+        for (a, b) in self.amps.iter().zip(other.amps.iter()) {
+            acc = acc + b.conj() * *a;
+        }
+        acc.norm_sqr()
+    }
+}
+
+/// The matrix of a native single-qubit rotation `P_θ = e^{-iPθ}`.
+pub fn rotation_matrix(axis: char, theta: f64) -> Mat2 {
+    let c = theta.cos();
+    let s = theta.sin();
+    match axis {
+        // e^{-iXθ} = cosθ I - i sinθ X
+        'X' => [
+            [C64::new(c, 0.0), C64::new(0.0, -s)],
+            [C64::new(0.0, -s), C64::new(c, 0.0)],
+        ],
+        // e^{-iYθ} = cosθ I - i sinθ Y ; Y = [[0,-i],[i,0]]
+        'Y' => [
+            [C64::new(c, 0.0), C64::new(-s, 0.0)],
+            [C64::new(s, 0.0), C64::new(c, 0.0)],
+        ],
+        // e^{-iZθ} = diag(e^{-iθ}, e^{iθ})
+        'Z' => [
+            [C64::cis(-theta), C64::ZERO],
+            [C64::ZERO, C64::cis(theta)],
+        ],
+        _ => panic!("unknown axis {axis}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    #[test]
+    fn x_pi2_flips_zero_to_one() {
+        let mut s = DenseState::zero_state(1);
+        s.apply_1q(0, &rotation_matrix('X', PI / 2.0));
+        assert!((s.prob_one(0) - 1.0).abs() < 1e-12);
+        assert!((s.expectation_pauli(&[(0, 'Z')]) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_decomposition_matches_plus_state() {
+        // H = Y_{π/4} · Z_{π/2} up to global phase: |0⟩ -> |+⟩.
+        let mut s = DenseState::zero_state(1);
+        s.apply_1q(0, &rotation_matrix('Z', PI / 2.0));
+        s.apply_1q(0, &rotation_matrix('Y', PI / 4.0));
+        assert!((s.expectation_pauli(&[(0, 'X')]) - 1.0).abs() < 1e-12);
+        assert!(s.expectation_pauli(&[(0, 'Z')]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cnot_decomposition_creates_bell_pair() {
+        // Prepare |+0⟩ then apply the H1-style CNOT decomposition
+        // (H_t, Z_-π/4(c), Z_-π/4(t), ZZ_{π/4}, H_t) with qubit 0 as control.
+        let mut s = DenseState::zero_state(2);
+        // |+⟩ on control.
+        s.apply_1q(0, &rotation_matrix('Z', PI / 2.0));
+        s.apply_1q(0, &rotation_matrix('Y', PI / 4.0));
+        // CNOT(0 -> 1):
+        s.apply_1q(1, &rotation_matrix('Z', PI / 2.0));
+        s.apply_1q(1, &rotation_matrix('Y', PI / 4.0));
+        s.apply_1q(0, &rotation_matrix('Z', -PI / 4.0));
+        s.apply_1q(1, &rotation_matrix('Z', -PI / 4.0));
+        s.apply_zz(0, 1, PI / 4.0);
+        s.apply_1q(1, &rotation_matrix('Z', PI / 2.0));
+        s.apply_1q(1, &rotation_matrix('Y', PI / 4.0));
+
+        // Bell state stabilizers XX and ZZ have expectation +1; single-qubit
+        // Z has expectation 0.
+        assert!((s.expectation_pauli(&[(0, 'X'), (1, 'X')]) - 1.0).abs() < 1e-10);
+        assert!((s.expectation_pauli(&[(0, 'Z'), (1, 'Z')]) - 1.0).abs() < 1e-10);
+        assert!(s.expectation_pauli(&[(0, 'Z')]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn t_state_injection_expectations() {
+        // |T⟩ = Z_{π/8} H |0⟩: ⟨X⟩ = ⟨Y⟩ = 1/√2, ⟨Z⟩ = 0.
+        let mut s = DenseState::zero_state(1);
+        s.apply_1q(0, &rotation_matrix('Z', PI / 2.0));
+        s.apply_1q(0, &rotation_matrix('Y', PI / 4.0));
+        s.apply_1q(0, &rotation_matrix('Z', PI / 8.0));
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((s.expectation_pauli(&[(0, 'X')]) - inv_sqrt2).abs() < 1e-12);
+        assert!((s.expectation_pauli(&[(0, 'Y')]) - inv_sqrt2).abs() < 1e-12);
+        assert!(s.expectation_pauli(&[(0, 'Z')]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_identical_and_orthogonal_states() {
+        let a = DenseState::zero_state(2);
+        let mut b = DenseState::zero_state(2);
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-12);
+        b.apply_1q(0, &rotation_matrix('X', PI / 2.0));
+        assert!(a.fidelity(&b) < 1e-12);
+    }
+}

@@ -1,0 +1,243 @@
+//! Clifford conjugation actions of the native trapped-ion gate set.
+//!
+//! A Clifford unitary is fully specified (up to global phase) by the images
+//! of the Pauli generators under conjugation. For the native rotations
+//! `P_θ = e^{-iPθ}` with `θ = ±π/4` the rule is: a generator `A` that
+//! anticommutes with `P` maps to `A·(±iP)`; for `θ = π/2` it maps to `-A`.
+//! Generators commuting with `P` are unchanged. The tables below are written
+//! out explicitly and are cross-checked against the dense state-vector
+//! simulator in this crate's tests.
+
+use tiscc_hw::NativeOp;
+use tiscc_math::{Pauli, PauliOp};
+
+/// The image of the `X` and `Z` generators of one qubit under a single-qubit
+/// Clifford, each given as a signed single-qubit Pauli.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Clifford1Q {
+    /// Image of X: (label, negate?).
+    pub x_image: (PauliOp, bool),
+    /// Image of Z: (label, negate?).
+    pub z_image: (PauliOp, bool),
+}
+
+impl Clifford1Q {
+    /// The image of X as a phase-tracked single-qubit [`Pauli`].
+    pub fn x_pauli(&self) -> Pauli {
+        signed_single(self.x_image)
+    }
+
+    /// The image of Z as a phase-tracked single-qubit [`Pauli`].
+    pub fn z_pauli(&self) -> Pauli {
+        signed_single(self.z_image)
+    }
+}
+
+fn signed_single(img: (PauliOp, bool)) -> Pauli {
+    let mut p = Pauli::single(1, 0, img.0);
+    if img.1 {
+        p.negate();
+    }
+    p
+}
+
+/// The images of `X₁, Z₁, X₂, Z₂` under the native two-qubit `(ZZ)_{π/4}`
+/// gate, as signed two-qubit Paulis given in sparse form.
+#[derive(Clone, Debug)]
+pub struct Clifford2Q {
+    /// Image of X on the first qubit.
+    pub x1: (Vec<(usize, PauliOp)>, bool),
+    /// Image of Z on the first qubit.
+    pub z1: (Vec<(usize, PauliOp)>, bool),
+    /// Image of X on the second qubit.
+    pub x2: (Vec<(usize, PauliOp)>, bool),
+    /// Image of Z on the second qubit.
+    pub z2: (Vec<(usize, PauliOp)>, bool),
+}
+
+/// Returns the Clifford action of a single-qubit native gate, or `None` if
+/// the gate is not Clifford (`Z_{±π/8}`) or not single-qubit.
+pub fn clifford_1q(op: NativeOp) -> Option<Clifford1Q> {
+    use PauliOp::*;
+    let (x_image, z_image) = match op {
+        // X_{π/2} ≅ X: X -> X, Z -> -Z.
+        NativeOp::XPi2 => ((X, false), (Z, true)),
+        // X_{π/4} = √X: X -> X, Z -> -Y.
+        NativeOp::XPi4 => ((X, false), (Y, true)),
+        // X_{-π/4}: X -> X, Z -> Y.
+        NativeOp::XPi4Dag => ((X, false), (Y, false)),
+        // Y_{π/2} ≅ Y: X -> -X, Z -> -Z.
+        NativeOp::YPi2 => ((X, true), (Z, true)),
+        // Y_{π/4} = √Y: X -> -Z, Z -> X.
+        NativeOp::YPi4 => ((Z, true), (X, false)),
+        // Y_{-π/4}: X -> Z, Z -> -X.
+        NativeOp::YPi4Dag => ((Z, false), (X, true)),
+        // Z_{π/2} ≅ Z: X -> -X, Z -> Z.
+        NativeOp::ZPi2 => ((X, true), (Z, false)),
+        // Z_{π/4} ≅ S: X -> Y, Z -> Z.
+        NativeOp::ZPi4 => ((Y, false), (Z, false)),
+        // Z_{-π/4} ≅ S†: X -> -Y, Z -> Z.
+        NativeOp::ZPi4Dag => ((Y, true), (Z, false)),
+        // Preparation and measurement are handled by the tableau directly;
+        // transport, ZZ and the non-Clifford T are not single-qubit Cliffords.
+        _ => return None,
+    };
+    Some(Clifford1Q { x_image, z_image })
+}
+
+/// The Clifford action of the native `(ZZ)_{π/4}` interaction.
+///
+/// `X₁ → Y₁Z₂`, `Y₁ → -X₁Z₂`, `Z₁ → Z₁` (and symmetrically for qubit 2).
+pub fn clifford_zz() -> Clifford2Q {
+    use PauliOp::*;
+    Clifford2Q {
+        x1: (vec![(0, Y), (1, Z)], false),
+        z1: (vec![(0, Z)], false),
+        x2: (vec![(0, Z), (1, Y)], false),
+        z2: (vec![(1, Z)], false),
+    }
+}
+
+impl Clifford2Q {
+    /// The four images as phase-tracked two-qubit Paulis, in the order
+    /// `[X₁, Z₁, X₂, Z₂]`.
+    pub fn images(&self) -> [Pauli; 4] {
+        let build = |spec: &(Vec<(usize, PauliOp)>, bool)| {
+            let mut p = Pauli::from_sparse(2, &spec.0);
+            if spec.1 {
+                p.negate();
+            }
+            p
+        };
+        [build(&self.x1), build(&self.z1), build(&self.x2), build(&self.z2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::{rotation_matrix, DenseState};
+
+    const PI: f64 = std::f64::consts::PI;
+
+    /// Checks a claimed conjugation image ⟨image⟩ = ⟨U P U†⟩ against the
+    /// dense simulator on a set of fiducial input states.
+    fn check_1q(op: NativeOp, axis: char, theta: f64) {
+        let action = clifford_1q(op).expect("clifford");
+        // Fiducial states: |0⟩, |+⟩, |+i⟩ prepared with exact rotations.
+        let preps: Vec<Vec<(char, f64)>> = vec![
+            vec![],
+            vec![('Z', PI / 2.0), ('Y', PI / 4.0)],                  // H|0> = |+>
+            vec![('Z', PI / 2.0), ('Y', PI / 4.0), ('Z', PI / 4.0)], // S H|0> = |+i>
+        ];
+        for prep in preps {
+            for (gen, image) in [('X', action.x_image), ('Z', action.z_image)] {
+                let mut before = DenseState::zero_state(1);
+                for (a, t) in &prep {
+                    before.apply_1q(0, &rotation_matrix(*a, *t));
+                }
+                let mut after = before.clone();
+                after.apply_1q(0, &rotation_matrix(axis, theta));
+                // ⟨ψ|U† gen U|ψ⟩ must equal ± ⟨ψ| image |ψ⟩ ... conjugation is
+                // U gen U†, so compare ⟨Uψ| gen |Uψ⟩ with ⟨ψ| U† gen U |ψ⟩?
+                // The tableau stores S -> U S U†, so after applying U the
+                // expectation of `gen` in the evolved state equals the
+                // expectation of U† gen U in the original. Equivalently the
+                // image we store must satisfy:
+                //   ⟨Uψ| image_of(gen) |Uψ⟩ = ⟨ψ| gen |ψ⟩.
+                let expect_before = before.expectation_pauli(&[(0, gen)]);
+                let img_char = match image.0 {
+                    PauliOp::X => 'X',
+                    PauliOp::Y => 'Y',
+                    PauliOp::Z => 'Z',
+                    PauliOp::I => 'I',
+                };
+                let mut expect_after = after.expectation_pauli(&[(0, img_char)]);
+                if image.1 {
+                    expect_after = -expect_after;
+                }
+                assert!(
+                    (expect_before - expect_after).abs() < 1e-10,
+                    "{op:?}: image of {gen} wrong (before {expect_before}, after {expect_after})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_tables_match_dense_simulation() {
+        check_1q(NativeOp::XPi2, 'X', PI / 2.0);
+        check_1q(NativeOp::XPi4, 'X', PI / 4.0);
+        check_1q(NativeOp::XPi4Dag, 'X', -PI / 4.0);
+        check_1q(NativeOp::YPi2, 'Y', PI / 2.0);
+        check_1q(NativeOp::YPi4, 'Y', PI / 4.0);
+        check_1q(NativeOp::YPi4Dag, 'Y', -PI / 4.0);
+        check_1q(NativeOp::ZPi2, 'Z', PI / 2.0);
+        check_1q(NativeOp::ZPi4, 'Z', PI / 4.0);
+        check_1q(NativeOp::ZPi4Dag, 'Z', -PI / 4.0);
+    }
+
+    #[test]
+    fn non_clifford_and_transport_have_no_1q_action() {
+        assert!(clifford_1q(NativeOp::ZPi8).is_none());
+        assert!(clifford_1q(NativeOp::ZPi8Dag).is_none());
+        assert!(clifford_1q(NativeOp::Move).is_none());
+        assert!(clifford_1q(NativeOp::ZZ).is_none());
+        assert!(clifford_1q(NativeOp::PrepareZ).is_none());
+        assert!(clifford_1q(NativeOp::MeasureZ).is_none());
+    }
+
+    #[test]
+    fn zz_action_matches_dense_simulation() {
+        let action = clifford_zz();
+        let images = action.images();
+        let labels: [&[(usize, char)]; 4] = [
+            &[(0, 'X')],
+            &[(0, 'Z')],
+            &[(1, 'X')],
+            &[(1, 'Z')],
+        ];
+        // Fiducial two-qubit product states.
+        let preps: Vec<Vec<(usize, char, f64)>> = vec![
+            vec![],
+            vec![(0, 'Z', PI / 2.0), (0, 'Y', PI / 4.0)],
+            vec![(1, 'Z', PI / 2.0), (1, 'Y', PI / 4.0)],
+            vec![
+                (0, 'Z', PI / 2.0),
+                (0, 'Y', PI / 4.0),
+                (1, 'Z', PI / 2.0),
+                (1, 'Y', PI / 4.0),
+                (1, 'Z', PI / 4.0),
+            ],
+        ];
+        for prep in preps {
+            for (gen, image) in labels.iter().zip(images.iter()) {
+                let mut before = DenseState::zero_state(2);
+                for (q, a, t) in &prep {
+                    before.apply_1q(*q, &rotation_matrix(*a, *t));
+                }
+                let mut after = before.clone();
+                after.apply_zz(0, 1, PI / 4.0);
+                let expect_before = before.expectation_pauli(gen);
+                // Convert the image Pauli into dense-simulator labels.
+                let mut dense_ops = Vec::new();
+                for q in 0..2 {
+                    match image.op_at(q) {
+                        PauliOp::I => {}
+                        PauliOp::X => dense_ops.push((q, 'X')),
+                        PauliOp::Y => dense_ops.push((q, 'Y')),
+                        PauliOp::Z => dense_ops.push((q, 'Z')),
+                    }
+                }
+                let mut expect_after = after.expectation_pauli(&dense_ops);
+                if image.hermitian_sign() == Some(-1) {
+                    expect_after = -expect_after;
+                }
+                assert!(
+                    (expect_before - expect_after).abs() < 1e-10,
+                    "ZZ image of {gen:?} wrong"
+                );
+            }
+        }
+    }
+}

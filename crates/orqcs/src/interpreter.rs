@@ -1,0 +1,372 @@
+//! Execution of compiled TISCC hardware circuits on the stabilizer tableau.
+//!
+//! As in ORQCS, the interpreter "implements a parser and hardware model for
+//! the TISCC instruction set so that the TISCC circuits, written in terms of
+//! gates acting on qsites residing on the trapped-ion hardware, are
+//! interpreted as unitary operations acting on a quantum state"
+//! (paper Sec. 4). Concretely it:
+//!
+//! * binds every ion of the initial grid snapshot to a tableau qubit index,
+//! * replays `Move`/`Junction` operations to keep the site → ion map current,
+//! * cross-checks that every gate addresses the ion the compiler claims it
+//!   does (an independent consistency check of the compiled circuit),
+//! * applies Clifford gates to the tableau, records measurement outcomes by
+//!   measurement index, and rejects non-Clifford gates (those are handled by
+//!   the [`crate::quasi`] Monte-Carlo layer).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use tiscc_grid::{QSite, QubitId};
+use tiscc_hw::{Circuit, NativeOp};
+use tiscc_math::{Pauli, PauliOp};
+
+use crate::gates::{clifford_1q, clifford_zz};
+use crate::tableau::StabilizerTableau;
+
+/// Errors raised while interpreting a circuit.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// A gate addressed a site that holds no ion at that point of the stream.
+    NoIonAtSite(QSite),
+    /// The ion found at a site differs from the one the compiler recorded.
+    IonMismatch {
+        /// Site addressed by the operation.
+        site: QSite,
+        /// Ion the interpreter believes is there.
+        found: QubitId,
+        /// Ion the compiler recorded.
+        recorded: QubitId,
+    },
+    /// A non-Clifford gate was encountered in exact (non-Monte-Carlo) mode.
+    NonClifford(NativeOp),
+    /// The circuit references an ion that is not in the initial snapshot.
+    UnknownQubit(QubitId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::NoIonAtSite(s) => write!(f, "no ion at site {s}"),
+            SimError::IonMismatch { site, found, recorded } => write!(
+                f,
+                "ion mismatch at {site}: interpreter sees {found:?}, circuit recorded {recorded:?}"
+            ),
+            SimError::NonClifford(op) => {
+                write!(f, "non-Clifford gate {op:?} requires the quasi-Clifford estimator")
+            }
+            SimError::UnknownQubit(q) => write!(f, "unknown qubit {q:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What to do when a `Z_{±π/8}` gate is encountered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NonCliffordPolicy {
+    /// Fail with [`SimError::NonClifford`] (default for exact verification).
+    Reject,
+    /// Replace by one Clifford drawn from the quasi-probability decomposition
+    /// of the T channel; the accumulated sample weight is reported in
+    /// [`RunResult::sample_weight`]. Used by [`crate::quasi`].
+    Sample,
+}
+
+/// The result of one circuit execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Final stabilizer state.
+    pub tableau: StabilizerTableau,
+    /// Measurement outcomes indexed by the circuit's measurement records
+    /// (`true` = outcome 1).
+    pub outcomes: Vec<bool>,
+    /// Whether each outcome was deterministic given the preceding circuit.
+    pub deterministic: Vec<bool>,
+    /// Mapping from ion to tableau qubit index.
+    pub qubit_index: HashMap<QubitId, usize>,
+    /// Quasi-probability weight of this sample (1.0 for Clifford circuits).
+    pub sample_weight: f64,
+}
+
+impl RunResult {
+    /// Expectation value of a Hermitian Pauli operator expressed over *ions*
+    /// (pairs of ion id and Pauli label). Returns ±1 or 0.
+    pub fn expectation_on_ions(&self, ops: &[(QubitId, PauliOp)]) -> i8 {
+        let n = self.tableau.num_qubits();
+        let sparse: Vec<(usize, PauliOp)> = ops
+            .iter()
+            .map(|&(q, p)| (self.qubit_index[&q], p))
+            .collect();
+        self.tableau.expectation(&Pauli::from_sparse(n, &sparse))
+    }
+
+    /// Parity (`false` = even) of the outcomes at the given measurement
+    /// indices.
+    pub fn outcome_parity(&self, indices: &[usize]) -> bool {
+        indices.iter().fold(false, |acc, &i| acc ^ self.outcomes[i])
+    }
+}
+
+/// Interprets compiled circuits against an initial ion placement.
+#[derive(Clone, Debug)]
+pub struct Interpreter {
+    index_of: HashMap<QubitId, usize>,
+    site_of: HashMap<usize, QSite>,
+}
+
+impl Interpreter {
+    /// Creates an interpreter for the given initial placement (the grid
+    /// snapshot taken before compilation started). Each ion becomes one
+    /// tableau qubit, initially in |0⟩.
+    pub fn new(initial_placement: &[(QubitId, QSite)]) -> Self {
+        let mut index_of = HashMap::new();
+        let mut site_of = HashMap::new();
+        for (i, &(q, s)) in initial_placement.iter().enumerate() {
+            index_of.insert(q, i);
+            site_of.insert(i, s);
+        }
+        Interpreter { index_of, site_of }
+    }
+
+    /// Number of tableau qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.index_of.len()
+    }
+
+    /// The tableau index assigned to an ion.
+    pub fn index_of(&self, q: QubitId) -> Option<usize> {
+        self.index_of.get(&q).copied()
+    }
+
+    /// Runs `circuit` in exact Clifford mode with the given RNG (random
+    /// measurement outcomes are drawn from it).
+    pub fn run<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> Result<RunResult, SimError> {
+        self.run_with_policy(circuit, rng, NonCliffordPolicy::Reject)
+    }
+
+    /// Runs `circuit`, handling non-Clifford gates according to `policy`.
+    pub fn run_with_policy<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+        policy: NonCliffordPolicy,
+    ) -> Result<RunResult, SimError> {
+        let n = self.num_qubits();
+        let mut tableau = StabilizerTableau::zero_state(n);
+        let mut occupant: HashMap<QSite, usize> = self
+            .site_of
+            .iter()
+            .map(|(&idx, &site)| (site, idx))
+            .collect();
+        let mut outcomes = vec![false; circuit.measurements().len()];
+        let mut deterministic = vec![false; circuit.measurements().len()];
+        let mut sample_weight = 1.0f64;
+
+        for op in circuit.ops() {
+            match op.op {
+                NativeOp::Move | NativeOp::JunctionMove => {
+                    let (from, to) = (op.sites[0], op.sites[1]);
+                    let idx = *occupant.get(&from).ok_or(SimError::NoIonAtSite(from))?;
+                    self.check_identity(idx, op.qubits[0], from)?;
+                    occupant.remove(&from);
+                    occupant.insert(to, idx);
+                }
+                NativeOp::PrepareZ => {
+                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                    tableau.reset_z(idx, rng);
+                }
+                NativeOp::MeasureZ => {
+                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                    let (bit, det) = tableau.measure_z(idx, rng);
+                    if let Some(m) = op.measurement {
+                        outcomes[m] = bit;
+                        deterministic[m] = det;
+                    }
+                }
+                NativeOp::ZZ => {
+                    let a = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                    let b = self.resolve(&occupant, op.sites[1], op.qubits[1])?;
+                    tableau.apply_2q(a, b, &clifford_zz());
+                }
+                NativeOp::ZPi8 | NativeOp::ZPi8Dag => {
+                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                    match policy {
+                        NonCliffordPolicy::Reject => return Err(SimError::NonClifford(op.op)),
+                        NonCliffordPolicy::Sample => {
+                            sample_weight *= sample_t_channel(op.op, idx, &mut tableau, rng);
+                        }
+                    }
+                }
+                gate => {
+                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                    let action = clifford_1q(gate).ok_or(SimError::NonClifford(gate))?;
+                    tableau.apply_1q(idx, &action);
+                }
+            }
+        }
+
+        Ok(RunResult {
+            tableau,
+            outcomes,
+            deterministic,
+            qubit_index: self.index_of.clone(),
+            sample_weight,
+        })
+    }
+
+    fn resolve(
+        &self,
+        occupant: &HashMap<QSite, usize>,
+        site: QSite,
+        recorded: QubitId,
+    ) -> Result<usize, SimError> {
+        let idx = *occupant.get(&site).ok_or(SimError::NoIonAtSite(site))?;
+        self.check_identity(idx, recorded, site)?;
+        Ok(idx)
+    }
+
+    fn check_identity(&self, idx: usize, recorded: QubitId, site: QSite) -> Result<(), SimError> {
+        let recorded_idx = self
+            .index_of
+            .get(&recorded)
+            .copied()
+            .ok_or(SimError::UnknownQubit(recorded))?;
+        if recorded_idx != idx {
+            // Find which ion `idx` corresponds to, for the error message.
+            let found = self
+                .index_of
+                .iter()
+                .find(|&(_, &v)| v == idx)
+                .map(|(&k, _)| k)
+                .unwrap_or(QubitId(u32::MAX));
+            return Err(SimError::IonMismatch { site, found, recorded });
+        }
+        Ok(())
+    }
+}
+
+/// Quasi-probability decomposition of the T-gate channel over the Clifford
+/// channels `{ρ↦ρ, ρ↦ZρZ, ρ↦SρS†}` (and `S†` for `T†`):
+/// `T ρ T† = 0.5·ρ − (√2−1)/2·ZρZ + (√2/2)·SρS†` (coefficients sum to one,
+/// one-norm √2). A single term is sampled with probability proportional to
+/// its magnitude and the returned weight is `±√2` accordingly (paper Sec. 4.1).
+fn sample_t_channel<R: Rng + ?Sized>(
+    op: NativeOp,
+    qubit: usize,
+    tableau: &mut StabilizerTableau,
+    rng: &mut R,
+) -> f64 {
+    let c_i = 0.5f64;
+    let c_z = -(std::f64::consts::SQRT_2 - 1.0) / 2.0;
+    let c_s = std::f64::consts::FRAC_1_SQRT_2;
+    let one_norm = c_i.abs() + c_z.abs() + c_s.abs();
+    let draw: f64 = rng.gen_range(0.0..one_norm);
+    let (action, sign) = if draw < c_i.abs() {
+        (None, c_i.signum())
+    } else if draw < c_i.abs() + c_z.abs() {
+        (Some(NativeOp::ZPi2), c_z.signum())
+    } else {
+        // S for T, S† for T†.
+        let s_like = if op == NativeOp::ZPi8 { NativeOp::ZPi4 } else { NativeOp::ZPi4Dag };
+        (Some(s_like), c_s.signum())
+    };
+    if let Some(gate) = action {
+        tableau.apply_1q(qubit, &clifford_1q(gate).expect("Clifford"));
+    }
+    sign * one_norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tiscc_hw::HardwareModel;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn bell_pair_circuit_through_full_stack() {
+        let mut hw = HardwareModel::new(1, 1);
+        let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = hw.place_qubit(QSite::new(0, 2)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        hw.prepare_z(a).unwrap();
+        hw.prepare_z(b).unwrap();
+        hw.hadamard(a).unwrap();
+        hw.cnot(a, b).unwrap();
+
+        let interp = Interpreter::new(&snapshot);
+        let result = interp.run(hw.circuit(), &mut rng()).unwrap();
+        assert_eq!(result.expectation_on_ions(&[(a, PauliOp::X), (b, PauliOp::X)]), 1);
+        assert_eq!(result.expectation_on_ions(&[(a, PauliOp::Z), (b, PauliOp::Z)]), 1);
+        assert_eq!(result.expectation_on_ions(&[(a, PauliOp::Z)]), 0);
+        assert_eq!(result.sample_weight, 1.0);
+    }
+
+    #[test]
+    fn movement_is_replayed_so_gates_hit_the_right_ion() {
+        let mut hw = HardwareModel::new(1, 2);
+        let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = hw.place_qubit(QSite::new(0, 5)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        hw.prepare_z(a).unwrap();
+        hw.prepare_z(b).unwrap();
+        // Move b next to a, entangle, measure both.
+        hw.route_and_move(b, QSite::new(0, 2)).unwrap();
+        hw.hadamard(a).unwrap();
+        hw.cnot(a, b).unwrap();
+        let ma = hw.measure_z(a, "a").unwrap();
+        let mb = hw.measure_z(b, "b").unwrap();
+
+        let interp = Interpreter::new(&snapshot);
+        let result = interp.run(hw.circuit(), &mut rng()).unwrap();
+        assert_eq!(result.outcomes[ma], result.outcomes[mb], "Bell pair halves agree");
+        assert!(result.deterministic[mb]);
+    }
+
+    #[test]
+    fn measurement_outcomes_recorded_per_index() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        hw.prepare_z(q).unwrap();
+        hw.pauli_x(q).unwrap();
+        let m = hw.measure_z(q, "flipped").unwrap();
+        let interp = Interpreter::new(&snapshot);
+        let result = interp.run(hw.circuit(), &mut rng()).unwrap();
+        assert!(result.outcomes[m], "X|0> measures 1");
+        assert!(result.deterministic[m]);
+    }
+
+    #[test]
+    fn non_clifford_is_rejected_in_exact_mode() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        hw.prepare_z(q).unwrap();
+        hw.t_gate(q).unwrap();
+        let interp = Interpreter::new(&snapshot);
+        let err = interp.run(hw.circuit(), &mut rng()).unwrap_err();
+        assert!(matches!(err, SimError::NonClifford(NativeOp::ZPi8)));
+    }
+
+    #[test]
+    fn prepare_resets_any_prior_state() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        hw.prepare_z(q).unwrap();
+        hw.hadamard(q).unwrap();
+        hw.prepare_z(q).unwrap();
+        let m = hw.measure_z(q, "after reset").unwrap();
+        let interp = Interpreter::new(&snapshot);
+        let result = interp.run(hw.circuit(), &mut rng()).unwrap();
+        assert!(!result.outcomes[m]);
+        assert!(result.deterministic[m]);
+    }
+}

@@ -1,0 +1,37 @@
+//! Quasi-Clifford simulator — the verification substrate playing the role of
+//! ORQCS (Oak Ridge Quasi-Clifford Simulator) in the TISCC paper (Sec. 4).
+//!
+//! The simulator consumes time-resolved hardware circuits produced by
+//! `tiscc-hw`/`tiscc-core` — written in terms of native gates acting on
+//! *qsites* of the trapped-ion grid — replays the ion movements to know which
+//! ion each gate addresses, and interprets the gates as unitaries acting on a
+//! stabilizer state.
+//!
+//! Components:
+//! * [`tableau`] — an Aaronson–Gottesman stabilizer tableau with exact sign
+//!   tracking, Pauli-string expectation values and stabilizer-generator
+//!   extraction,
+//! * [`dense`] — a small dense state-vector simulator used to cross-check
+//!   every native-gate Clifford action and the composite-gate decompositions,
+//! * [`gates`] — the Clifford conjugation action of every native operation,
+//! * [`interpreter`] — executes a compiled [`tiscc_hw::Circuit`],
+//! * [`quasi`] — Monte-Carlo quasi-probability sampling for the single
+//!   non-Clifford native (`Z_{±π/8}`, the T gate), Sec. 4.1 of the paper,
+//! * [`tomography`] — logical state and process tomography helpers (Sec. 4.2–4.4),
+//! * [`postprocess`] — Pauli-frame / operator-movement corrections (Sec. 4.5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod gates;
+pub mod interpreter;
+pub mod postprocess;
+pub mod quasi;
+pub mod tableau;
+pub mod tomography;
+
+pub use interpreter::{Interpreter, RunResult, SimError};
+pub use quasi::QuasiCliffordEstimator;
+pub use tableau::StabilizerTableau;
+pub use tomography::{BlochVector, ProcessMap};

@@ -1,0 +1,147 @@
+//! Pauli-frame / operator-movement post-processing (paper Sec. 4.5).
+//!
+//! Several TISCC operations (Merge, Split, Measure X/Z, patch contraction,
+//! corner movement) leave the value of a logical operator encoded not in the
+//! final quantum state alone but in the *combination* of the state and
+//! mid-circuit measurement outcomes. The compiler describes each such
+//! quantity as a [`LogicalOutcome`] (a parity of measurement indices plus a
+//! static sign); this module evaluates them against simulated outcomes and
+//! applies sign corrections to logical-operator expectation values.
+
+use tiscc_grid::QubitId;
+use tiscc_math::PauliOp;
+
+use crate::interpreter::RunResult;
+
+/// A logical (classical) quantity defined as the parity of a set of
+/// measurement outcomes, optionally inverted.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct LogicalOutcome {
+    /// Human-readable name (e.g. `"XX"`, `"Z_L"`).
+    pub name: String,
+    /// Indices into the circuit's measurement records whose parity defines
+    /// the value.
+    pub parity_of: Vec<usize>,
+    /// If true the parity is inverted (static −1 byproduct).
+    pub invert: bool,
+}
+
+impl LogicalOutcome {
+    /// Evaluates the outcome against a simulation run: returns `+1` or `-1`
+    /// (eigenvalue convention: outcome bit 0 ↦ +1).
+    pub fn eigenvalue(&self, run: &RunResult) -> i8 {
+        let mut bit = run.outcome_parity(&self.parity_of);
+        if self.invert {
+            bit = !bit;
+        }
+        if bit {
+            -1
+        } else {
+            1
+        }
+    }
+}
+
+/// A logical Pauli operator together with its Pauli-frame corrections: the
+/// physical representative, the measurement indices whose parity flips its
+/// sign, and a static sign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CorrectedOperator {
+    /// Physical support as (ion, Pauli label) pairs.
+    pub support: Vec<(QubitId, PauliOp)>,
+    /// Measurement indices whose outcome parity flips the sign.
+    pub frame: Vec<usize>,
+    /// Static sign flip accumulated at compile time.
+    pub invert: bool,
+}
+
+impl CorrectedOperator {
+    /// The corrected expectation value in a simulation run: the tableau
+    /// expectation of the representative times the frame sign.
+    pub fn expectation(&self, run: &RunResult) -> i8 {
+        let raw = run.expectation_on_ions(&self.support);
+        let mut sign = 1i8;
+        if run.outcome_parity(&self.frame) {
+            sign = -sign;
+        }
+        if self.invert {
+            sign = -sign;
+        }
+        raw * sign
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpreter::Interpreter;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tiscc_grid::QSite;
+    use tiscc_hw::HardwareModel;
+
+    #[test]
+    fn teleportation_style_correction_recovers_state() {
+        // One-bit X-teleportation: prepare |+> on a and |0> on b, CNOT(a,b),
+        // measure a in X; b then holds |+> up to a Z correction conditioned
+        // on the outcome. The corrected X-expectation of b must always be +1
+        // even though the uncorrected one is ±1 depending on the measurement.
+        let mut saw_nontrivial_frame = false;
+        for seed in 0..20u64 {
+            let mut hw = HardwareModel::new(1, 1);
+            let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+            let b = hw.place_qubit(QSite::new(0, 2)).unwrap();
+            let snapshot = hw.grid().snapshot();
+            hw.prepare_z(a).unwrap();
+            hw.prepare_z(b).unwrap();
+            hw.hadamard(a).unwrap();
+            hw.cnot(a, b).unwrap();
+            let m = hw.measure_x(a, "teleport frame").unwrap();
+
+            let interp = Interpreter::new(&snapshot);
+            let mut r = StdRng::seed_from_u64(seed);
+            let run = interp.run(hw.circuit(), &mut r).unwrap();
+
+            let corrected = CorrectedOperator {
+                support: vec![(b, PauliOp::X)],
+                frame: vec![m],
+                invert: false,
+            };
+            // Uncorrected expectation flips sign with the outcome; corrected
+            // is always +1.
+            let raw = run.expectation_on_ions(&[(b, PauliOp::X)]);
+            if run.outcomes[m] {
+                saw_nontrivial_frame = true;
+                assert_eq!(raw, -1);
+            } else {
+                assert_eq!(raw, 1);
+            }
+            assert_eq!(corrected.expectation(&run), 1);
+
+            let outcome = LogicalOutcome {
+                name: "frame bit".into(),
+                parity_of: vec![m],
+                invert: false,
+            };
+            assert_eq!(outcome.eigenvalue(&run), if run.outcomes[m] { -1 } else { 1 });
+        }
+        assert!(saw_nontrivial_frame, "at least one shot must need a correction");
+    }
+
+    #[test]
+    fn inverted_outcome_flips_eigenvalue() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        hw.prepare_z(q).unwrap();
+        let m = hw.measure_z(q, "zero").unwrap();
+        let interp = Interpreter::new(&snapshot);
+        let run = interp
+            .run(hw.circuit(), &mut StdRng::seed_from_u64(1))
+            .unwrap();
+        let plain = LogicalOutcome { name: "m".into(), parity_of: vec![m], invert: false };
+        let flipped = LogicalOutcome { name: "m".into(), parity_of: vec![m], invert: true };
+        assert_eq!(plain.eigenvalue(&run), 1);
+        assert_eq!(flipped.eigenvalue(&run), -1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Logical state and process tomography helpers (paper Secs. 4.2–4.4).
+//!
+//! Verification of TISCC output works in the *logical* sub-space: the
+//! simulator provides expectation values of the logical Pauli operators
+//! (physical Pauli strings, possibly sign-corrected by measurement outcomes),
+//! from which single- and two-qubit density matrices are reconstructed
+//! following Nielsen & Chuang. For Clifford operations the reconstruction is
+//! exact; for the T-injection circuit it is statistical.
+
+/// The Bloch vector `(⟨X⟩, ⟨Y⟩, ⟨Z⟩)` of a single (logical) qubit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BlochVector {
+    /// ⟨X⟩ component.
+    pub x: f64,
+    /// ⟨Y⟩ component.
+    pub y: f64,
+    /// ⟨Z⟩ component.
+    pub z: f64,
+}
+
+impl BlochVector {
+    /// Constructor.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        BlochVector { x, y, z }
+    }
+
+    /// The six canonical single-qubit stabilizer states used as fiducial
+    /// inputs for process tomography, with their names.
+    pub fn fiducials() -> [(&'static str, BlochVector); 6] {
+        [
+            ("|0>", BlochVector::new(0.0, 0.0, 1.0)),
+            ("|1>", BlochVector::new(0.0, 0.0, -1.0)),
+            ("|+>", BlochVector::new(1.0, 0.0, 0.0)),
+            ("|->", BlochVector::new(-1.0, 0.0, 0.0)),
+            ("|+i>", BlochVector::new(0.0, 1.0, 0.0)),
+            ("|-i>", BlochVector::new(0.0, -1.0, 0.0)),
+        ]
+    }
+
+    /// Euclidean distance to another Bloch vector.
+    pub fn distance(&self, other: &BlochVector) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2) + (self.z - other.z).powi(2))
+            .sqrt()
+    }
+
+    /// Fidelity between the two (possibly mixed) single-qubit states with
+    /// these Bloch vectors, assuming at least one of them is pure:
+    /// `F = (1 + r⃗₁·r⃗₂)/2`.
+    pub fn fidelity_with_pure(&self, pure: &BlochVector) -> f64 {
+        0.5 * (1.0 + self.x * pure.x + self.y * pure.y + self.z * pure.z)
+    }
+
+    /// Length of the Bloch vector (1 for pure states).
+    pub fn purity_radius(&self) -> f64 {
+        (self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+}
+
+/// The affine map `r⃗ ↦ M·r⃗ + c⃗` a single-(logical-)qubit operation induces
+/// on Bloch vectors. For unitary Cliffords `c⃗ = 0` and `M` is a signed
+/// permutation matrix; for measurements/resets `M` is a projector-like
+/// contraction. This is an equivalent, conveniently comparable packaging of
+/// the process matrix obtained from process tomography.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcessMap {
+    /// The 3×3 linear part, row-major (`m[i][j]` maps input component j to
+    /// output component i; components ordered X, Y, Z).
+    pub m: [[f64; 3]; 3],
+    /// The affine offset.
+    pub c: [f64; 3],
+}
+
+impl ProcessMap {
+    /// Reconstructs the affine map from the images of the six fiducial
+    /// states: for each axis the column of `M` is `(r⃗₊ − r⃗₋)/2` and the
+    /// offset is the average of `(r⃗₊ + r⃗₋)/2` over the three axes.
+    ///
+    /// `images` must be ordered like [`BlochVector::fiducials`]:
+    /// `|0⟩, |1⟩, |+⟩, |−⟩, |+i⟩, |−i⟩`.
+    pub fn from_fiducial_images(images: &[BlochVector; 6]) -> Self {
+        let pairs = [(2usize, 3usize, 0usize), (4, 5, 1), (0, 1, 2)]; // (plus, minus, column)
+        let mut m = [[0.0; 3]; 3];
+        let mut c = [0.0; 3];
+        for &(p, mi, col) in &pairs {
+            let plus = images[p];
+            let minus = images[mi];
+            let half_diff = [
+                (plus.x - minus.x) / 2.0,
+                (plus.y - minus.y) / 2.0,
+                (plus.z - minus.z) / 2.0,
+            ];
+            let half_sum = [
+                (plus.x + minus.x) / 2.0,
+                (plus.y + minus.y) / 2.0,
+                (plus.z + minus.z) / 2.0,
+            ];
+            for row in 0..3 {
+                m[row][col] = half_diff[row];
+                c[row] += half_sum[row] / 3.0;
+            }
+        }
+        ProcessMap { m, c }
+    }
+
+    /// The ideal map of the identity channel.
+    pub fn identity() -> Self {
+        ProcessMap { m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]], c: [0.0; 3] }
+    }
+
+    /// The ideal map of the Hadamard gate (X↔Z, Y↦−Y).
+    pub fn hadamard() -> Self {
+        ProcessMap { m: [[0.0, 0.0, 1.0], [0.0, -1.0, 0.0], [1.0, 0.0, 0.0]], c: [0.0; 3] }
+    }
+
+    /// The ideal map of a Pauli gate (`'X'`, `'Y'` or `'Z'`).
+    pub fn pauli(axis: char) -> Self {
+        let keep = match axis {
+            'X' => 0,
+            'Y' => 1,
+            'Z' => 2,
+            _ => panic!("unknown Pauli axis {axis}"),
+        };
+        let mut m = [[0.0; 3]; 3];
+        for i in 0..3 {
+            m[i][i] = if i == keep { 1.0 } else { -1.0 };
+        }
+        ProcessMap { m, c: [0.0; 3] }
+    }
+
+    /// Applies the map to a Bloch vector.
+    pub fn apply(&self, r: &BlochVector) -> BlochVector {
+        let v = [r.x, r.y, r.z];
+        let mut out = [0.0; 3];
+        for i in 0..3 {
+            out[i] = self.c[i] + (0..3).map(|j| self.m[i][j] * v[j]).sum::<f64>();
+        }
+        BlochVector::new(out[0], out[1], out[2])
+    }
+
+    /// Largest absolute entry-wise deviation from another map.
+    pub fn max_deviation(&self, other: &ProcessMap) -> f64 {
+        let mut worst: f64 = 0.0;
+        for i in 0..3 {
+            for j in 0..3 {
+                worst = worst.max((self.m[i][j] - other.m[i][j]).abs());
+            }
+            worst = worst.max((self.c[i] - other.c[i]).abs());
+        }
+        worst
+    }
+}
+
+/// Reconstructs a two-qubit logical density matrix in the Pauli basis from
+/// the 15 non-trivial Pauli expectation values. The value is returned as the
+/// table `e[i][j] = ⟨σ_i ⊗ σ_j⟩` with `σ_0 = I, σ_1 = X, σ_2 = Y, σ_3 = Z`
+/// and `e[0][0] = 1`. Fidelity with pure stabilizer targets can be computed
+/// with [`two_qubit_fidelity_with_stabilizer_target`].
+pub type TwoQubitPauliTable = [[f64; 4]; 4];
+
+/// Fidelity `⟨ψ|ρ|ψ⟩` of a two-qubit state given by its Pauli expectation
+/// table with a pure stabilizer target state given by its own (±1) table:
+/// `F = (1/4) Σ_{ij} e_ρ[i][j] · e_ψ[i][j]`.
+pub fn two_qubit_fidelity_with_stabilizer_target(
+    rho: &TwoQubitPauliTable,
+    target: &TwoQubitPauliTable,
+) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..4 {
+        for j in 0..4 {
+            acc += rho[i][j] * target[i][j];
+        }
+    }
+    acc / 4.0
+}
+
+/// The Pauli expectation table of the Bell state `(|00⟩ + |11⟩)/√2`
+/// (stabilized by `XX` and `ZZ`).
+pub fn bell_phi_plus_table() -> TwoQubitPauliTable {
+    let mut t = [[0.0; 4]; 4];
+    t[0][0] = 1.0;
+    t[1][1] = 1.0; // XX
+    t[2][2] = -1.0; // YY
+    t[3][3] = 1.0; // ZZ
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_map_reconstruction() {
+        let images: Vec<BlochVector> = BlochVector::fiducials().iter().map(|&(_, b)| b).collect();
+        let map = ProcessMap::from_fiducial_images(&images.clone().try_into().unwrap());
+        assert!(map.max_deviation(&ProcessMap::identity()) < 1e-12);
+    }
+
+    #[test]
+    fn hadamard_map_reconstruction() {
+        let ideal = ProcessMap::hadamard();
+        let images: Vec<BlochVector> = BlochVector::fiducials()
+            .iter()
+            .map(|&(_, b)| ideal.apply(&b))
+            .collect();
+        let map = ProcessMap::from_fiducial_images(&images.clone().try_into().unwrap());
+        assert!(map.max_deviation(&ideal) < 1e-12);
+        // And it differs measurably from the identity.
+        assert!(map.max_deviation(&ProcessMap::identity()) > 0.9);
+    }
+
+    #[test]
+    fn pauli_maps_have_expected_signs() {
+        let x = ProcessMap::pauli('X');
+        assert_eq!(x.m[0][0], 1.0);
+        assert_eq!(x.m[1][1], -1.0);
+        assert_eq!(x.m[2][2], -1.0);
+        let z = ProcessMap::pauli('Z');
+        assert_eq!(z.m[2][2], 1.0);
+        assert_eq!(z.m[0][0], -1.0);
+    }
+
+    #[test]
+    fn measurement_like_map_detected_via_offset() {
+        // A Z-basis "reset to |0⟩" channel maps every input to (0,0,1).
+        let images = [BlochVector::new(0.0, 0.0, 1.0); 6];
+        let map = ProcessMap::from_fiducial_images(&images);
+        assert!(map.max_deviation(&ProcessMap::identity()) > 0.9);
+        assert!((map.c[2] - 1.0).abs() < 1e-12);
+        for row in map.m {
+            for entry in row {
+                assert!(entry.abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn bloch_fidelity_and_distance() {
+        let plus = BlochVector::new(1.0, 0.0, 0.0);
+        let minus = BlochVector::new(-1.0, 0.0, 0.0);
+        assert!((plus.fidelity_with_pure(&plus) - 1.0).abs() < 1e-12);
+        assert!(plus.fidelity_with_pure(&minus).abs() < 1e-12);
+        assert!((plus.distance(&minus) - 2.0).abs() < 1e-12);
+        assert!((plus.purity_radius() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_table_fidelity() {
+        let bell = bell_phi_plus_table();
+        assert!((two_qubit_fidelity_with_stabilizer_target(&bell, &bell) - 1.0).abs() < 1e-12);
+        // The maximally mixed state has fidelity 1/4 with any pure state.
+        let mut mixed = [[0.0; 4]; 4];
+        mixed[0][0] = 1.0;
+        assert!((two_qubit_fidelity_with_stabilizer_target(&mixed, &bell) - 0.25).abs() < 1e-12);
+    }
+}

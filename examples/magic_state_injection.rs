@@ -1,0 +1,41 @@
+//! Magic-state injection: injects a |T⟩ state into a surface-code patch
+//! (Table 1, Inject T) — the non-Clifford ingredient of the Clifford+T gate
+//! set — and verifies its logical expectation values statistically with the
+//! quasi-probability Monte-Carlo simulator (paper Sec. 4.1/4.2).
+//!
+//! Run with `cargo run --release --example magic_state_injection`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tiscc::estimator::verify::{corrected, SingleTile};
+use tiscc::orqcs::{Interpreter, QuasiCliffordEstimator};
+
+fn main() {
+    let mut fixture = SingleTile::new(3, 3, 1).expect("grid");
+    fixture.patch.inject_t(&mut fixture.hw).unwrap();
+    fixture.patch.syndrome_round(&mut fixture.hw, "quiescence").unwrap();
+
+    let snapshot = fixture.hw.grid().snapshot();
+    let interpreter = Interpreter::new(&snapshot);
+    let estimator = QuasiCliffordEstimator::new(20000);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    let x = corrected(&fixture.patch.tracked_x().unwrap());
+    let y = corrected(&fixture.patch.tracked_y().unwrap());
+    let z = corrected(&fixture.patch.tracked_z().unwrap());
+    let ex = estimator
+        .estimate_expectation(&interpreter, fixture.hw.circuit(), &x.support, &mut rng)
+        .unwrap();
+    let ey = estimator
+        .estimate_expectation(&interpreter, fixture.hw.circuit(), &y.support, &mut rng)
+        .unwrap();
+    let ez = estimator
+        .estimate_expectation(&interpreter, fixture.hw.circuit(), &z.support, &mut rng)
+        .unwrap();
+
+    let target = std::f64::consts::FRAC_1_SQRT_2;
+    println!("injected |T> state on a distance-3 patch ({} Monte-Carlo samples):", estimator.samples());
+    println!("  <X_L> = {ex:+.4}   (ideal {target:+.4})");
+    println!("  <Y_L> = {ey:+.4}   (ideal {target:+.4})");
+    println!("  <Z_L> = {ez:+.4}   (ideal +0.0000)");
+}

@@ -1,0 +1,26 @@
+//! Resource-estimation sweep (paper Sec. 3.4): compiles representative
+//! surface-code instructions across a range of code distances and prints the
+//! execution time, trapping-zone count and space-time volume scaling — the
+//! numbers a fault-tolerant resource analysis would feed on.
+//!
+//! Run with `cargo run --release --example resource_scaling -- 3 5 7`.
+
+use tiscc::estimator::tables::{render_csv, render_rows, resource_sweep};
+
+fn main() {
+    let distances: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let distances = if distances.is_empty() { vec![3, 5, 7] } else { distances };
+
+    let rows = resource_sweep(&distances, true).expect("sweep compiles");
+    println!(
+        "{}",
+        render_rows(
+            &format!("Resource sweep over distances {distances:?} (dt = d)"),
+            &rows
+        )
+    );
+    println!("{}", render_csv(&rows));
+}

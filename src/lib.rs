@@ -1,0 +1,38 @@
+//! # TISCC-rs — Trapped-Ion Surface Code Compiler and Resource Estimator
+//!
+//! A from-scratch Rust reproduction of *TISCC: A Surface Code Compiler and
+//! Resource Estimator for Trapped-Ion Processors* (SC-W 2023). This umbrella
+//! crate re-exports the whole stack:
+//!
+//! * [`grid`] — the trapped-ion QCCD grid substrate (trapping zones,
+//!   junctions, ion occupancy and routing),
+//! * [`hw`] — the native gate set, time-resolved circuits, ASAP scheduling
+//!   and space-time resource accounting,
+//! * [`math`] — GF(2) and Pauli algebra,
+//! * [`core`] — the surface-code compiler (patches, syndrome extraction,
+//!   lattice surgery, the Table 1/3 instruction sets),
+//! * [`orqcs`] — the quasi-Clifford simulator used for verification,
+//! * [`estimator`] — table/figure regeneration and the verification harness.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tiscc::core::{Instruction, LogicalQubit};
+//! use tiscc::core::instruction::apply_instruction;
+//! use tiscc::hw::{HardwareModel, ResourceReport};
+//!
+//! // A grid of 6 x 6 repeating units, one distance-3 patch, dt = 3 rounds.
+//! let mut hw = HardwareModel::new(6, 6);
+//! let mut patch = LogicalQubit::new(&mut hw, 3, 3, 3, (0, 0)).unwrap();
+//! apply_instruction(&mut hw, Instruction::PrepareZ, &mut patch).unwrap();
+//! let report = ResourceReport::from_circuit(hw.circuit(), hw.grid().layout());
+//! assert!(report.execution_time_s > 0.0);
+//! assert!(report.trapping_zones > 9);
+//! ```
+
+pub use tiscc_core as core;
+pub use tiscc_estimator as estimator;
+pub use tiscc_grid as grid;
+pub use tiscc_hw as hw;
+pub use tiscc_math as math;
+pub use tiscc_orqcs as orqcs;

@@ -1,0 +1,116 @@
+//! Property-based tests (proptest) on the core data structures and compiler
+//! invariants: Pauli algebra, grid routing, patch geometry and the validity
+//! of every compiled syndrome-extraction circuit.
+
+use proptest::prelude::*;
+
+use tiscc::core::plaquette::{build_stabilizers, logical_x_support, logical_z_support};
+use tiscc::core::{Arrangement, LogicalQubit};
+use tiscc::grid::{route, Layout, QSite};
+use tiscc::hw::validity::check_circuit;
+use tiscc::hw::HardwareModel;
+use tiscc::math::{Pauli, PauliOp};
+
+fn arb_pauli(n: usize) -> impl Strategy<Value = Pauli> {
+    proptest::collection::vec((0..n, prop_oneof![Just(PauliOp::X), Just(PauliOp::Y), Just(PauliOp::Z), Just(PauliOp::I)]), 0..n)
+        .prop_map(move |ops| Pauli::from_sparse(n, &ops))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pauli multiplication is associative and sign-consistent: (AB)C = A(BC).
+    #[test]
+    fn pauli_multiplication_is_associative(a in arb_pauli(6), b in arb_pauli(6), c in arb_pauli(6)) {
+        let left = a.mul(&b).mul(&c);
+        let right = a.mul(&b.mul(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Squaring any Pauli gives the identity up to phase, and squaring a
+    /// *Hermitian* Pauli gives exactly +Identity.
+    #[test]
+    fn paulis_square_to_identity(a in arb_pauli(5)) {
+        let sq = a.mul(&a);
+        prop_assert!(sq.is_identity_up_to_phase());
+        if a.hermitian_sign().is_some() {
+            prop_assert_eq!(sq.hermitian_sign(), Some(1));
+        }
+    }
+
+    /// Commutation is symmetric and consistent with the symplectic form.
+    #[test]
+    fn commutation_is_symmetric(a in arb_pauli(6), b in arb_pauli(6)) {
+        prop_assert_eq!(a.commutes_with(&b), b.commutes_with(&a));
+    }
+
+    /// Any two trapping zones of a connected grid are reachable, and the
+    /// returned route is contiguous and junction-free at its endpoints.
+    #[test]
+    fn grid_routing_connects_all_trapping_zones(rows in 1u32..4, cols in 1u32..4, pick in 0usize..1000) {
+        let layout = Layout::new(rows, cols);
+        let zones: Vec<QSite> = layout.all_sites().filter(|&s| layout.is_trapping_zone(s)).collect();
+        let from = zones[pick % zones.len()];
+        let to = zones[(pick * 7 + 3) % zones.len()];
+        let path = route(&layout, from, to);
+        prop_assert!(path.is_some(), "no route from {from} to {to}");
+        let path = path.unwrap();
+        let mut cur = from;
+        for step in &path {
+            prop_assert_eq!(step.from(), cur);
+            prop_assert!(layout.is_trapping_zone(step.to()));
+            cur = step.to();
+        }
+        if from != to {
+            prop_assert_eq!(cur, to);
+        }
+    }
+
+    /// For every distance pair and arrangement the stabilizer group has
+    /// dx·dz−1 commuting generators that all commute with both logical
+    /// operators, which anticommute with each other.
+    #[test]
+    fn patch_geometry_invariants(dx in 2usize..6, dz in 2usize..6, arr_idx in 0usize..4) {
+        let arrangement = Arrangement::all()[arr_idx];
+        let stabs = build_stabilizers(dx, dz, arrangement);
+        prop_assert_eq!(stabs.len(), dx * dz - 1);
+        let to_pauli = |support: &[((usize, usize), PauliOp)]| {
+            let sparse: Vec<(usize, PauliOp)> = support.iter().map(|&((i, j), p)| (i * dx + j, p)).collect();
+            Pauli::from_sparse(dx * dz, &sparse)
+        };
+        let paulis: Vec<Pauli> = stabs
+            .iter()
+            .map(|p| to_pauli(&p.data_coords().into_iter().map(|c| (c, p.kind.pauli())).collect::<Vec<_>>()))
+            .collect();
+        let lx = to_pauli(&logical_x_support(dx, dz, arrangement));
+        let lz = to_pauli(&logical_z_support(dx, dz, arrangement));
+        prop_assert!(!lx.commutes_with(&lz));
+        for (i, a) in paulis.iter().enumerate() {
+            prop_assert!(a.commutes_with(&lx));
+            prop_assert!(a.commutes_with(&lz));
+            for b in paulis.iter().skip(i + 1) {
+                prop_assert!(a.commutes_with(b));
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every compiled preparation + syndrome round passes the independent
+    /// hardware validity checker (no zone or junction is used by two
+    /// overlapping operations, all transport steps are legal).
+    #[test]
+    fn compiled_rounds_pass_independent_validity_checking(dx in 2usize..4, dz in 2usize..4) {
+        let rows = tiscc::core::plaquette::tile_rows(dz) + 1;
+        let cols = tiscc::core::plaquette::tile_cols(dx) + 1;
+        let mut hw = HardwareModel::new(rows, cols);
+        let mut patch = LogicalQubit::new(&mut hw, dx, dz, 1, (0, 0)).unwrap();
+        let snapshot = hw.grid().snapshot();
+        patch.transversal_prepare_z(&mut hw).unwrap();
+        patch.syndrome_round(&mut hw, "validity round").unwrap();
+        let layout = hw.grid().layout().clone();
+        prop_assert!(check_circuit(&layout, &snapshot, hw.circuit()).is_ok());
+    }
+}

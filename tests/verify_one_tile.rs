@@ -1,0 +1,93 @@
+//! Sec. 4.3 — process tomography of one-tile operations in the logical
+//! sub-space: Idle, Hadamard and the logical Paulis have their expected
+//! process maps; the ion-movement translation pair (Fig. 4) and repeated
+//! idling act as the identity.
+
+use tiscc::core::translate::move_right_then_swap_left;
+use tiscc::estimator::verify::process_map_of;
+use tiscc::math::PauliOp;
+use tiscc::orqcs::ProcessMap;
+
+#[test]
+fn idle_is_the_identity_process() {
+    for (dx, dz) in [(2, 2), (3, 3), (3, 4)] {
+        let map = process_map_of(dx, dz, 2, 7, |hw, patch| patch.idle(hw).map(|_| ())).unwrap();
+        assert!(
+            map.max_deviation(&ProcessMap::identity()) < 1e-9,
+            "Idle at dx={dx} dz={dz}: {map:?}"
+        );
+    }
+}
+
+#[test]
+fn hadamard_has_the_hadamard_process_map() {
+    for (dx, dz) in [(2, 2), (3, 3)] {
+        let map = process_map_of(dx, dz, 1, 11, |hw, patch| {
+            patch.transversal_hadamard(hw)?;
+            // A round in the rotated arrangement keeps the patch quiescent and
+            // exercises the swapped measurement patterns.
+            patch.syndrome_round(hw, "post-H round").map(|_| ())
+        })
+        .unwrap();
+        assert!(
+            map.max_deviation(&ProcessMap::hadamard()) < 1e-9,
+            "Hadamard at dx={dx} dz={dz}: {map:?}"
+        );
+    }
+}
+
+#[test]
+fn logical_paulis_have_their_process_maps() {
+    for (axis, pauli) in [('X', PauliOp::X), ('Y', PauliOp::Y), ('Z', PauliOp::Z)] {
+        let map = process_map_of(3, 3, 1, 13, |hw, patch| {
+            patch.apply_logical_pauli(hw, pauli)?;
+            patch.syndrome_round(hw, "post-Pauli round").map(|_| ())
+        })
+        .unwrap();
+        assert!(
+            map.max_deviation(&ProcessMap::pauli(axis)) < 1e-9,
+            "Pauli {axis}: {map:?}"
+        );
+    }
+}
+
+#[test]
+fn double_hadamard_is_the_identity() {
+    let map = process_map_of(3, 3, 1, 17, |hw, patch| {
+        patch.transversal_hadamard(hw)?;
+        patch.syndrome_round(hw, "between")?;
+        patch.transversal_hadamard(hw)?;
+        patch.syndrome_round(hw, "after").map(|_| ())
+    })
+    .unwrap();
+    assert!(map.max_deviation(&ProcessMap::identity()) < 1e-9);
+}
+
+#[test]
+fn translation_pair_is_the_identity_process() {
+    let map = process_map_of(3, 3, 1, 19, |hw, patch| {
+        move_right_then_swap_left(hw, patch)?;
+        patch.syndrome_round(hw, "post-translation round").map(|_| ())
+    })
+    .unwrap();
+    assert!(map.max_deviation(&ProcessMap::identity()) < 1e-9, "{map:?}");
+}
+
+#[test]
+fn repeated_idle_rounds_keep_syndromes_stable() {
+    // Stabilizer outcomes are non-deterministic in the first round but must
+    // repeat exactly in subsequent rounds (quiescent state, Sec. 4.3).
+    use tiscc::estimator::verify::{Fiducial, SingleTile};
+    let mut fixture = SingleTile::new(4, 4, 1).unwrap();
+    Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
+    let r1 = fixture.patch.syndrome_round(&mut fixture.hw, "round 1").unwrap();
+    let r2 = fixture.patch.syndrome_round(&mut fixture.hw, "round 2").unwrap();
+    let run = fixture.simulate(3);
+    for (cell, idx1) in &r1.measurements {
+        let idx2 = r2.measurements[cell];
+        assert_eq!(
+            run.outcomes[*idx1], run.outcomes[idx2],
+            "stabilizer {cell:?} changed value between noiseless rounds"
+        );
+    }
+}

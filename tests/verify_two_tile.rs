@@ -1,0 +1,157 @@
+//! Sec. 4.4 — verification of the two-tile operations (`Measure XX/ZZ` via
+//! merge and split) and of the derived instructions built from them (Bell
+//! state preparation, Extend-Split, Move), conditioned on the lattice-surgery
+//! measurement outcomes as required by the Sec. 4.5 post-processing rules.
+
+use tiscc::core::derived::{bell_state_preparation, extend_split, move_patch_down};
+use tiscc::core::surgery::{measure_xx, measure_zz};
+use tiscc::estimator::verify::{corrected, Fiducial, TwoTiles};
+use tiscc::math::PauliOp;
+
+fn eigen(spec: &tiscc::core::LogicalOutcomeSpec, run: &tiscc::orqcs::RunResult) -> i8 {
+    let mut parity = spec.invert;
+    for &m in &spec.parity_of {
+        parity ^= run.outcomes[m];
+    }
+    if parity {
+        -1
+    } else {
+        1
+    }
+}
+
+#[test]
+fn measure_xx_on_plus_plus_is_deterministic_and_preserves_the_state() {
+    // |+>|+> is a +1 eigenstate of XX: the reported outcome must be +1 and
+    // both logical X values must remain +1 afterwards.
+    for seed in 0..5u64 {
+        let mut f = TwoTiles::new(3, 3, 2).unwrap();
+        Fiducial::Plus.prepare(&mut f.hw, &mut f.upper).unwrap();
+        Fiducial::Plus.prepare(&mut f.hw, &mut f.lower).unwrap();
+        let spec = measure_xx(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+        let run = f.simulate(seed);
+        assert_eq!(eigen(&spec, &run), 1, "XX on |+>|+> must read +1 (seed {seed})");
+        assert_eq!(corrected(&f.upper.tracked_x().unwrap()).expectation(&run), 1);
+        assert_eq!(corrected(&f.lower.tracked_x().unwrap()).expectation(&run), 1);
+    }
+}
+
+#[test]
+fn measure_xx_on_plus_minus_reads_minus_one() {
+    let mut f = TwoTiles::new(3, 3, 2).unwrap();
+    Fiducial::Plus.prepare(&mut f.hw, &mut f.upper).unwrap();
+    Fiducial::Minus.prepare(&mut f.hw, &mut f.lower).unwrap();
+    let spec = measure_xx(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+    let run = f.simulate(41);
+    assert_eq!(eigen(&spec, &run), -1);
+    assert_eq!(corrected(&f.lower.tracked_x().unwrap()).expectation(&run), -1);
+}
+
+#[test]
+fn measure_xx_on_zero_zero_projects_and_preserves_zz() {
+    // |0>|0> has <XX> = 0: the outcome is random, but afterwards the state
+    // must be an eigenstate of XX matching the reported outcome while Z_A Z_B
+    // (=+1 initially) is preserved through the merge and split.
+    let mut saw = [false, false];
+    for seed in 0..8u64 {
+        let mut f = TwoTiles::new(2, 2, 1).unwrap();
+        Fiducial::Zero.prepare(&mut f.hw, &mut f.upper).unwrap();
+        Fiducial::Zero.prepare(&mut f.hw, &mut f.lower).unwrap();
+        let spec = measure_xx(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+        let run = f.simulate(seed);
+        let outcome = eigen(&spec, &run);
+        saw[(outcome < 0) as usize] = true;
+
+        let xx = f.joint_expectation(
+            &run,
+            &f.upper.tracked_x().unwrap(),
+            &f.lower.tracked_x().unwrap(),
+        );
+        assert_eq!(xx, outcome, "post-state must be an XX eigenstate matching the outcome");
+        let zz = f.joint_expectation(
+            &run,
+            &f.upper.tracked_z().unwrap(),
+            &f.lower.tracked_z().unwrap(),
+        );
+        assert_eq!(zz, 1, "Z_A Z_B must be preserved by the XX measurement");
+    }
+    assert!(saw[0] && saw[1], "both XX outcomes must occur over different seeds");
+}
+
+#[test]
+fn measure_zz_between_horizontally_adjacent_patches() {
+    // |0>|0> is a +1 eigenstate of ZZ; |1>|0> is a -1 eigenstate.
+    let mut f = TwoTiles::new_horizontal(3, 3, 2).unwrap();
+    Fiducial::Zero.prepare(&mut f.hw, &mut f.upper).unwrap();
+    Fiducial::Zero.prepare(&mut f.hw, &mut f.lower).unwrap();
+    let spec = measure_zz(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+    let run = f.simulate(3);
+    assert_eq!(eigen(&spec, &run), 1);
+
+    let mut f = TwoTiles::new_horizontal(3, 3, 2).unwrap();
+    Fiducial::One.prepare(&mut f.hw, &mut f.upper).unwrap();
+    Fiducial::Zero.prepare(&mut f.hw, &mut f.lower).unwrap();
+    let spec = measure_zz(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+    let run = f.simulate(4);
+    assert_eq!(eigen(&spec, &run), -1);
+    // X_A X_B must be preserved (it commutes with ZZ): both inputs are Z
+    // eigenstates so it is 0 before and after.
+    let xx = f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
+    assert_eq!(xx, 0);
+}
+
+#[test]
+fn bell_state_preparation_yields_a_corrected_bell_pair() {
+    for seed in 0..6u64 {
+        let mut f = TwoTiles::new(2, 2, 1).unwrap();
+        let spec = bell_state_preparation(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+        let run = f.simulate(seed);
+        let m = eigen(&spec, &run);
+        // The pair is stabilised by m·X_AX_B and +Z_AZ_B.
+        let xx = f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
+        let zz = f.joint_expectation(&run, &f.upper.tracked_z().unwrap(), &f.lower.tracked_z().unwrap());
+        assert_eq!(xx, m, "seed {seed}");
+        assert_eq!(zz, 1, "seed {seed}");
+        // Individual logical Z values are maximally mixed.
+        assert_eq!(corrected(&f.upper.tracked_z().unwrap()).expectation(&run), 0);
+    }
+}
+
+#[test]
+fn extend_split_behaves_like_prepare_plus_measure_xx() {
+    let mut f = TwoTiles::new(3, 3, 1).unwrap();
+    Fiducial::Plus.prepare(&mut f.hw, &mut f.upper).unwrap();
+    let spec = extend_split(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+    let run = f.simulate(8);
+    // The upper patch was |+>: the measured XX value equals the new lower
+    // patch's X value, and the upper patch stays +1.
+    let m = eigen(&spec, &run);
+    assert_eq!(corrected(&f.upper.tracked_x().unwrap()).expectation(&run), 1);
+    assert_eq!(corrected(&f.lower.tracked_x().unwrap()).expectation(&run), m);
+    assert!(f.upper.is_initialized() && f.lower.is_initialized());
+}
+
+#[test]
+fn move_preserves_every_logical_pauli_eigenstate() {
+    for (fiducial, axis) in [
+        (Fiducial::Zero, PauliOp::Z),
+        (Fiducial::Plus, PauliOp::X),
+        (Fiducial::PlusI, PauliOp::Y),
+    ] {
+        let mut f = TwoTiles::new(2, 2, 1).unwrap();
+        fiducial.prepare(&mut f.hw, &mut f.upper).unwrap();
+        let moved = move_patch_down(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();
+        let run = f.simulate(77);
+        let tracked = match axis {
+            PauliOp::X => moved.tracked_x().unwrap(),
+            PauliOp::Y => moved.tracked_y().unwrap(),
+            _ => moved.tracked_z().unwrap(),
+        };
+        assert_eq!(
+            corrected(&tracked).expectation(&run),
+            1,
+            "Move must preserve the {axis:?} eigenstate prepared as {fiducial:?}"
+        );
+        assert!(!f.upper.is_initialized(), "source tile is consumed");
+    }
+}
