@@ -1,56 +1,133 @@
-//! The `tiscc` executable: compile one surface-code instruction at given code
-//! distances and print the resulting resource counts (mirrors the
-//! command-line usage described in Appendix B of the paper).
+//! The `tiscc` executable.
 //!
 //! ```text
-//! tiscc <instruction> [dx] [dz] [dt]
+//! tiscc compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
+//! tiscc tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
+//! tiscc sweep [--dmax N] [--dt N|d] [--out F]  batched resource sweep (CSV + JSON)
+//! tiscc verify [--seed N]                      run the Sec. 4 verification harness
 //! ```
 //!
 //! `<instruction>` is one of: prepare_z, prepare_x, inject_y, inject_t,
 //! measure_z, measure_x, pauli_x, pauli_y, pauli_z, hadamard, idle,
 //! measure_xx, measure_zz.
 
-use tiscc_core::instruction::Instruction;
-use tiscc_estimator::tables::compile_instruction_row;
+use std::path::PathBuf;
+use std::process::ExitCode;
 
-fn parse_instruction(name: &str) -> Option<Instruction> {
-    Some(match name.to_ascii_lowercase().as_str() {
-        "prepare_z" => Instruction::PrepareZ,
-        "prepare_x" => Instruction::PrepareX,
-        "inject_y" => Instruction::InjectY,
-        "inject_t" => Instruction::InjectT,
-        "measure_z" => Instruction::MeasureZ,
-        "measure_x" => Instruction::MeasureX,
-        "pauli_x" => Instruction::PauliX,
-        "pauli_y" => Instruction::PauliY,
-        "pauli_z" => Instruction::PauliZ,
-        "hadamard" => Instruction::Hadamard,
-        "idle" => Instruction::Idle,
-        "measure_xx" => Instruction::MeasureXX,
-        "measure_zz" => Instruction::MeasureZZ,
-        _ => return None,
-    })
+use tiscc_core::instruction::Instruction;
+use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
+use tiscc_estimator::tables;
+use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
+
+const USAGE: &str = "usage: tiscc <subcommand> [args]
+
+subcommands:
+  compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
+  tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
+  sweep [--dmax N] [--dt N|d]            batched resource sweep (CSV + JSON)
+        [--out F.csv] [--json F.json]    write artifacts (default: CSV to stdout)
+  verify [--seed N]                      run the verification harness
+
+flags take a value as `--flag VALUE` or `--flag=VALUE`
+
+instructions: prepare_z prepare_x inject_y inject_t measure_z measure_x
+              pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+/// Minimal flag parser accepting `--flag VALUE` and `--flag=VALUE`: returns
+/// positional args and a lookup for flag values.
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, String)>,
+}
 
-    let Some(instr_name) = positional.first() else {
-        eprintln!("usage: tiscc <instruction> [dx] [dz] [dt]");
-        eprintln!("instructions: prepare_z prepare_x inject_y inject_t measure_z measure_x");
-        eprintln!("              pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz");
-        std::process::exit(2);
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut it = raw.iter().peekable();
+        while let Some(arg) = it.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                if let Some((name, value)) = name.split_once('=') {
+                    flags.push((name.to_string(), value.to_string()));
+                    continue;
+                }
+                let value = it
+                    .peek()
+                    .filter(|v| !v.starts_with("--"))
+                    .map(|v| v.to_string())
+                    .unwrap_or_default();
+                if !value.is_empty() {
+                    it.next();
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(arg.clone());
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn flag_usize(&self, name: &str, default: usize) -> usize {
+        match self.flag(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("--{name} expects a number, got {v:?}");
+                std::process::exit(2);
+            }),
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(subcommand) = raw.first() else { usage() };
+    let args = Args::parse(&raw[1..]);
+    match subcommand.as_str() {
+        "compile" => cmd_compile(&args),
+        "tables" => cmd_tables(&args),
+        "sweep" => cmd_sweep(&args),
+        "verify" => cmd_verify(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            // Backwards compatibility with the original single-purpose CLI:
+            // `tiscc prepare_z 3` behaves as `tiscc compile prepare_z 3`.
+            if Instruction::from_id(other).is_some() {
+                let mut compat = vec![other.to_string()];
+                compat.extend(args.positional.iter().cloned());
+                return cmd_compile(&Args { positional: compat, flags: args.flags });
+            }
+            eprintln!("unknown subcommand '{other}'");
+            usage()
+        }
+    }
+}
+
+fn cmd_compile(args: &Args) -> ExitCode {
+    let Some(instr_name) = args.positional.first() else {
+        eprintln!("usage: tiscc compile <instruction> [dx] [dz] [dt]");
+        return ExitCode::from(2);
     };
-    let Some(instruction) = parse_instruction(instr_name) else {
+    let Some(instruction) = Instruction::from_id(instr_name) else {
         eprintln!("unknown instruction '{instr_name}'");
-        std::process::exit(2);
+        return ExitCode::from(2);
     };
-    let dx: usize = positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let dz: usize = positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(dx);
-    let dt: usize = positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(dz.max(dx));
+    let dx: usize = args.positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let dz: usize = args.positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(dx);
+    let dt: usize = args.positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(dz.max(dx));
 
-    match compile_instruction_row(instruction, dx, dz, dt) {
+    match tables::compile_instruction_row(instruction, dx, dz, dt) {
         Ok(row) => {
             println!(
                 "{} at dx={dx} dz={dz} dt={dt}: {} logical time-step(s), {} tile(s)",
@@ -59,10 +136,195 @@ fn main() {
                 row.tiles
             );
             println!("{}", row.resources.render());
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("compilation failed: {e}");
-            std::process::exit(1);
+            ExitCode::FAILURE
         }
+    }
+}
+
+type TableJob = fn(usize, usize) -> Result<Vec<tables::ResourceRow>, tiscc_core::CoreError>;
+
+fn cmd_tables(args: &Args) -> ExitCode {
+    let d = args.flag_usize("d", 3).max(2);
+    let dt = args.flag_usize("dt", 2);
+    println!("{}", tables::table5());
+    let jobs: [(&str, TableJob); 3] = [
+        ("Table 1: local lattice-surgery instruction set", |d, dt| tables::table1_rows(&[d], dt)),
+        ("Table 2: primitive operations", tables::table2_rows),
+        ("Table 3: derived instruction set", tables::table3_rows),
+    ];
+    for (title, job) in jobs {
+        match job(d, dt) {
+            Ok(rows) => println!("{}", tables::render_rows(title, &rows)),
+            Err(e) => {
+                eprintln!("error compiling {title}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &Args) -> ExitCode {
+    let dmax = args.flag_usize("dmax", 5).max(2);
+    let mut spec = SweepSpec::paper(dmax);
+    if let Some(dt) = args.flag("dt") {
+        if dt != "d" {
+            let Ok(dt) = dt.parse::<usize>() else {
+                eprintln!("--dt expects a number or 'd', got {dt:?}");
+                return ExitCode::from(2);
+            };
+            spec.dts = vec![DtPolicy::Fixed(dt)];
+        }
+    }
+
+    let cache = CompileCache::new();
+    eprintln!(
+        "sweeping {} configurations ({} instructions x d=2..={} with dt policy {:?})",
+        spec.len(),
+        spec.instructions.len(),
+        dmax,
+        spec.dts
+    );
+    let result = match run_sweep(&spec, &cache) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "cold sweep: {} rows in {:.2}s on {} thread(s) ({} compiled, {} cache hits)",
+        result.rows.len(),
+        result.elapsed_s,
+        result.threads,
+        result.cache_misses,
+        result.cache_hits
+    );
+
+    // A second in-process sweep over the same spec: every row must now come
+    // from the compile cache. This both demonstrates and regression-checks
+    // the memoization (a real client issuing overlapping sweeps, e.g. the
+    // Table 1/2/3 generators, shares primitives exactly this way).
+    match run_sweep(&spec, &cache) {
+        Ok(warm) => {
+            eprintln!(
+                "warm sweep: {} rows in {:.3}s ({} cache hits, {} compiled)",
+                warm.rows.len(),
+                warm.elapsed_s,
+                warm.cache_hits,
+                warm.cache_misses
+            );
+            if warm.cache_misses != 0 || warm.rows != result.rows {
+                eprintln!("cache inconsistency: warm sweep diverged from cold sweep");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("warm sweep failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Artifact targets: --out writes the CSV (and, unless --json overrides
+    // it, a JSON sibling next to it); --json alone writes only the JSON.
+    let csv_path = args.flag("out").map(PathBuf::from);
+    let json_path = match (args.flag("json"), &csv_path) {
+        (Some(j), _) => Some(PathBuf::from(j)),
+        (None, Some(csv)) => Some(csv.with_extension("json")),
+        (None, None) => None,
+    };
+    if let Some(csv_path) = &csv_path {
+        if let Err(e) = result.write_csv(csv_path) {
+            eprintln!("cannot write {}: {e}", csv_path.display());
+            return ExitCode::FAILURE;
+        }
+        // Self-check: the artifact we just wrote must parse back.
+        match std::fs::read_to_string(csv_path).map_err(|e| e.to_string()) {
+            Ok(text) => {
+                if let Err(e) = parse_csv(&text) {
+                    eprintln!("written CSV failed to re-parse: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot re-read {}: {e}", csv_path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        eprintln!("wrote {}", csv_path.display());
+    }
+    if let Some(json_path) = &json_path {
+        if let Err(e) = result.write_json(json_path) {
+            eprintln!("cannot write {}: {e}", json_path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", json_path.display());
+    }
+    if csv_path.is_none() && json_path.is_none() {
+        print!("{}", result.to_csv());
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_verify(args: &Args) -> ExitCode {
+    let seed = args.flag_usize("seed", 17) as u64;
+    let mut failures = 0usize;
+    println!("Sec. 4 verification (fiducial state preparation + Idle process map):");
+    for fiducial in Fiducial::all() {
+        let mut fixture = match SingleTile::new(2, 2, 1) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("fixture construction failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = fiducial.prepare(&mut fixture.hw, &mut fixture.patch) {
+            eprintln!("prepare {fiducial:?} failed to compile: {e}");
+            failures += 1;
+            continue;
+        }
+        let run = fixture.simulate(seed);
+        let bloch = fixture.logical_bloch(&run);
+        let ok = bloch.distance(&fiducial.bloch()) < 1e-9;
+        if !ok {
+            failures += 1;
+        }
+        println!(
+            "  prepare {:?}: bloch = ({:+.1}, {:+.1}, {:+.1})  {}",
+            fiducial,
+            bloch.x,
+            bloch.y,
+            bloch.z,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    match process_map_of(3, 3, 1, seed.wrapping_add(6), |hw, patch| patch.idle(hw).map(|_| ())) {
+        Ok(map) => {
+            let deviation = map.max_deviation(&tiscc_orqcs::ProcessMap::identity());
+            let ok = deviation < 1e-9;
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "  Idle process map deviation from identity: {:.3e}  {}",
+                deviation,
+                if ok { "ok" } else { "MISMATCH" }
+            );
+        }
+        Err(e) => {
+            eprintln!("idle process tomography failed: {e}");
+            failures += 1;
+        }
+    }
+    if failures == 0 {
+        println!("verification passed");
+        ExitCode::SUCCESS
+    } else {
+        println!("verification FAILED ({failures} check(s))");
+        ExitCode::FAILURE
     }
 }

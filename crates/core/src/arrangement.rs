@@ -137,13 +137,9 @@ mod tests {
 
     #[test]
     fn hadamard_then_flip_reaches_rotated_flipped() {
-        let a = Arrangement::Standard
-            .after_transversal_hadamard()
-            .after_flip_patch();
+        let a = Arrangement::Standard.after_transversal_hadamard().after_flip_patch();
         assert_eq!(a, Arrangement::RotatedFlipped);
-        let b = Arrangement::Standard
-            .after_flip_patch()
-            .after_transversal_hadamard();
+        let b = Arrangement::Standard.after_flip_patch().after_transversal_hadamard();
         assert_eq!(b, Arrangement::RotatedFlipped);
     }
 }

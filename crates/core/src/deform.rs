@@ -18,25 +18,16 @@ use crate::CoreError;
 
 /// Builds the Pauli operator (over an `nrows × ncols` data-coordinate index
 /// space) described by a sparse support of `(coordinate, label)` pairs.
-pub fn support_pauli(
-    nrows: usize,
-    ncols: usize,
-    support: &[((usize, usize), PauliOp)],
-) -> Pauli {
-    let sparse: Vec<(usize, PauliOp)> = support
-        .iter()
-        .map(|&((i, j), p)| (i * ncols + j, p))
-        .collect();
+pub fn support_pauli(nrows: usize, ncols: usize, support: &[((usize, usize), PauliOp)]) -> Pauli {
+    let sparse: Vec<(usize, PauliOp)> =
+        support.iter().map(|&((i, j), p)| (i * ncols + j, p)).collect();
     Pauli::from_sparse(nrows * ncols, &sparse)
 }
 
 /// The Pauli operator measured by a plaquette, over the same index space.
 pub fn plaquette_pauli(nrows: usize, ncols: usize, plaquette: &Plaquette) -> Pauli {
-    let support: Vec<((usize, usize), PauliOp)> = plaquette
-        .data_coords()
-        .into_iter()
-        .map(|c| (c, plaquette.kind.pauli()))
-        .collect();
+    let support: Vec<((usize, usize), PauliOp)> =
+        plaquette.data_coords().into_iter().map(|c| (c, plaquette.kind.pauli())).collect();
     support_pauli(nrows, ncols, &support)
 }
 
@@ -109,7 +100,9 @@ fn move_tracker(
     }
     let cells = movement_combination(dz, dx, patch.stabilizers(), kind, &old_support, &new_support)
         .ok_or_else(|| {
-            CoreError::NoDeformationPath(format!("no {kind:?} stabilizer product connects the supports"))
+            CoreError::NoDeformationPath(format!(
+                "no {kind:?} stabilizer product connects the supports"
+            ))
         })?;
     let mut frame_add = Vec::with_capacity(cells.len());
     for cell in cells {

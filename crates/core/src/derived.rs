@@ -9,9 +9,7 @@
 use tiscc_hw::HardwareModel;
 
 use crate::patch::LogicalQubit;
-use crate::surgery::{
-    contract_keep_bottom, extend_down, measure_xx, merge_patches, Orientation,
-};
+use crate::surgery::{contract_keep_bottom, extend_down, measure_xx, merge_patches, Orientation};
 use crate::syndrome::RoundRecord;
 use crate::tracker::LogicalOutcomeSpec;
 use crate::CoreError;
@@ -87,7 +85,9 @@ pub fn bell_state_preparation(
     lower: &mut LogicalQubit,
 ) -> Result<LogicalOutcomeSpec, CoreError> {
     if upper.is_initialized() || lower.is_initialized() {
-        return Err(CoreError::InvalidState("Bell preparation requires uninitialised tiles".into()));
+        return Err(CoreError::InvalidState(
+            "Bell preparation requires uninitialised tiles".into(),
+        ));
     }
     upper.transversal_prepare_z(hw)?;
     lower.transversal_prepare_z(hw)?;
@@ -121,7 +121,9 @@ pub fn extend_split(
 ) -> Result<LogicalOutcomeSpec, CoreError> {
     upper.require_initialized("Extend-Split")?;
     if lower.is_initialized() {
-        return Err(CoreError::InvalidState("Extend-Split target tile must be uninitialised".into()));
+        return Err(CoreError::InvalidState(
+            "Extend-Split target tile must be uninitialised".into(),
+        ));
     }
     lower.transversal_prepare_z(hw)?;
     measure_xx(hw, upper, lower)

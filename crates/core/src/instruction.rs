@@ -93,6 +93,37 @@ impl Instruction {
         }
     }
 
+    /// A stable, machine-readable identifier (snake case): the form used by
+    /// the command line and by serialized sweep artifacts.
+    pub fn id(self) -> &'static str {
+        match self {
+            Instruction::PrepareZ => "prepare_z",
+            Instruction::PrepareX => "prepare_x",
+            Instruction::InjectY => "inject_y",
+            Instruction::InjectT => "inject_t",
+            Instruction::MeasureZ => "measure_z",
+            Instruction::MeasureX => "measure_x",
+            Instruction::PauliX => "pauli_x",
+            Instruction::PauliY => "pauli_y",
+            Instruction::PauliZ => "pauli_z",
+            Instruction::Hadamard => "hadamard",
+            Instruction::Idle => "idle",
+            Instruction::MeasureXX => "measure_xx",
+            Instruction::MeasureZZ => "measure_zz",
+        }
+    }
+
+    /// Parses an instruction from either its [`Instruction::id`] or its
+    /// paper name ([`Instruction::name`]), case-insensitively.
+    pub fn from_id(text: &str) -> Option<Instruction> {
+        let normalized: String = text
+            .trim()
+            .chars()
+            .map(|c| if c == ' ' || c == '-' { '_' } else { c.to_ascii_lowercase() })
+            .collect();
+        Instruction::all().iter().copied().find(|i| i.id() == normalized)
+    }
+
     /// Every instruction, in the order of Table 1.
     pub fn all() -> &'static [Instruction] {
         &[
@@ -219,7 +250,8 @@ mod tests {
     #[test]
     fn table1_tile_accounting() {
         for &i in Instruction::all() {
-            let expected = if matches!(i, Instruction::MeasureXX | Instruction::MeasureZZ) { 2 } else { 1 };
+            let expected =
+                if matches!(i, Instruction::MeasureXX | Instruction::MeasureZZ) { 2 } else { 1 };
             assert_eq!(i.tiles(), expected, "{}", i.name());
         }
         assert_eq!(Instruction::all().len(), 13);

@@ -17,6 +17,10 @@ use crate::syndrome::{syndrome_round, PatchBinding, RoundRecord};
 use crate::tracker::{LogicalOutcomeSpec, OperatorTracker, TrackedOperator};
 use crate::CoreError;
 
+/// Per-data-qubit measurement indices of a transversal readout, keyed by the
+/// data qubit's `(row, col)` coordinate within the tile.
+pub type DataMeasurementIndices = HashMap<(usize, usize), usize>;
+
 /// A surface-code patch occupying one (or, transiently during lattice
 /// surgery and extension, more than one) logical tile.
 ///
@@ -55,8 +59,16 @@ impl LogicalQubit {
         dt: usize,
         origin: (u32, u32),
     ) -> Result<Self, CoreError> {
-        assert!(dx >= 2 && dz >= 2, "code distances must be at least 2");
-        assert!(dt >= 1, "temporal distance must be at least 1");
+        if dx < 2 || dz < 2 {
+            return Err(CoreError::InvalidState(format!(
+                "code distances must be at least 2 (got dx={dx}, dz={dz})"
+            )));
+        }
+        if dt == 0 {
+            return Err(CoreError::InvalidState(
+                "temporal distance must be at least 1".to_string(),
+            ));
+        }
         let mut data_by_unit = HashMap::new();
         let mut measure_by_unit = HashMap::new();
         for r in 0..tile_rows(dz) {
@@ -178,10 +190,7 @@ impl LogicalQubit {
 
     /// The syndrome ion assigned to a stabilizer cell.
     pub fn measure_ion_for_cell(&self, cell: (i32, i32)) -> Result<QubitId, CoreError> {
-        let rel = (
-            (row_offset(self.dz) as i32 + cell.0) as u32,
-            (cell.1 + 1) as u32,
-        );
+        let rel = ((row_offset(self.dz) as i32 + cell.0) as u32, (cell.1 + 1) as u32);
         self.measure_by_unit
             .get(&rel)
             .copied()
@@ -190,11 +199,7 @@ impl LogicalQubit {
 
     /// Cells of all stabilizers of the given kind.
     pub fn cells_of_kind(&self, kind: StabKind) -> Vec<(i32, i32)> {
-        self.stabilizers
-            .iter()
-            .filter(|p| p.kind == kind)
-            .map(|p| p.cell)
-            .collect()
+        self.stabilizers.iter().filter(|p| p.kind == kind).map(|p| p.cell).collect()
     }
 
     /// The ion-level binding used by the syndrome compiler.
@@ -256,7 +261,7 @@ impl LogicalQubit {
     pub fn transversal_measure_z(
         &mut self,
         hw: &mut HardwareModel,
-    ) -> Result<(LogicalOutcomeSpec, HashMap<(usize, usize), usize>), CoreError> {
+    ) -> Result<(LogicalOutcomeSpec, DataMeasurementIndices), CoreError> {
         self.require_initialized("Measure Z")?;
         let mut indices = HashMap::new();
         for i in 0..self.dz {
@@ -275,7 +280,7 @@ impl LogicalQubit {
     pub fn transversal_measure_x(
         &mut self,
         hw: &mut HardwareModel,
-    ) -> Result<(LogicalOutcomeSpec, HashMap<(usize, usize), usize>), CoreError> {
+    ) -> Result<(LogicalOutcomeSpec, DataMeasurementIndices), CoreError> {
         self.require_initialized("Measure X")?;
         let mut indices = HashMap::new();
         for i in 0..self.dz {
@@ -297,9 +302,9 @@ impl LogicalQubit {
     ) -> Result<LogicalOutcomeSpec, CoreError> {
         let mut parity_of = Vec::new();
         for &(coord, _) in &tracker.support {
-            let idx = indices
-                .get(&coord)
-                .ok_or_else(|| CoreError::MissingIon(format!("no measurement for data {coord:?}")))?;
+            let idx = indices.get(&coord).ok_or_else(|| {
+                CoreError::MissingIon(format!("no measurement for data {coord:?}"))
+            })?;
             parity_of.push(*idx);
         }
         parity_of.extend_from_slice(&tracker.frame);
@@ -339,7 +344,11 @@ impl LogicalQubit {
 
     /// Applies a logical Pauli operator transversally along the tracked
     /// representative (the `Pauli X/Y/Z` primitive, 0 time-steps).
-    pub fn apply_logical_pauli(&mut self, hw: &mut HardwareModel, axis: PauliOp) -> Result<(), CoreError> {
+    pub fn apply_logical_pauli(
+        &mut self,
+        hw: &mut HardwareModel,
+        axis: PauliOp,
+    ) -> Result<(), CoreError> {
         self.require_initialized("Pauli")?;
         let support: Vec<((usize, usize), PauliOp)> = match axis {
             PauliOp::X => self.logical_x.support.clone(),
@@ -367,10 +376,7 @@ impl LogicalQubit {
             let entry = per_qubit.entry(c).or_insert(PauliOp::I);
             *entry = combine(*entry, op);
         }
-        let mut v: Vec<_> = per_qubit
-            .into_iter()
-            .filter(|&(_, op)| op != PauliOp::I)
-            .collect();
+        let mut v: Vec<_> = per_qubit.into_iter().filter(|&(_, op)| op != PauliOp::I).collect();
         v.sort_by_key(|&(c, _)| c);
         v
     }
@@ -396,8 +402,10 @@ impl LogicalQubit {
     /// they are preserved by the subsequent stabilizer measurements.
     fn inject(&mut self, hw: &mut HardwareModel, t_state: bool) -> Result<(), CoreError> {
         self.reset_trackers();
-        let x_coords: Vec<(usize, usize)> = self.logical_x.support.iter().map(|&(c, _)| c).collect();
-        let z_coords: Vec<(usize, usize)> = self.logical_z.support.iter().map(|&(c, _)| c).collect();
+        let x_coords: Vec<(usize, usize)> =
+            self.logical_x.support.iter().map(|&(c, _)| c).collect();
+        let z_coords: Vec<(usize, usize)> =
+            self.logical_z.support.iter().map(|&(c, _)| c).collect();
         let corner = *x_coords
             .iter()
             .find(|c| z_coords.contains(c))
@@ -426,7 +434,11 @@ impl LogicalQubit {
 
     /// One round of syndrome extraction over the patch's stabilizers
     /// (refreshes the latest-round record).
-    pub fn syndrome_round(&mut self, hw: &mut HardwareModel, label: &str) -> Result<RoundRecord, CoreError> {
+    pub fn syndrome_round(
+        &mut self,
+        hw: &mut HardwareModel,
+        label: &str,
+    ) -> Result<RoundRecord, CoreError> {
         self.require_initialized("syndrome extraction")?;
         let binding = self.binding();
         let record = syndrome_round(hw, &binding, label)?;
@@ -492,8 +504,10 @@ impl LogicalQubit {
     // ----- internal helpers ---------------------------------------------------
 
     pub(crate) fn reset_trackers(&mut self) {
-        self.logical_x = OperatorTracker::new(logical_x_support(self.dx, self.dz, self.arrangement));
-        self.logical_z = OperatorTracker::new(logical_z_support(self.dx, self.dz, self.arrangement));
+        self.logical_x =
+            OperatorTracker::new(logical_x_support(self.dx, self.dz, self.arrangement));
+        self.logical_z =
+            OperatorTracker::new(logical_z_support(self.dx, self.dz, self.arrangement));
         self.latest_round.clear();
     }
 
@@ -569,14 +583,8 @@ mod tests {
     fn primitives_require_initialization() {
         let mut hw = hw_for(3, 3);
         let mut patch = LogicalQubit::new(&mut hw, 3, 3, 2, (0, 0)).unwrap();
-        assert!(matches!(
-            patch.syndrome_round(&mut hw, "r"),
-            Err(CoreError::InvalidState(_))
-        ));
-        assert!(matches!(
-            patch.transversal_measure_z(&mut hw),
-            Err(CoreError::InvalidState(_))
-        ));
+        assert!(matches!(patch.syndrome_round(&mut hw, "r"), Err(CoreError::InvalidState(_))));
+        assert!(matches!(patch.transversal_measure_z(&mut hw), Err(CoreError::InvalidState(_))));
         patch.transversal_prepare_z(&mut hw).unwrap();
         assert!(patch.is_initialized());
         patch.syndrome_round(&mut hw, "r").unwrap();

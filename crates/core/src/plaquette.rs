@@ -177,12 +177,7 @@ pub fn build_stabilizers(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<
             out.push(Plaquette {
                 kind: tb_kind,
                 cell: (rb, c),
-                corners: [
-                    Some((dz - 1, c as usize)),
-                    Some((dz - 1, c as usize + 1)),
-                    None,
-                    None,
-                ],
+                corners: [Some((dz - 1, c as usize)), Some((dz - 1, c as usize + 1)), None, None],
                 anchor: rel_anchor(dz, (rb, c)),
             });
         }
@@ -205,12 +200,7 @@ pub fn build_stabilizers(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<
             out.push(Plaquette {
                 kind: lr_kind,
                 cell: (r, cb),
-                corners: [
-                    Some((r as usize, dx - 1)),
-                    None,
-                    Some((r as usize + 1, dx - 1)),
-                    None,
-                ],
+                corners: [Some((r as usize, dx - 1)), None, Some((r as usize + 1, dx - 1)), None],
                 anchor: rel_anchor(dz, (r, cb)),
             });
         }
@@ -228,7 +218,11 @@ fn rel_anchor(dz: usize, cell: (i32, i32)) -> (u32, u32) {
 
 /// Default-edge logical X support: the top row for vertical-Z arrangements,
 /// the left column otherwise.
-pub fn logical_x_support(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<((usize, usize), PauliOp)> {
+pub fn logical_x_support(
+    dx: usize,
+    dz: usize,
+    arrangement: Arrangement,
+) -> Vec<((usize, usize), PauliOp)> {
     if arrangement.logical_z_vertical() {
         (0..dx).map(|j| ((0, j), PauliOp::X)).collect()
     } else {
@@ -238,7 +232,11 @@ pub fn logical_x_support(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<
 
 /// Default-edge logical Z support: the left column for vertical-Z
 /// arrangements, the top row otherwise.
-pub fn logical_z_support(dx: usize, dz: usize, arrangement: Arrangement) -> Vec<((usize, usize), PauliOp)> {
+pub fn logical_z_support(
+    dx: usize,
+    dz: usize,
+    arrangement: Arrangement,
+) -> Vec<((usize, usize), PauliOp)> {
     if arrangement.logical_z_vertical() {
         (0..dz).map(|i| ((i, 0), PauliOp::Z)).collect()
     } else {

@@ -188,7 +188,8 @@ pub fn merge_patches(
     // merged coordinates (the second patch's coordinates are offset past the
     // ancilla strip).
     let offset = gap.end;
-    let mut rep_product = support_pauli(mdz, mdx, &shift_support(&first_rep(first, orientation), (0, 0)));
+    let mut rep_product =
+        support_pauli(mdz, mdx, &shift_support(&first_rep(first, orientation), (0, 0)));
     let second_shift = match orientation {
         Orientation::Vertical => (offset, 0),
         Orientation::Horizontal => (0, offset),
@@ -203,14 +204,14 @@ pub fn merge_patches(
     // using the patches' own (non-seam) stabilizers of the same type.
     let mut target = seam_product.clone();
     target.mul_assign(&rep_product);
-    let own_stabs: Vec<&crate::Plaquette> = merged
-        .stabilizers()
-        .iter()
-        .filter(|p| p.kind == seam_kind && !touches_gap(p))
-        .collect();
-    let correction_cells = combination_for_target(mdz, mdx, &own_stabs, &target).ok_or_else(|| {
-        CoreError::NoDeformationPath("seam product does not reduce to the default logical product".into())
-    })?;
+    let own_stabs: Vec<&crate::Plaquette> =
+        merged.stabilizers().iter().filter(|p| p.kind == seam_kind && !touches_gap(p)).collect();
+    let correction_cells =
+        combination_for_target(mdz, mdx, &own_stabs, &target).ok_or_else(|| {
+            CoreError::NoDeformationPath(
+                "seam product does not reduce to the default logical product".into(),
+            )
+        })?;
 
     let first_round = &rounds[0];
     let mut parity_of: Vec<usize> = Vec::new();
@@ -251,10 +252,7 @@ fn shift_support(
     support: &[((usize, usize), PauliOp)],
     shift: (usize, usize),
 ) -> Vec<((usize, usize), PauliOp)> {
-    support
-        .iter()
-        .map(|&((i, j), p)| ((i + shift.0, j + shift.1), p))
-        .collect()
+    support.iter().map(|&((i, j), p)| ((i + shift.0, j + shift.1), p)).collect()
 }
 
 /// Splits a merged patch back into its two constituents (the `Split`

@@ -83,10 +83,9 @@ pub fn syndrome_round(
 ) -> Result<RoundRecord, CoreError> {
     let mut record = RoundRecord::default();
     for plaq in &binding.stabilizers {
-        let measure_ion = *binding
-            .measure_ions
-            .get(&plaq.cell)
-            .ok_or_else(|| CoreError::MissingIon(format!("measure ion for cell {:?}", plaq.cell)))?;
+        let measure_ion = *binding.measure_ions.get(&plaq.cell).ok_or_else(|| {
+            CoreError::MissingIon(format!("measure ion for cell {:?}", plaq.cell))
+        })?;
         let home = measure_home_site(anchor_unit(binding.origin, binding.dz, plaq.cell));
 
         // Ancilla preparation: |0⟩ for Z-type, |+⟩ for X-type.

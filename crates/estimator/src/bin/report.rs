@@ -10,18 +10,27 @@ use tiscc_estimator::{experiments, tables};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let experiment = args.first().map(String::as_str).unwrap_or("all");
-    let distances: Vec<usize> = args[1.min(args.len())..]
-        .iter()
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let distances: Vec<usize> =
+        args[1.min(args.len())..].iter().filter_map(|a| a.parse().ok()).collect();
     let distances = if distances.is_empty() { vec![2, 3] } else { distances };
 
     match experiment {
-        "table1" => print_rows("Table 1: local lattice-surgery instruction set", tables::table1_rows(&distances, 2)),
-        "table2" => print_rows("Table 2: primitive operations", tables::table2_rows(distances[0].max(2), 2)),
-        "table3" => print_rows("Table 3: derived instruction set", tables::table3_rows(distances[0].max(2), 2)),
+        "table1" => print_rows(
+            "Table 1: local lattice-surgery instruction set",
+            tables::table1_rows(&distances, 2),
+        ),
+        "table2" => {
+            print_rows("Table 2: primitive operations", tables::table2_rows(distances[0].max(2), 2))
+        }
+        "table3" => print_rows(
+            "Table 3: derived instruction set",
+            tables::table3_rows(distances[0].max(2), 2),
+        ),
         "table5" => println!("{}", tables::table5()),
-        "fig2" => println!("{}", experiments::arrangements_report(distances[0].max(2), distances[0].max(2))),
+        "fig2" => println!(
+            "{}",
+            experiments::arrangements_report(distances[0].max(2), distances[0].max(2))
+        ),
         "fig3" => println!("{}", experiments::operator_movement_report(distances[0].max(3))),
         "fig4" => match experiments::translation_report(distances[0].max(2)) {
             Ok((text, report)) => {
@@ -79,7 +88,8 @@ fn run_verification() {
             fiducial.bloch()
         );
     }
-    let idle = process_map_of(3, 3, 1, 23, |hw, patch| patch.idle(hw).map(|_| ())).expect("idle map");
+    let idle =
+        process_map_of(3, 3, 1, 23, |hw, patch| patch.idle(hw).map(|_| ())).expect("idle map");
     println!(
         "  Idle process map deviation from identity: {:.3e}",
         idle.max_deviation(&tiscc_orqcs::ProcessMap::identity())

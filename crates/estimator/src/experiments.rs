@@ -26,7 +26,8 @@ pub fn arrangements_report(dx: usize, dz: usize) -> String {
         tiscc_core::plaquette::row_offset(dz),
         tiscc_core::plaquette::col_strip(dx),
     ));
-    let layout = Layout::new(tiscc_core::plaquette::tile_rows(dz), tiscc_core::plaquette::tile_cols(dx));
+    let layout =
+        Layout::new(tiscc_core::plaquette::tile_rows(dz), tiscc_core::plaquette::tile_cols(dx));
     out.push_str("Hardware sites of one tile (J junction, O operation, M memory):\n");
     out.push_str(&layout.render_ascii());
     out.push('\n');
@@ -73,16 +74,17 @@ pub fn operator_movement_report(d: usize) -> String {
     for arrangement in [Arrangement::Standard, Arrangement::Rotated] {
         let stabs = build_stabilizers(d, d, arrangement);
         let from_x = logical_x_support(d, d, arrangement);
-        let to_x: Vec<((usize, usize), PauliOp)> = from_x
-            .iter()
-            .map(|&((i, j), p)| {
-                if arrangement.logical_z_vertical() {
-                    ((d - 1, j), p)
-                } else {
-                    ((i, d - 1), p)
-                }
-            })
-            .collect();
+        let to_x: Vec<((usize, usize), PauliOp)> =
+            from_x
+                .iter()
+                .map(|&((i, j), p)| {
+                    if arrangement.logical_z_vertical() {
+                        ((d - 1, j), p)
+                    } else {
+                        ((i, d - 1), p)
+                    }
+                })
+                .collect();
         let cells = movement_combination(d, d, &stabs, StabKind::X, &from_x, &to_x);
         out.push_str(&format!(
             "  {arrangement:?}: moving X_L to the opposite edge measures {} X-type stabilizers: {:?}\n",
@@ -101,7 +103,8 @@ pub fn translation_report(d: usize) -> Result<(String, ResourceReport), CoreErro
     let before = fixture.hw.circuit().len();
     let transport_ops = move_right_then_swap_left(&mut fixture.hw, &mut fixture.patch)?;
     let ops: Vec<_> = fixture.hw.circuit().ops()[before..].to_vec();
-    let report = ResourceReport::from_circuit(&tiscc_hw::Circuit::from_ops(ops), fixture.hw.grid().layout());
+    let report =
+        ResourceReport::from_circuit(&tiscc_hw::Circuit::from_ops(ops), fixture.hw.grid().layout());
     let text = format!(
         "Move Right + Swap Left at d={d}: {} transport operations, {:.6} s, {} junction(s) traversed\n",
         transport_ops, report.execution_time_s, report.junctions

@@ -7,6 +7,8 @@
 //! * [`tables`] — Tables 1–3 (instruction sets with logical time-step
 //!   accounting), Table 5 (native gate set and durations) and the Sec. 3.4
 //!   resource-estimation sweep,
+//! * [`sweep`] — the batched sweep engine: [`sweep::SweepSpec`] grids fanned
+//!   out over rayon with a concurrent compile cache and CSV/JSON emission,
 //! * [`verify`] — the Sec. 4 verification harness: logical state and process
 //!   tomography of compiled circuits, with Pauli-frame corrections,
 //! * [`experiments`] — the figure-level reports (arrangements, operator
@@ -18,5 +20,8 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 pub mod tables;
 pub mod verify;
+
+pub use sweep::{run_sweep, CompileCache, SweepResult, SweepSpec};

@@ -13,7 +13,7 @@ use crate::verify::{Fiducial, SingleTile, TwoTiles};
 
 /// One row of a resource table: an operation compiled at a given code
 /// distance together with its measured space-time resources.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ResourceRow {
     /// Operation name.
     pub name: String,
@@ -99,7 +99,12 @@ pub fn compile_instruction_row(
         Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper)?;
         Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.lower)?;
         let before = fixture.hw.circuit().len();
-        apply_two_tile_instruction(&mut fixture.hw, instruction, &mut fixture.upper, &mut fixture.lower)?;
+        apply_two_tile_instruction(
+            &mut fixture.hw,
+            instruction,
+            &mut fixture.upper,
+            &mut fixture.lower,
+        )?;
         let resources = report_since(&fixture.hw, before);
         Ok(ResourceRow {
             name: instruction.name().to_string(),
@@ -114,7 +119,10 @@ pub fn compile_instruction_row(
         // Instructions acting on an initialized tile need one.
         let needs_input = !matches!(
             instruction,
-            Instruction::PrepareZ | Instruction::PrepareX | Instruction::InjectY | Instruction::InjectT
+            Instruction::PrepareZ
+                | Instruction::PrepareX
+                | Instruction::InjectY
+                | Instruction::InjectT
         );
         if needs_input {
             Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch)?;
@@ -154,27 +162,40 @@ pub fn table1_rows(distances: &[usize], dt: usize) -> Result<Vec<ResourceRow>, C
             jobs.push((i, d));
         }
     }
-    jobs.into_par_iter()
-        .map(|(i, d)| compile_instruction_row(i, d, d, dt))
-        .collect()
+    jobs.into_par_iter().map(|(i, d)| compile_instruction_row(i, d, d, dt)).collect()
 }
+
+/// A Table 2 primitive exercised through the patch API.
+type PrimitiveOp = Box<dyn Fn(&mut SingleTile) -> Result<(), CoreError>>;
 
 /// Table 2: the primitive operations with their logical time-steps, compiled
 /// at a single distance (the primitives are exercised through the patch API).
 pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
     let mut rows = Vec::new();
-    let prims: Vec<(&str, usize, Box<dyn Fn(&mut SingleTile) -> Result<(), CoreError>>)> = vec![
+    let prims: Vec<(&str, usize, PrimitiveOp)> = vec![
         ("Prepare Z (transversal)", 0, Box::new(|f| f.patch.transversal_prepare_z(&mut f.hw))),
-        ("Measure Z (transversal)", 0, Box::new(|f| f.patch.transversal_measure_z(&mut f.hw).map(|_| ()))),
+        (
+            "Measure Z (transversal)",
+            0,
+            Box::new(|f| f.patch.transversal_measure_z(&mut f.hw).map(|_| ())),
+        ),
         ("Hadamard (transversal)", 0, Box::new(|f| f.patch.transversal_hadamard(&mut f.hw))),
         ("Inject Y", 0, Box::new(|f| f.patch.inject_y(&mut f.hw))),
         ("Inject T", 0, Box::new(|f| f.patch.inject_t(&mut f.hw))),
-        ("Pauli X", 0, Box::new(|f| f.patch.apply_logical_pauli(&mut f.hw, tiscc_math::PauliOp::X))),
+        (
+            "Pauli X",
+            0,
+            Box::new(|f| f.patch.apply_logical_pauli(&mut f.hw, tiscc_math::PauliOp::X)),
+        ),
         ("Idle", 1, Box::new(|f| f.patch.idle(&mut f.hw).map(|_| ()))),
     ];
     for (name, steps, op) in prims {
         let mut fixture = SingleTile::new(d, d, dt)?;
-        if name.starts_with("Measure") || name.starts_with("Hadamard") || name.starts_with("Pauli") || name == "Idle" {
+        if name.starts_with("Measure")
+            || name.starts_with("Hadamard")
+            || name.starts_with("Pauli")
+            || name == "Idle"
+        {
             Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch)?;
         }
         let before = fixture.hw.circuit().len();
@@ -208,7 +229,12 @@ pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
         resources: report_since(&fixture.hw, before),
     });
     let before = fixture.hw.circuit().len();
-    tiscc_core::surgery::split_patches(&mut fixture.hw, &merge, &mut fixture.upper, &mut fixture.lower)?;
+    tiscc_core::surgery::split_patches(
+        &mut fixture.hw,
+        &merge,
+        &mut fixture.upper,
+        &mut fixture.lower,
+    )?;
     rows.push(ResourceRow {
         name: "Split".into(),
         dx: d,
@@ -238,22 +264,46 @@ pub fn table3_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
         let before = fixture.hw.circuit().len();
         match instr {
             DerivedInstruction::BellStatePreparation => {
-                tiscc_core::derived::bell_state_preparation(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower)?;
+                tiscc_core::derived::bell_state_preparation(
+                    &mut fixture.hw,
+                    &mut fixture.upper,
+                    &mut fixture.lower,
+                )?;
             }
             DerivedInstruction::BellBasisMeasurement => {
-                tiscc_core::derived::bell_basis_measurement(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower)?;
+                tiscc_core::derived::bell_basis_measurement(
+                    &mut fixture.hw,
+                    &mut fixture.upper,
+                    &mut fixture.lower,
+                )?;
             }
             DerivedInstruction::ExtendSplit => {
-                tiscc_core::derived::extend_split(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower)?;
+                tiscc_core::derived::extend_split(
+                    &mut fixture.hw,
+                    &mut fixture.upper,
+                    &mut fixture.lower,
+                )?;
             }
             DerivedInstruction::MergeContract => {
-                tiscc_core::derived::merge_contract(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower)?;
+                tiscc_core::derived::merge_contract(
+                    &mut fixture.hw,
+                    &mut fixture.upper,
+                    &mut fixture.lower,
+                )?;
             }
             DerivedInstruction::Move => {
-                tiscc_core::derived::move_patch_down(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower)?;
+                tiscc_core::derived::move_patch_down(
+                    &mut fixture.hw,
+                    &mut fixture.upper,
+                    &mut fixture.lower,
+                )?;
             }
             DerivedInstruction::PatchExtension => {
-                tiscc_core::derived::patch_extension(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower)?;
+                tiscc_core::derived::patch_extension(
+                    &mut fixture.hw,
+                    &mut fixture.upper,
+                    &mut fixture.lower,
+                )?;
             }
             DerivedInstruction::PatchContraction => {
                 let keep = fixture.lower.dz();
@@ -291,7 +341,10 @@ pub fn table3_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
 
 /// The Sec. 3.4 resource-estimation sweep: a set of representative
 /// operations compiled across a range of code distances, in parallel.
-pub fn resource_sweep(distances: &[usize], dt_equals_d: bool) -> Result<Vec<ResourceRow>, CoreError> {
+pub fn resource_sweep(
+    distances: &[usize],
+    dt_equals_d: bool,
+) -> Result<Vec<ResourceRow>, CoreError> {
     let ops = [
         Instruction::PrepareZ,
         Instruction::Idle,
@@ -307,9 +360,7 @@ pub fn resource_sweep(distances: &[usize], dt_equals_d: bool) -> Result<Vec<Reso
             jobs.push((op, d, dt));
         }
     }
-    jobs.into_par_iter()
-        .map(|(op, d, dt)| compile_instruction_row(op, d, d, dt))
-        .collect()
+    jobs.into_par_iter().map(|(op, d, dt)| compile_instruction_row(op, d, d, dt)).collect()
 }
 
 /// Renders a set of rows as an aligned text table.

@@ -15,11 +15,7 @@ use tiscc_orqcs::{Interpreter, RunResult};
 /// Converts a compiler-side tracked logical operator into the simulator-side
 /// corrected operator.
 pub fn corrected(op: &TrackedOperator) -> CorrectedOperator {
-    CorrectedOperator {
-        support: op.support.clone(),
-        frame: op.frame.clone(),
-        invert: op.invert,
-    }
+    CorrectedOperator { support: op.support.clone(), frame: op.frame.clone(), invert: op.invert }
 }
 
 /// The six fiducial logical input states used for process tomography.
@@ -242,10 +238,7 @@ mod tests {
             fiducial.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
             let run = fixture.simulate(11);
             let bloch = fixture.logical_bloch(&run);
-            assert!(
-                bloch.distance(&fiducial.bloch()) < 1e-9,
-                "{fiducial:?}: got {bloch:?}"
-            );
+            assert!(bloch.distance(&fiducial.bloch()) < 1e-9, "{fiducial:?}: got {bloch:?}");
         }
     }
 }

@@ -90,10 +90,7 @@ impl GridManager {
     /// Removes an ion from the grid (e.g. after a destructive measurement
     /// when the zone is recycled).
     pub fn remove_qubit(&mut self, id: QubitId) -> Result<QSite, GridError> {
-        let site = self
-            .positions
-            .remove(&id)
-            .ok_or(GridError::UnknownQubit(id))?;
+        let site = self.positions.remove(&id).ok_or(GridError::UnknownQubit(id))?;
         self.occupancy.remove(&site);
         Ok(site)
     }
@@ -119,11 +116,7 @@ impl GridManager {
     /// scheduler, so the destination of any step recorded here must be a
     /// trapping zone.
     pub fn step_qubit(&mut self, id: QubitId, to: QSite) -> Result<(), GridError> {
-        let from = self
-            .positions
-            .get(&id)
-            .copied()
-            .ok_or(GridError::UnknownQubit(id))?;
+        let from = self.positions.get(&id).copied().ok_or(GridError::UnknownQubit(id))?;
         self.check_restable(to)?;
         if let Some(&other) = self.occupancy.get(&to) {
             if other != id {
@@ -145,11 +138,7 @@ impl GridManager {
     /// checks. Used when re-binding a logical patch after operations whose
     /// movement legality was already validated step-by-step (and in tests).
     pub fn relocate_qubit(&mut self, id: QubitId, to: QSite) -> Result<(), GridError> {
-        let from = self
-            .positions
-            .get(&id)
-            .copied()
-            .ok_or(GridError::UnknownQubit(id))?;
+        let from = self.positions.get(&id).copied().ok_or(GridError::UnknownQubit(id))?;
         self.check_restable(to)?;
         if let Some(&other) = self.occupancy.get(&to) {
             if other != id {
@@ -234,10 +223,7 @@ mod tests {
         g.step_qubit(q, QSite::new(0, 5)).unwrap();
         assert_eq!(g.position_of(q), Some(QSite::new(0, 5)));
         // Jumping two zones in one step is rejected.
-        assert!(matches!(
-            g.step_qubit(q, QSite::new(0, 7)),
-            Err(GridError::NotAdjacent(_, _))
-        ));
+        assert!(matches!(g.step_qubit(q, QSite::new(0, 7)), Err(GridError::NotAdjacent(_, _))));
     }
 
     #[test]
@@ -245,10 +231,7 @@ mod tests {
         let mut g = GridManager::new(1, 2);
         let a = g.place_qubit(QSite::new(0, 1)).unwrap();
         let _b = g.place_qubit(QSite::new(0, 2)).unwrap();
-        assert!(matches!(
-            g.step_qubit(a, QSite::new(0, 2)),
-            Err(GridError::Occupied(_, _))
-        ));
+        assert!(matches!(g.step_qubit(a, QSite::new(0, 2)), Err(GridError::Occupied(_, _))));
     }
 
     #[test]

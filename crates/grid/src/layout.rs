@@ -56,7 +56,9 @@ impl Layout {
     /// True if `site` exists on this layout.
     pub fn contains(&self, site: QSite) -> bool {
         let (rows, cols) = self.fine_extent();
-        site.row < rows && site.col < cols && (site.row % 4 == 0 || site.col % 4 == 0)
+        site.row < rows
+            && site.col < cols
+            && (site.row.is_multiple_of(4) || site.col.is_multiple_of(4))
     }
 
     /// The kind of `site`, or `None` if it does not exist on this layout.
@@ -74,10 +76,7 @@ impl Layout {
     /// True if `site` is a trapping zone (memory or operation) where an ion
     /// may rest.
     pub fn is_trapping_zone(&self, site: QSite) -> bool {
-        matches!(
-            self.site_kind(site),
-            Some(SiteKind::Memory) | Some(SiteKind::Operation)
-        )
+        matches!(self.site_kind(site), Some(SiteKind::Memory) | Some(SiteKind::Operation))
     }
 
     /// The up-to-four orthogonally adjacent sites of `site` that exist.
@@ -105,9 +104,7 @@ impl Layout {
     pub fn all_sites(&self) -> impl Iterator<Item = QSite> + '_ {
         let (rows, cols) = self.fine_extent();
         (0..rows).flat_map(move |r| {
-            (0..cols)
-                .map(move |c| QSite::new(r, c))
-                .filter(|&s| self.contains(s))
+            (0..cols).map(move |c| QSite::new(r, c)).filter(|&s| self.contains(s))
         })
     }
 
@@ -118,9 +115,7 @@ impl Layout {
 
     /// Total number of trapping zones (sites that are not junctions).
     pub fn trapping_zone_count(&self) -> usize {
-        self.all_sites()
-            .filter(|&s| self.is_trapping_zone(s))
-            .count()
+        self.all_sites().filter(|&s| self.is_trapping_zone(s)).count()
     }
 
     /// Physical area of the grid in square metres: every lattice line cell is

@@ -181,9 +181,9 @@ mod tests {
         // From unit (0,0) data home to unit (0,1) data home: must cross the
         // junction at (0,4).
         let r = route(&l, l.data_home(0, 0), l.data_home(0, 1)).unwrap();
-        assert!(r
-            .iter()
-            .any(|s| matches!(s, MoveStep::JunctionHop { junction, .. } if *junction == QSite::new(0, 4))));
+        assert!(r.iter().any(
+            |s| matches!(s, MoveStep::JunctionHop { junction, .. } if *junction == QSite::new(0, 4))
+        ));
         // Path continuity.
         for w in r.windows(2) {
             assert_eq!(w[0].to(), w[1].from());

@@ -112,9 +112,7 @@ impl HardwareModel {
 
     /// The position of `qubit`, or an error if it is not on the grid.
     pub fn position_of(&self, qubit: QubitId) -> Result<QSite, HwError> {
-        self.grid
-            .position_of(qubit)
-            .ok_or(HwError::Grid(GridError::UnknownQubit(qubit)))
+        self.grid.position_of(qubit).ok_or(HwError::Grid(GridError::UnknownQubit(qubit)))
     }
 
     fn ready_time(&self, qubits: &[QubitId], sites: &[QSite], junction: Option<QSite>) -> f64 {
@@ -286,7 +284,13 @@ impl HardwareModel {
                 }
                 MoveStep::JunctionHop { from, to, junction } => {
                     self.grid.step_qubit(qubit, to)?;
-                    self.emit(NativeOp::JunctionMove, vec![qubit], vec![from, to], Some(junction), None);
+                    self.emit(
+                        NativeOp::JunctionMove,
+                        vec![qubit],
+                        vec![from, to],
+                        Some(junction),
+                        None,
+                    );
                 }
             }
         }
@@ -300,13 +304,8 @@ impl HardwareModel {
         if from == dest {
             return Ok(());
         }
-        let blocked: std::collections::HashSet<QSite> = self
-            .grid
-            .snapshot()
-            .into_iter()
-            .filter(|&(q, _)| q != qubit)
-            .map(|(_, s)| s)
-            .collect();
+        let blocked: std::collections::HashSet<QSite> =
+            self.grid.snapshot().into_iter().filter(|&(q, _)| q != qubit).map(|(_, s)| s).collect();
         let steps = route_avoiding(self.grid.layout(), from, dest, &blocked)
             .ok_or(HwError::NoRoute(from, dest))?;
         self.move_along(qubit, &steps)
@@ -386,12 +385,20 @@ mod tests {
         let b = hw.place_qubit(QSite::new(1, 4)).unwrap();
         hw.move_along(
             a,
-            &[MoveStep::JunctionHop { from: QSite::new(0, 3), to: QSite::new(0, 5), junction: QSite::new(0, 4) }],
+            &[MoveStep::JunctionHop {
+                from: QSite::new(0, 3),
+                to: QSite::new(0, 5),
+                junction: QSite::new(0, 4),
+            }],
         )
         .unwrap();
         hw.move_along(
             b,
-            &[MoveStep::JunctionHop { from: QSite::new(1, 4), to: QSite::new(0, 3), junction: QSite::new(0, 4) }],
+            &[MoveStep::JunctionHop {
+                from: QSite::new(1, 4),
+                to: QSite::new(0, 3),
+                junction: QSite::new(0, 4),
+            }],
         )
         .unwrap();
         let ops = hw.circuit().ops();

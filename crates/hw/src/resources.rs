@@ -84,10 +84,7 @@ impl ResourceReport {
             active_zone_seconds,
             op_counts,
             total_ops: circuit.len(),
-            measurements: circuit
-                .measurements()
-                .len()
-                .max(circuit.count_of(NativeOp::MeasureZ)),
+            measurements: circuit.measurements().len().max(circuit.count_of(NativeOp::MeasureZ)),
         }
     }
 
@@ -96,10 +93,7 @@ impl ResourceReport {
         let mut out = String::new();
         out.push_str(&format!("execution time      : {:.6} s\n", self.execution_time_s));
         out.push_str(&format!("grid area           : {:.3e} m^2\n", self.area_m2));
-        out.push_str(&format!(
-            "space-time volume   : {:.3e} s*m^2\n",
-            self.spacetime_volume_s_m2
-        ));
+        out.push_str(&format!("space-time volume   : {:.3e} s*m^2\n", self.spacetime_volume_s_m2));
         out.push_str(&format!("trapping zones      : {}\n", self.trapping_zones));
         out.push_str(&format!("junctions traversed : {}\n", self.junctions));
         out.push_str(&format!("zone-seconds        : {:.6}\n", self.zone_seconds));
@@ -141,7 +135,9 @@ mod tests {
         // All ops involve one zone, so active zone-seconds equals total busy time.
         assert!((report.active_zone_seconds - 140e-6).abs() < 1e-12);
         assert!((report.zone_seconds - 140e-6).abs() < 1e-12);
-        assert!((report.spacetime_volume_s_m2 - report.execution_time_s * report.area_m2).abs() < 1e-18);
+        assert!(
+            (report.spacetime_volume_s_m2 - report.execution_time_s * report.area_m2).abs() < 1e-18
+        );
     }
 
     #[test]

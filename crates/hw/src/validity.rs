@@ -100,7 +100,11 @@ pub fn check_circuit(
                 let (from, to) = (op.sites[0], op.sites[1]);
                 let cur = *pos.get(&q).ok_or(ValidityError::UnknownQubit(q))?;
                 if cur != from {
-                    return Err(ValidityError::WrongSite { qubit: q, claimed: from, actual: Some(cur) });
+                    return Err(ValidityError::WrongSite {
+                        qubit: q,
+                        claimed: from,
+                        actual: Some(cur),
+                    });
                 }
                 let legal = if op.op == NativeOp::Move {
                     layout.neighbors(from).contains(&to)
@@ -132,7 +136,11 @@ pub fn check_circuit(
                     match pos.get(&q) {
                         None => return Err(ValidityError::UnknownQubit(q)),
                         Some(&actual) if actual != s => {
-                            return Err(ValidityError::WrongSite { qubit: q, claimed: s, actual: Some(actual) })
+                            return Err(ValidityError::WrongSite {
+                                qubit: q,
+                                claimed: s,
+                                actual: Some(actual),
+                            })
                         }
                         _ => {}
                     }

@@ -17,10 +17,7 @@ pub struct BitVec {
 impl BitVec {
     /// Creates an all-zero bit vector of length `len`.
     pub fn zeros(len: usize) -> Self {
-        BitVec {
-            len,
-            words: vec![0u64; len.div_ceil(64)],
-        }
+        BitVec { len, words: vec![0u64; len.div_ceil(64)] }
     }
 
     /// Length in bits.

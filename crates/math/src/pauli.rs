@@ -143,9 +143,7 @@ impl Pauli {
 
     /// Number of qubits on which the operator acts non-trivially.
     pub fn weight(&self) -> usize {
-        (0..self.num_qubits())
-            .filter(|&i| self.x.get(i) || self.z.get(i))
-            .count()
+        (0..self.num_qubits()).filter(|&i| self.x.get(i) || self.z.get(i)).count()
     }
 
     /// True if the operator is a (possibly signed) identity.
@@ -184,9 +182,7 @@ impl Pauli {
         // Each Y contributes X·Z = -i·Y, i.e. the normal form of +Y carries
         // phase exponent 1. A Hermitian string with sign s therefore has
         // phase ≡ (#Y + 2·[s = -1]) mod 4.
-        let ys = (0..self.num_qubits())
-            .filter(|&i| self.x.get(i) && self.z.get(i))
-            .count() as u8;
+        let ys = (0..self.num_qubits()).filter(|&i| self.x.get(i) && self.z.get(i)).count() as u8;
         match (self.phase + 4 - ys % 4) % 4 {
             0 => Some(1),
             2 => Some(-1),

@@ -61,10 +61,7 @@ impl std::ops::Sub for C64 {
 impl std::ops::Mul for C64 {
     type Output = C64;
     fn mul(self, rhs: C64) -> C64 {
-        C64::new(
-            self.re * rhs.re - self.im * rhs.im,
-            self.re * rhs.im + self.im * rhs.re,
-        )
+        C64::new(self.re * rhs.re - self.im * rhs.im, self.re * rhs.im + self.im * rhs.re)
     }
 }
 
@@ -185,20 +182,11 @@ pub fn rotation_matrix(axis: char, theta: f64) -> Mat2 {
     let s = theta.sin();
     match axis {
         // e^{-iXθ} = cosθ I - i sinθ X
-        'X' => [
-            [C64::new(c, 0.0), C64::new(0.0, -s)],
-            [C64::new(0.0, -s), C64::new(c, 0.0)],
-        ],
+        'X' => [[C64::new(c, 0.0), C64::new(0.0, -s)], [C64::new(0.0, -s), C64::new(c, 0.0)]],
         // e^{-iYθ} = cosθ I - i sinθ Y ; Y = [[0,-i],[i,0]]
-        'Y' => [
-            [C64::new(c, 0.0), C64::new(-s, 0.0)],
-            [C64::new(s, 0.0), C64::new(c, 0.0)],
-        ],
+        'Y' => [[C64::new(c, 0.0), C64::new(-s, 0.0)], [C64::new(s, 0.0), C64::new(c, 0.0)]],
         // e^{-iZθ} = diag(e^{-iθ}, e^{iθ})
-        'Z' => [
-            [C64::cis(-theta), C64::ZERO],
-            [C64::ZERO, C64::cis(theta)],
-        ],
+        'Z' => [[C64::cis(-theta), C64::ZERO], [C64::ZERO, C64::cis(theta)]],
         _ => panic!("unknown axis {axis}"),
     }
 }

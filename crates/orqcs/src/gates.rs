@@ -127,7 +127,7 @@ mod tests {
         // Fiducial states: |0⟩, |+⟩, |+i⟩ prepared with exact rotations.
         let preps: Vec<Vec<(char, f64)>> = vec![
             vec![],
-            vec![('Z', PI / 2.0), ('Y', PI / 4.0)],                  // H|0> = |+>
+            vec![('Z', PI / 2.0), ('Y', PI / 4.0)], // H|0> = |+>
             vec![('Z', PI / 2.0), ('Y', PI / 4.0), ('Z', PI / 4.0)], // S H|0> = |+i>
         ];
         for prep in preps {
@@ -191,12 +191,7 @@ mod tests {
     fn zz_action_matches_dense_simulation() {
         let action = clifford_zz();
         let images = action.images();
-        let labels: [&[(usize, char)]; 4] = [
-            &[(0, 'X')],
-            &[(0, 'Z')],
-            &[(1, 'X')],
-            &[(1, 'Z')],
-        ];
+        let labels: [&[(usize, char)]; 4] = [&[(0, 'X')], &[(0, 'Z')], &[(1, 'X')], &[(1, 'Z')]];
         // Fiducial two-qubit product states.
         let preps: Vec<Vec<(usize, char, f64)>> = vec![
             vec![],
@@ -233,10 +228,7 @@ mod tests {
                 if image.hermitian_sign() == Some(-1) {
                     expect_after = -expect_after;
                 }
-                assert!(
-                    (expect_before - expect_after).abs() < 1e-10,
-                    "ZZ image of {gen:?} wrong"
-                );
+                assert!((expect_before - expect_after).abs() < 1e-10, "ZZ image of {gen:?} wrong");
             }
         }
     }

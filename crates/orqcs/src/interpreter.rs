@@ -95,10 +95,8 @@ impl RunResult {
     /// (pairs of ion id and Pauli label). Returns ±1 or 0.
     pub fn expectation_on_ions(&self, ops: &[(QubitId, PauliOp)]) -> i8 {
         let n = self.tableau.num_qubits();
-        let sparse: Vec<(usize, PauliOp)> = ops
-            .iter()
-            .map(|&(q, p)| (self.qubit_index[&q], p))
-            .collect();
+        let sparse: Vec<(usize, PauliOp)> =
+            ops.iter().map(|&(q, p)| (self.qubit_index[&q], p)).collect();
         self.tableau.expectation(&Pauli::from_sparse(n, &sparse))
     }
 
@@ -142,7 +140,11 @@ impl Interpreter {
 
     /// Runs `circuit` in exact Clifford mode with the given RNG (random
     /// measurement outcomes are drawn from it).
-    pub fn run<R: Rng + ?Sized>(&self, circuit: &Circuit, rng: &mut R) -> Result<RunResult, SimError> {
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        rng: &mut R,
+    ) -> Result<RunResult, SimError> {
         self.run_with_policy(circuit, rng, NonCliffordPolicy::Reject)
     }
 
@@ -155,11 +157,8 @@ impl Interpreter {
     ) -> Result<RunResult, SimError> {
         let n = self.num_qubits();
         let mut tableau = StabilizerTableau::zero_state(n);
-        let mut occupant: HashMap<QSite, usize> = self
-            .site_of
-            .iter()
-            .map(|(&idx, &site)| (site, idx))
-            .collect();
+        let mut occupant: HashMap<QSite, usize> =
+            self.site_of.iter().map(|(&idx, &site)| (site, idx)).collect();
         let mut outcomes = vec![false; circuit.measurements().len()];
         let mut deterministic = vec![false; circuit.measurements().len()];
         let mut sample_weight = 1.0f64;
@@ -228,11 +227,8 @@ impl Interpreter {
     }
 
     fn check_identity(&self, idx: usize, recorded: QubitId, site: QSite) -> Result<(), SimError> {
-        let recorded_idx = self
-            .index_of
-            .get(&recorded)
-            .copied()
-            .ok_or(SimError::UnknownQubit(recorded))?;
+        let recorded_idx =
+            self.index_of.get(&recorded).copied().ok_or(SimError::UnknownQubit(recorded))?;
         if recorded_idx != idx {
             // Find which ion `idx` corresponds to, for the error message.
             let found = self

@@ -102,11 +102,8 @@ mod tests {
             let mut r = StdRng::seed_from_u64(seed);
             let run = interp.run(hw.circuit(), &mut r).unwrap();
 
-            let corrected = CorrectedOperator {
-                support: vec![(b, PauliOp::X)],
-                frame: vec![m],
-                invert: false,
-            };
+            let corrected =
+                CorrectedOperator { support: vec![(b, PauliOp::X)], frame: vec![m], invert: false };
             // Uncorrected expectation flips sign with the outcome; corrected
             // is always +1.
             let raw = run.expectation_on_ions(&[(b, PauliOp::X)]);
@@ -118,11 +115,8 @@ mod tests {
             }
             assert_eq!(corrected.expectation(&run), 1);
 
-            let outcome = LogicalOutcome {
-                name: "frame bit".into(),
-                parity_of: vec![m],
-                invert: false,
-            };
+            let outcome =
+                LogicalOutcome { name: "frame bit".into(), parity_of: vec![m], invert: false };
             assert_eq!(outcome.eigenvalue(&run), if run.outcomes[m] { -1 } else { 1 });
         }
         assert!(saw_nontrivial_frame, "at least one shot must need a correction");
@@ -136,9 +130,7 @@ mod tests {
         hw.prepare_z(q).unwrap();
         let m = hw.measure_z(q, "zero").unwrap();
         let interp = Interpreter::new(&snapshot);
-        let run = interp
-            .run(hw.circuit(), &mut StdRng::seed_from_u64(1))
-            .unwrap();
+        let run = interp.run(hw.circuit(), &mut StdRng::seed_from_u64(1)).unwrap();
         let plain = LogicalOutcome { name: "m".into(), parity_of: vec![m], invert: false };
         let flipped = LogicalOutcome { name: "m".into(), parity_of: vec![m], invert: true };
         assert_eq!(plain.eigenvalue(&run), 1);

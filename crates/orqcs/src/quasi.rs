@@ -134,15 +134,12 @@ mod tests {
         let interp = Interpreter::new(&snapshot);
         let est = QuasiCliffordEstimator::new(20000);
         let mut r = rng();
-        let x = est
-            .estimate_expectation(&interp, hw.circuit(), &[(q, PauliOp::X)], &mut r)
-            .unwrap();
-        let y = est
-            .estimate_expectation(&interp, hw.circuit(), &[(q, PauliOp::Y)], &mut r)
-            .unwrap();
-        let z = est
-            .estimate_expectation(&interp, hw.circuit(), &[(q, PauliOp::Z)], &mut r)
-            .unwrap();
+        let x =
+            est.estimate_expectation(&interp, hw.circuit(), &[(q, PauliOp::X)], &mut r).unwrap();
+        let y =
+            est.estimate_expectation(&interp, hw.circuit(), &[(q, PauliOp::Y)], &mut r).unwrap();
+        let z =
+            est.estimate_expectation(&interp, hw.circuit(), &[(q, PauliOp::Z)], &mut r).unwrap();
         let target = std::f64::consts::FRAC_1_SQRT_2;
         assert!((x - target).abs() < 0.05, "⟨X⟩ = {x}");
         assert!((y - target).abs() < 0.05, "⟨Y⟩ = {y}");

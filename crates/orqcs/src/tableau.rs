@@ -64,9 +64,8 @@ impl StabilizerTableau {
     /// Measures `qubit` in the Z basis. Returns `(outcome, deterministic)`;
     /// random outcomes are drawn from `rng`.
     pub fn measure_z<R: Rng + ?Sized>(&mut self, qubit: usize, rng: &mut R) -> (bool, bool) {
-        let anticommuting: Vec<usize> = (0..self.n)
-            .filter(|&i| self.stabs[i].x_bits().get(qubit))
-            .collect();
+        let anticommuting: Vec<usize> =
+            (0..self.n).filter(|&i| self.stabs[i].x_bits().get(qubit)).collect();
 
         if let Some(&p) = anticommuting.first() {
             // Random outcome.
@@ -117,10 +116,7 @@ impl StabilizerTableau {
         let (outcome, _) = self.measure_z(qubit, rng);
         if outcome {
             // Conjugate by X ≅ X_{π/2}: Z -> -Z.
-            let flip = Clifford1Q {
-                x_image: (PauliOp::X, false),
-                z_image: (PauliOp::Z, true),
-            };
+            let flip = Clifford1Q { x_image: (PauliOp::X, false), z_image: (PauliOp::Z, true) };
             self.apply_1q(qubit, &flip);
         }
     }
@@ -130,9 +126,7 @@ impl StabilizerTableau {
     /// `0` if it anticommutes with some stabilizer.
     pub fn expectation(&self, op: &Pauli) -> i8 {
         assert_eq!(op.num_qubits(), self.n, "operator size mismatch");
-        let op_sign = op
-            .hermitian_sign()
-            .expect("expectation requires a Hermitian Pauli operator");
+        let op_sign = op.hermitian_sign().expect("expectation requires a Hermitian Pauli operator");
         if self.stabs.iter().any(|s| !s.commutes_with(op)) {
             return 0;
         }

@@ -84,16 +84,10 @@ impl ProcessMap {
         for &(p, mi, col) in &pairs {
             let plus = images[p];
             let minus = images[mi];
-            let half_diff = [
-                (plus.x - minus.x) / 2.0,
-                (plus.y - minus.y) / 2.0,
-                (plus.z - minus.z) / 2.0,
-            ];
-            let half_sum = [
-                (plus.x + minus.x) / 2.0,
-                (plus.y + minus.y) / 2.0,
-                (plus.z + minus.z) / 2.0,
-            ];
+            let half_diff =
+                [(plus.x - minus.x) / 2.0, (plus.y - minus.y) / 2.0, (plus.z - minus.z) / 2.0];
+            let half_sum =
+                [(plus.x + minus.x) / 2.0, (plus.y + minus.y) / 2.0, (plus.z + minus.z) / 2.0];
             for row in 0..3 {
                 m[row][col] = half_diff[row];
                 c[row] += half_sum[row] / 3.0;
@@ -121,8 +115,8 @@ impl ProcessMap {
             _ => panic!("unknown Pauli axis {axis}"),
         };
         let mut m = [[0.0; 3]; 3];
-        for i in 0..3 {
-            m[i][i] = if i == keep { 1.0 } else { -1.0 };
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = if i == keep { 1.0 } else { -1.0 };
         }
         ProcessMap { m, c: [0.0; 3] }
     }
@@ -131,8 +125,8 @@ impl ProcessMap {
     pub fn apply(&self, r: &BlochVector) -> BlochVector {
         let v = [r.x, r.y, r.z];
         let mut out = [0.0; 3];
-        for i in 0..3 {
-            out[i] = self.c[i] + (0..3).map(|j| self.m[i][j] * v[j]).sum::<f64>();
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.c[i] + (0..3).map(|j| self.m[i][j] * v[j]).sum::<f64>();
         }
         BlochVector::new(out[0], out[1], out[2])
     }
@@ -198,10 +192,8 @@ mod tests {
     #[test]
     fn hadamard_map_reconstruction() {
         let ideal = ProcessMap::hadamard();
-        let images: Vec<BlochVector> = BlochVector::fiducials()
-            .iter()
-            .map(|&(_, b)| ideal.apply(&b))
-            .collect();
+        let images: Vec<BlochVector> =
+            BlochVector::fiducials().iter().map(|&(_, b)| ideal.apply(&b)).collect();
         let map = ProcessMap::from_fiducial_images(&images.clone().try_into().unwrap());
         assert!(map.max_deviation(&ideal) < 1e-12);
         // And it differs measurably from the identity.

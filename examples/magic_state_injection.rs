@@ -34,7 +34,10 @@ fn main() {
         .unwrap();
 
     let target = std::f64::consts::FRAC_1_SQRT_2;
-    println!("injected |T> state on a distance-3 patch ({} Monte-Carlo samples):", estimator.samples());
+    println!(
+        "injected |T> state on a distance-3 patch ({} Monte-Carlo samples):",
+        estimator.samples()
+    );
     println!("  <X_L> = {ex:+.4}   (ideal {target:+.4})");
     println!("  <Y_L> = {ey:+.4}   (ideal {target:+.4})");
     println!("  <Z_L> = {ez:+.4}   (ideal +0.0000)");

@@ -8,19 +8,13 @@
 use tiscc::estimator::tables::{render_csv, render_rows, resource_sweep};
 
 fn main() {
-    let distances: Vec<usize> = std::env::args()
-        .skip(1)
-        .filter_map(|a| a.parse().ok())
-        .collect();
+    let distances: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let distances = if distances.is_empty() { vec![3, 5, 7] } else { distances };
 
     let rows = resource_sweep(&distances, true).expect("sweep compiles");
     println!(
         "{}",
-        render_rows(
-            &format!("Resource sweep over distances {distances:?} (dt = d)"),
-            &rows
-        )
+        render_rows(&format!("Resource sweep over distances {distances:?} (dt = d)"), &rows)
     );
     println!("{}", render_csv(&rows));
 }

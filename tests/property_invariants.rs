@@ -12,8 +12,11 @@ use tiscc::hw::HardwareModel;
 use tiscc::math::{Pauli, PauliOp};
 
 fn arb_pauli(n: usize) -> impl Strategy<Value = Pauli> {
-    proptest::collection::vec((0..n, prop_oneof![Just(PauliOp::X), Just(PauliOp::Y), Just(PauliOp::Z), Just(PauliOp::I)]), 0..n)
-        .prop_map(move |ops| Pauli::from_sparse(n, &ops))
+    proptest::collection::vec(
+        (0..n, prop_oneof![Just(PauliOp::X), Just(PauliOp::Y), Just(PauliOp::Z), Just(PauliOp::I)]),
+        0..n,
+    )
+    .prop_map(move |ops| Pauli::from_sparse(n, &ops))
 }
 
 proptest! {

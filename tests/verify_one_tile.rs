@@ -44,10 +44,7 @@ fn logical_paulis_have_their_process_maps() {
             patch.syndrome_round(hw, "post-Pauli round").map(|_| ())
         })
         .unwrap();
-        assert!(
-            map.max_deviation(&ProcessMap::pauli(axis)) < 1e-9,
-            "Pauli {axis}: {map:?}"
-        );
+        assert!(map.max_deviation(&ProcessMap::pauli(axis)) < 1e-9, "Pauli {axis}: {map:?}");
     }
 }
 

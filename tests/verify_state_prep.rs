@@ -3,12 +3,12 @@
 //! round of syndrome extraction, for several code distances and for the
 //! non-fault-tolerant Y/T injection circuits.
 
-use tiscc::estimator::verify::{corrected, Fiducial, SingleTile};
-use tiscc::orqcs::tomography::BlochVector;
-use tiscc::orqcs::QuasiCliffordEstimator;
-use tiscc::orqcs::Interpreter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use tiscc::estimator::verify::{corrected, Fiducial, SingleTile};
+use tiscc::orqcs::tomography::BlochVector;
+use tiscc::orqcs::Interpreter;
+use tiscc::orqcs::QuasiCliffordEstimator;
 
 #[test]
 fn prepare_z_and_x_give_the_right_logical_states_across_distances() {
@@ -21,10 +21,7 @@ fn prepare_z_and_x_give_the_right_logical_states_across_distances() {
             fiducial.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
             let run = fixture.simulate(dx as u64 * 100 + dz as u64);
             let bloch = fixture.logical_bloch(&run);
-            assert!(
-                bloch.distance(&target) < 1e-9,
-                "dx={dx} dz={dz} {fiducial:?}: got {bloch:?}"
-            );
+            assert!(bloch.distance(&target) < 1e-9, "dx={dx} dz={dz} {fiducial:?}: got {bloch:?}");
         }
     }
 }
@@ -98,7 +95,8 @@ fn transversal_measurement_outcome_matches_the_prepared_eigenstate() {
     // logical outcome must be 1 (eigenvalue -1).
     let mut fixture = SingleTile::new(3, 3, 1).unwrap();
     Fiducial::One.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
-    let report = apply_instruction(&mut fixture.hw, Instruction::MeasureZ, &mut fixture.patch).unwrap();
+    let report =
+        apply_instruction(&mut fixture.hw, Instruction::MeasureZ, &mut fixture.patch).unwrap();
     let spec = report.outcome.expect("measurement outcome");
     let run = fixture.simulate(31);
     let mut parity = false;

@@ -62,17 +62,11 @@ fn measure_xx_on_zero_zero_projects_and_preserves_zz() {
         let outcome = eigen(&spec, &run);
         saw[(outcome < 0) as usize] = true;
 
-        let xx = f.joint_expectation(
-            &run,
-            &f.upper.tracked_x().unwrap(),
-            &f.lower.tracked_x().unwrap(),
-        );
+        let xx =
+            f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
         assert_eq!(xx, outcome, "post-state must be an XX eigenstate matching the outcome");
-        let zz = f.joint_expectation(
-            &run,
-            &f.upper.tracked_z().unwrap(),
-            &f.lower.tracked_z().unwrap(),
-        );
+        let zz =
+            f.joint_expectation(&run, &f.upper.tracked_z().unwrap(), &f.lower.tracked_z().unwrap());
         assert_eq!(zz, 1, "Z_A Z_B must be preserved by the XX measurement");
     }
     assert!(saw[0] && saw[1], "both XX outcomes must occur over different seeds");
@@ -96,7 +90,8 @@ fn measure_zz_between_horizontally_adjacent_patches() {
     assert_eq!(eigen(&spec, &run), -1);
     // X_A X_B must be preserved (it commutes with ZZ): both inputs are Z
     // eigenstates so it is 0 before and after.
-    let xx = f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
+    let xx =
+        f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
     assert_eq!(xx, 0);
 }
 
@@ -108,8 +103,10 @@ fn bell_state_preparation_yields_a_corrected_bell_pair() {
         let run = f.simulate(seed);
         let m = eigen(&spec, &run);
         // The pair is stabilised by m·X_AX_B and +Z_AZ_B.
-        let xx = f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
-        let zz = f.joint_expectation(&run, &f.upper.tracked_z().unwrap(), &f.lower.tracked_z().unwrap());
+        let xx =
+            f.joint_expectation(&run, &f.upper.tracked_x().unwrap(), &f.lower.tracked_x().unwrap());
+        let zz =
+            f.joint_expectation(&run, &f.upper.tracked_z().unwrap(), &f.lower.tracked_z().unwrap());
         assert_eq!(xx, m, "seed {seed}");
         assert_eq!(zz, 1, "seed {seed}");
         // Individual logical Z values are maximally mixed.
@@ -133,11 +130,9 @@ fn extend_split_behaves_like_prepare_plus_measure_xx() {
 
 #[test]
 fn move_preserves_every_logical_pauli_eigenstate() {
-    for (fiducial, axis) in [
-        (Fiducial::Zero, PauliOp::Z),
-        (Fiducial::Plus, PauliOp::X),
-        (Fiducial::PlusI, PauliOp::Y),
-    ] {
+    for (fiducial, axis) in
+        [(Fiducial::Zero, PauliOp::Z), (Fiducial::Plus, PauliOp::X), (Fiducial::PlusI, PauliOp::Y)]
+    {
         let mut f = TwoTiles::new(2, 2, 1).unwrap();
         fiducial.prepare(&mut f.hw, &mut f.upper).unwrap();
         let moved = move_patch_down(&mut f.hw, &mut f.upper, &mut f.lower).unwrap();

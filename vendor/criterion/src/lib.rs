@@ -1,0 +1,211 @@
+//! Offline drop-in subset of the [`criterion`](https://crates.io/crates/criterion)
+//! benchmarking API.
+//!
+//! The build environment has no network access, so the `crates/bench` suite
+//! runs against this minimal harness instead: it executes each closure for a
+//! configurable number of samples, reports the median wall-clock time, and
+//! understands the standard cargo-bench argument conventions well enough to
+//! not fall over (`--bench`, `--test`, and name filters). No statistical
+//! analysis, plotting, or baseline storage is performed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut test_mode = false;
+        // cargo bench passes "--bench"; cargo test passes "--test". Anything
+        // that is not a flag is a substring filter on benchmark ids.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => test_mode = true,
+                a if a.starts_with("--") => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { filter, test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10 }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        run_one(self, &id, 10, &mut f);
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `self.name/id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        run_one(self.criterion, &full, samples, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with an explicit input value under `self.name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        run_one(self.criterion, &full, samples, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finishes the group (reporting is per-benchmark, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: a function name, a parameter,
+/// or both.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id made of a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { text: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// The per-benchmark timing handle: calls the closure and accumulates
+/// samples.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    requested: usize,
+}
+
+impl Bencher {
+    /// Times `f`, running it `requested` times (once in `--test` mode).
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        for _ in 0..self.requested {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(criterion: &Criterion, id: &str, sample_size: usize, f: &mut F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !criterion.matches(id) {
+        return;
+    }
+    let requested = if criterion.test_mode { 1 } else { sample_size };
+    let mut bencher = Bencher { samples: Vec::new(), requested };
+    f(&mut bencher);
+    bencher.samples.sort();
+    let median = bencher.samples.get(bencher.samples.len() / 2).copied().unwrap_or_default();
+    if criterion.test_mode {
+        println!("{id}: ok ({median:?})");
+    } else {
+        let total: Duration = bencher.samples.iter().sum();
+        println!(
+            "{id}: median {median:?} over {} sample(s), total {total:?}",
+            bencher.samples.len()
+        );
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_closure_requested_times() {
+        let mut calls = 0usize;
+        let mut bencher = Bencher { samples: Vec::new(), requested: 7 };
+        bencher.iter(|| calls += 1);
+        assert_eq!(calls, 7);
+        assert_eq!(bencher.samples.len(), 7);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(11).to_string(), "11");
+    }
+}

@@ -1,0 +1,214 @@
+//! Offline drop-in subset of the [`rayon`](https://crates.io/crates/rayon)
+//! data-parallelism API.
+//!
+//! The build environment has no network access, so this crate re-implements
+//! the slice of rayon the TISCC workspace uses — `into_par_iter().map(f)`
+//! followed by an order-preserving `collect()` — on top of scoped
+//! `std::thread` workers pulling indices from a shared atomic cursor.
+//!
+//! Compared to real rayon there is no work-stealing and no nested-pool
+//! support; every `collect()` spins up `available_parallelism()` scoped
+//! threads (capped by the job count). For the embarrassingly parallel
+//! compile sweeps this crate exists to serve, that is within noise of the
+//! real thing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The conventional glob-import module, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelIterator};
+}
+
+/// Conversion into a parallel iterator (mirrors rayon's trait of the same
+/// name). Implemented for owned `Vec<T>`, which is the only source the
+/// workspace fans out from.
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// The concrete parallel iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Converts `self` into a parallel iterator over its elements.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = ParIter<T>;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator: a batch of items plus a processing pipeline that is
+/// executed across threads when the pipeline is collected.
+pub trait ParallelIterator: Sized {
+    /// The element type produced by this stage.
+    type Item: Send;
+
+    /// Runs the whole pipeline and returns the produced items in input
+    /// order.
+    fn run(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` in parallel.
+    fn map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        O: Send,
+        F: Fn(Self::Item) -> O + Sync + Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the pipeline and collects the results (in input order) into
+    /// any `FromIterator` collection — `Vec<T>`, `Result<Vec<T>, E>`, ….
+    fn collect<C>(self) -> C
+    where
+        C: FromIterator<Self::Item>,
+    {
+        self.run().into_iter().collect()
+    }
+}
+
+/// The root parallel iterator over an owned vector.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParIter<T> {
+    type Item = T;
+
+    fn run(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// A parallel `map` stage.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, O, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    O: Send,
+    F: Fn(B::Item) -> O + Sync + Send,
+{
+    type Item = O;
+
+    fn run(self) -> Vec<O> {
+        parallel_map(self.base.run(), &self.f)
+    }
+}
+
+/// The number of worker threads used for a batch of `jobs` items.
+fn thread_count(jobs: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(jobs).max(1)
+}
+
+/// Order-preserving parallel map: items are claimed by index from an atomic
+/// cursor, so threads stay busy even when per-item cost is highly skewed
+/// (large code distances take far longer than small ones).
+fn parallel_map<T, O, F>(items: Vec<T>, f: &F) -> Vec<O>
+where
+    T: Send,
+    O: Send,
+    F: Fn(T) -> O + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let threads = thread_count(n);
+    if threads == 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let out: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().expect("work slot poisoned").take();
+                let item = item.expect("work slot claimed twice");
+                let result = f(item);
+                *out[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("result slot poisoned").expect("worker skipped a slot")
+        })
+        .collect()
+}
+
+/// Returns the number of threads a `collect()` over `jobs` items would use.
+/// Exposed so callers can report effective parallelism.
+pub fn current_num_threads() -> usize {
+    thread_count(usize::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let doubled: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_into_result_short_circuits_to_err() {
+        let v: Vec<usize> = (0..100).collect();
+        let r: Result<Vec<usize>, String> = v
+            .into_par_iter()
+            .map(|x| if x == 57 { Err(format!("boom {x}")) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err("boom 57".to_string()));
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads_when_available() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let seen = Mutex::new(HashSet::new());
+        let v: Vec<usize> = (0..64).collect();
+        let _: Vec<()> = v
+            .into_par_iter()
+            .map(|_| {
+                seen.lock().unwrap().insert(std::thread::current().id());
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+            .collect();
+        let distinct = seen.lock().unwrap().len();
+        if std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1) > 1 {
+            assert!(distinct > 1, "expected parallel execution, saw {distinct} thread(s)");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![9];
+        let out: Vec<u32> = one.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![10]);
+    }
+}
