@@ -1,0 +1,33 @@
+//! Compile throughput across hardware profiles: the same representative
+//! instructions compiled through the `Compiler` front door under every
+//! built-in `HardwareSpec`. Profile selection only changes scheduling
+//! arithmetic, so throughput must be flat across profiles — a regression
+//! here means the spec threading added work to the hot path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tiscc_core::instruction::Instruction;
+use tiscc_estimator::compiler::{CompileRequest, Compiler};
+use tiscc_hw::HardwareSpec;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("profile_throughput");
+    group.sample_size(10);
+    for spec in HardwareSpec::presets() {
+        for instr in [Instruction::PrepareZ, Instruction::Idle, Instruction::MeasureXX] {
+            let request = CompileRequest::new(instr, 3, 3, 2).with_spec(spec.clone());
+            group.bench_function(format!("{}/{}", spec.name, instr.id()), |b| {
+                let compiler = Compiler::new();
+                b.iter(|| compiler.compile(&request).unwrap())
+            });
+        }
+    }
+    // The memoized path: a warm cache turns repeat requests into lookups.
+    let compiler = Compiler::new();
+    let request = CompileRequest::new(Instruction::Idle, 3, 3, 2);
+    compiler.compile_row(&request).unwrap();
+    group.bench_function("warm_cache/idle", |b| b.iter(|| compiler.compile_row(&request).unwrap()));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -4,8 +4,13 @@
 //! tiscc compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
 //! tiscc tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
 //! tiscc sweep [--dmax N] [--dt N|d] [--out F]  batched resource sweep (CSV + JSON)
+//! tiscc profiles                               list hardware profiles and parameters
 //! tiscc verify [--seed N]                      run the Sec. 4 verification harness
 //! ```
+//!
+//! `compile`, `tables` and `sweep` accept `--profile <name>` to select a
+//! hardware profile (`sweep` accepts a comma-separated list, sweeping the
+//! whole grid once per profile).
 //!
 //! `<instruction>` is one of: prepare_z, prepare_x, inject_y, inject_t,
 //! measure_z, measure_x, pauli_x, pauli_y, pauli_z, hadamard, idle,
@@ -15,21 +20,28 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tiscc_core::instruction::Instruction;
+use tiscc_estimator::compiler::{CompileRequest, Compiler};
 use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
 use tiscc_estimator::tables;
 use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
+use tiscc_hw::HardwareSpec;
 
 const USAGE: &str = "usage: tiscc <subcommand> [args]
 
 subcommands:
   compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
+          [--profile NAME]
   tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
+         [--profile NAME]
   sweep [--dmax N] [--dt N|d]            batched resource sweep (CSV + JSON)
+        [--profile NAME[,NAME...]]       sweep the grid once per profile
         [--out F.csv] [--json F.json]    write artifacts (default: CSV to stdout)
+  profiles                               list hardware profiles and parameters
   verify [--seed N]                      run the verification harness
 
 flags take a value as `--flag VALUE` or `--flag=VALUE`
 
+profiles: h1 (default) projected slow_junction
 instructions: prepare_z prepare_x inject_y inject_t measure_z measure_x
               pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz";
 
@@ -85,6 +97,32 @@ impl Args {
             }),
         }
     }
+
+    /// Resolves `--profile` to a single hardware profile (default: h1).
+    fn profile(&self) -> HardwareSpec {
+        match self.flag("profile") {
+            None => HardwareSpec::default(),
+            Some(name) => resolve_profile(name),
+        }
+    }
+
+    /// Resolves `--profile` to a comma-separated list of profiles
+    /// (default: just h1).
+    fn profile_list(&self) -> Vec<HardwareSpec> {
+        match self.flag("profile") {
+            None => vec![HardwareSpec::default()],
+            Some(names) => names.split(',').map(resolve_profile).collect(),
+        }
+    }
+}
+
+/// Looks up a preset profile by name, exiting with the usage status (and
+/// the available-profile listing) on unknown names.
+fn resolve_profile(name: &str) -> HardwareSpec {
+    HardwareSpec::by_name(name).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    })
 }
 
 fn main() -> ExitCode {
@@ -95,6 +133,7 @@ fn main() -> ExitCode {
         "compile" => cmd_compile(&args),
         "tables" => cmd_tables(&args),
         "sweep" => cmd_sweep(&args),
+        "profiles" => cmd_profiles(),
         "verify" => cmd_verify(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -103,7 +142,7 @@ fn main() -> ExitCode {
         other => {
             // Backwards compatibility with the original single-purpose CLI:
             // `tiscc prepare_z 3` behaves as `tiscc compile prepare_z 3`.
-            if Instruction::from_id(other).is_some() {
+            if Instruction::from_id(other).is_ok() {
                 let mut compat = vec![other.to_string()];
                 compat.extend(args.positional.iter().cloned());
                 return cmd_compile(&Args { positional: compat, flags: args.flags });
@@ -116,26 +155,32 @@ fn main() -> ExitCode {
 
 fn cmd_compile(args: &Args) -> ExitCode {
     let Some(instr_name) = args.positional.first() else {
-        eprintln!("usage: tiscc compile <instruction> [dx] [dz] [dt]");
+        eprintln!("usage: tiscc compile <instruction> [dx] [dz] [dt] [--profile NAME]");
         return ExitCode::from(2);
     };
-    let Some(instruction) = Instruction::from_id(instr_name) else {
-        eprintln!("unknown instruction '{instr_name}'");
-        return ExitCode::from(2);
+    let instruction = match Instruction::from_id(instr_name) {
+        Ok(i) => i,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
     };
     let dx: usize = args.positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
     let dz: usize = args.positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(dx);
     let dt: usize = args.positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(dz.max(dx));
+    let spec = args.profile();
 
-    match tables::compile_instruction_row(instruction, dx, dz, dt) {
-        Ok(row) => {
+    let request = CompileRequest::new(instruction, dx, dz, dt).with_spec(spec);
+    match Compiler::new().compile(&request) {
+        Ok(artifact) => {
             println!(
-                "{} at dx={dx} dz={dz} dt={dt}: {} logical time-step(s), {} tile(s)",
+                "{} at dx={dx} dz={dz} dt={dt} under profile '{}': {} logical time-step(s), {} tile(s)",
                 instruction.name(),
-                row.logical_time_steps,
-                row.tiles
+                request.spec.name,
+                artifact.report.logical_time_steps,
+                artifact.report.tiles
             );
-            println!("{}", row.resources.render());
+            println!("{}", artifact.resources.render());
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -145,19 +190,23 @@ fn cmd_compile(args: &Args) -> ExitCode {
     }
 }
 
-type TableJob = fn(usize, usize) -> Result<Vec<tables::ResourceRow>, tiscc_core::CoreError>;
+type TableJob =
+    fn(&HardwareSpec, usize, usize) -> Result<Vec<tables::ResourceRow>, tiscc_core::CoreError>;
 
 fn cmd_tables(args: &Args) -> ExitCode {
     let d = args.flag_usize("d", 3).max(2);
     let dt = args.flag_usize("dt", 2);
-    println!("{}", tables::table5());
+    let spec = args.profile();
+    println!("{}", tables::table5_with(&spec));
     let jobs: [(&str, TableJob); 3] = [
-        ("Table 1: local lattice-surgery instruction set", |d, dt| tables::table1_rows(&[d], dt)),
-        ("Table 2: primitive operations", tables::table2_rows),
-        ("Table 3: derived instruction set", tables::table3_rows),
+        ("Table 1: local lattice-surgery instruction set", |spec, d, dt| {
+            tables::table1_rows_with(spec, &[d], dt)
+        }),
+        ("Table 2: primitive operations", tables::table2_rows_with),
+        ("Table 3: derived instruction set", tables::table3_rows_with),
     ];
     for (title, job) in jobs {
-        match job(d, dt) {
+        match job(&spec, d, dt) {
             Ok(rows) => println!("{}", tables::render_rows(title, &rows)),
             Err(e) => {
                 eprintln!("error compiling {title}: {e}");
@@ -168,9 +217,20 @@ fn cmd_tables(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_profiles() -> ExitCode {
+    println!("Available hardware profiles (select with --profile NAME):\n");
+    for spec in HardwareSpec::presets() {
+        print!("{}", spec.render());
+        println!("  fingerprint         : {}", spec.fingerprint());
+        println!();
+    }
+    ExitCode::SUCCESS
+}
+
 fn cmd_sweep(args: &Args) -> ExitCode {
     let dmax = args.flag_usize("dmax", 5).max(2);
-    let mut spec = SweepSpec::paper(dmax);
+    let profiles = args.profile_list();
+    let mut spec = SweepSpec::paper(dmax).with_profiles(profiles);
     if let Some(dt) = args.flag("dt") {
         if dt != "d" {
             let Ok(dt) = dt.parse::<usize>() else {
@@ -182,12 +242,14 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     }
 
     let cache = CompileCache::new();
+    let profile_names: Vec<&str> = spec.profiles.iter().map(|p| p.name.as_str()).collect();
     eprintln!(
-        "sweeping {} configurations ({} instructions x d=2..={} with dt policy {:?})",
+        "sweeping {} configurations ({} instructions x d=2..={} with dt policy {:?} x profiles {:?})",
         spec.len(),
         spec.instructions.len(),
         dmax,
-        spec.dts
+        spec.dts,
+        profile_names
     );
     let result = match run_sweep(&spec, &cache) {
         Ok(r) => r,

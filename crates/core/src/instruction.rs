@@ -114,14 +114,20 @@ impl Instruction {
     }
 
     /// Parses an instruction from either its [`Instruction::id`] or its
-    /// paper name ([`Instruction::name`]), case-insensitively.
-    pub fn from_id(text: &str) -> Option<Instruction> {
+    /// paper name ([`Instruction::name`]), case-insensitively. The error
+    /// lists every valid id, so it can be surfaced verbatim at a CLI
+    /// boundary.
+    pub fn from_id(text: &str) -> Result<Instruction, UnknownInstruction> {
         let normalized: String = text
             .trim()
             .chars()
             .map(|c| if c == ' ' || c == '-' { '_' } else { c.to_ascii_lowercase() })
             .collect();
-        Instruction::all().iter().copied().find(|i| i.id() == normalized)
+        Instruction::all()
+            .iter()
+            .copied()
+            .find(|i| i.id() == normalized)
+            .ok_or_else(|| UnknownInstruction { input: text.to_string() })
     }
 
     /// Every instruction, in the order of Table 1.
@@ -143,6 +149,31 @@ impl Instruction {
         ]
     }
 }
+
+impl std::str::FromStr for Instruction {
+    type Err = UnknownInstruction;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Instruction::from_id(s)
+    }
+}
+
+/// Error returned by [`Instruction::from_id`] for unrecognised input; its
+/// [`std::fmt::Display`] impl enumerates every valid instruction id.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownInstruction {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl std::fmt::Display for UnknownInstruction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ids: Vec<&str> = Instruction::all().iter().map(|i| i.id()).collect();
+        write!(f, "unknown instruction '{}'; valid instructions: {}", self.input, ids.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownInstruction {}
 
 /// The result of compiling one instruction.
 #[derive(Clone, Debug)]
@@ -255,6 +286,26 @@ mod tests {
             assert_eq!(i.tiles(), expected, "{}", i.name());
         }
         assert_eq!(Instruction::all().len(), 13);
+    }
+
+    #[test]
+    fn from_id_accepts_ids_names_and_mixed_case() {
+        assert_eq!(Instruction::from_id("measure_xx"), Ok(Instruction::MeasureXX));
+        assert_eq!(Instruction::from_id("Measure XX"), Ok(Instruction::MeasureXX));
+        assert_eq!(Instruction::from_id("PREPARE-Z"), Ok(Instruction::PrepareZ));
+        assert_eq!(Instruction::from_id("  idle "), Ok(Instruction::Idle));
+        assert_eq!("inject_t".parse(), Ok(Instruction::InjectT));
+    }
+
+    #[test]
+    fn from_id_error_lists_every_valid_id() {
+        let err = Instruction::from_id("bogus").unwrap_err();
+        assert_eq!(err.input, "bogus");
+        let msg = err.to_string();
+        assert!(msg.contains("'bogus'"));
+        for &i in Instruction::all() {
+            assert!(msg.contains(i.id()), "error message missing {}", i.id());
+        }
     }
 
     #[test]

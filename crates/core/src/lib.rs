@@ -34,7 +34,7 @@ pub mod tracker;
 pub mod translate;
 
 pub use arrangement::Arrangement;
-pub use instruction::{Instruction, InstructionReport};
+pub use instruction::{Instruction, InstructionReport, UnknownInstruction};
 pub use patch::LogicalQubit;
 pub use plaquette::{Plaquette, StabKind};
 pub use syndrome::RoundRecord;

@@ -1,0 +1,254 @@
+//! The unified compilation front door.
+//!
+//! Every consumer of the stack — the CLI subcommands, the sweep engine, the
+//! table generators, the examples — used to hand-build its own
+//! `HardwareModel` pipeline. [`Compiler`] replaces that glue with a single
+//! API: a [`CompileRequest`] names *what* to compile (a Table 1 instruction
+//! at spatial distances `dx × dz` with `dt` rounds per logical time-step)
+//! and *under which hardware profile* ([`HardwareSpec`]); the returned
+//! [`CompileArtifact`] carries the instruction's own time-resolved circuit,
+//! the compiler-side [`InstructionReport`], and the measured
+//! [`ResourceReport`]. "Same workload, N hardware profiles" is then just N
+//! requests differing only in their spec.
+
+use tiscc_core::instruction::{
+    apply_instruction, apply_two_tile_instruction, Instruction, InstructionReport,
+};
+use tiscc_core::CoreError;
+use tiscc_hw::{Circuit, HardwareModel, HardwareSpec, ResourceReport, UnknownProfile};
+
+use crate::sweep::{CompileCache, SweepKey};
+use crate::tables::ResourceRow;
+use crate::verify::{Fiducial, SingleTile, TwoTiles};
+
+/// A fully specified compilation request: one Table 1 instruction, the code
+/// distances, and the hardware profile to compile under.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompileRequest {
+    /// The instruction to compile.
+    pub instruction: Instruction,
+    /// X code distance.
+    pub dx: usize,
+    /// Z code distance.
+    pub dz: usize,
+    /// Rounds of error correction per logical time-step.
+    pub dt: usize,
+    /// The hardware profile to compile under.
+    pub spec: HardwareSpec,
+}
+
+impl CompileRequest {
+    /// A request under the paper-faithful default profile
+    /// ([`HardwareSpec::h1`]).
+    pub fn new(instruction: Instruction, dx: usize, dz: usize, dt: usize) -> Self {
+        CompileRequest { instruction, dx, dz, dt, spec: HardwareSpec::default() }
+    }
+
+    /// Replaces the hardware profile.
+    pub fn with_spec(mut self, spec: HardwareSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Replaces the hardware profile by preset name (case-insensitive).
+    pub fn with_profile(self, name: &str) -> Result<Self, UnknownProfile> {
+        Ok(self.with_spec(HardwareSpec::by_name(name)?))
+    }
+
+    /// The memoization key of this request: the configuration plus the
+    /// spec's parameter fingerprint, so caches never conflate profiles.
+    pub fn key(&self) -> SweepKey {
+        SweepKey {
+            instruction: self.instruction,
+            dx: self.dx,
+            dz: self.dz,
+            dt: self.dt,
+            spec: self.spec.fingerprint(),
+        }
+    }
+}
+
+/// The result of compiling one [`CompileRequest`].
+#[derive(Clone, Debug)]
+pub struct CompileArtifact {
+    /// The request this artifact answers.
+    pub request: CompileRequest,
+    /// The instruction's own time-resolved native circuit, re-based to
+    /// start at `t = 0` (input-state preparation is excluded).
+    pub circuit: Circuit,
+    /// The compiler-side accounting (logical time-steps, tiles, outcome).
+    pub report: InstructionReport,
+    /// Measured space-time resources of [`CompileArtifact::circuit`] under
+    /// the request's profile.
+    pub resources: ResourceReport,
+}
+
+impl CompileArtifact {
+    /// Renders the artifact as a resource-table row.
+    pub fn row(&self) -> ResourceRow {
+        ResourceRow {
+            name: self.request.instruction.name().to_string(),
+            dx: self.request.dx,
+            dz: self.request.dz,
+            logical_time_steps: self.report.logical_time_steps,
+            tiles: self.report.tiles,
+            profile: self.request.spec.name.clone(),
+            resources: self.resources.clone(),
+        }
+    }
+}
+
+/// The front-door compiler: turns [`CompileRequest`]s into
+/// [`CompileArtifact`]s, memoizing finished resource rows in a shared
+/// [`CompileCache`] keyed on configuration × spec fingerprint.
+#[derive(Default)]
+pub struct Compiler {
+    cache: CompileCache,
+}
+
+impl Compiler {
+    /// A compiler with a fresh cache.
+    pub fn new() -> Self {
+        Compiler::default()
+    }
+
+    /// The compile cache (shared across every [`Compiler::compile_row`]
+    /// call on this compiler).
+    pub fn cache(&self) -> &CompileCache {
+        &self.cache
+    }
+
+    /// Compiles a request end-to-end, returning the full artifact. The
+    /// instruction is compiled in a realistic context: input tiles are
+    /// first prepared (and idled) as required, then only the instruction's
+    /// own circuit is accounted. Artifacts carry the full circuit and are
+    /// not cached; use [`Compiler::compile_row`] for memoized row
+    /// generation.
+    pub fn compile(&self, request: &CompileRequest) -> Result<CompileArtifact, CoreError> {
+        compile_uncached(request)
+    }
+
+    /// Compiles a request to a resource-table row, memoized: a request
+    /// whose key (configuration × spec fingerprint) was already compiled is
+    /// served from the cache without touching the compiler.
+    pub fn compile_row(&self, request: &CompileRequest) -> Result<ResourceRow, CoreError> {
+        let key = request.key();
+        if let Some(row) = self.cache.get(&key) {
+            return Ok(row);
+        }
+        let row = self.compile(request)?.row();
+        self.cache.insert(key, row.clone());
+        Ok(row)
+    }
+}
+
+/// The stateless compile pipeline behind [`Compiler::compile`]: needs no
+/// cache, so batch engines (the sweep fan-out, the table generators) that
+/// bring their own memoization call it directly without constructing a
+/// throwaway [`Compiler`] per row.
+pub(crate) fn compile_uncached(request: &CompileRequest) -> Result<CompileArtifact, CoreError> {
+    let CompileRequest { instruction, dx, dz, dt, ref spec } = *request;
+    if instruction.tiles() == 2 {
+        let mut fixture = match instruction {
+            Instruction::MeasureZZ => TwoTiles::new_horizontal_with_spec(dx, dz, dt, spec.clone())?,
+            _ => TwoTiles::with_spec(dx, dz, dt, spec.clone())?,
+        };
+        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper)?;
+        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.lower)?;
+        let before = fixture.hw.circuit().len();
+        let report = apply_two_tile_instruction(
+            &mut fixture.hw,
+            instruction,
+            &mut fixture.upper,
+            &mut fixture.lower,
+        )?;
+        let (circuit, resources) = instruction_subcircuit(&fixture.hw, before);
+        Ok(CompileArtifact { request: request.clone(), circuit, report, resources })
+    } else {
+        let mut fixture = SingleTile::with_spec(dx, dz, dt, spec.clone())?;
+        // Instructions acting on an initialized tile need one.
+        let needs_input = !matches!(
+            instruction,
+            Instruction::PrepareZ
+                | Instruction::PrepareX
+                | Instruction::InjectY
+                | Instruction::InjectT
+        );
+        if needs_input {
+            Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch)?;
+        }
+        let before = fixture.hw.circuit().len();
+        let report = apply_instruction(&mut fixture.hw, instruction, &mut fixture.patch)?;
+        let (circuit, resources) = instruction_subcircuit(&fixture.hw, before);
+        Ok(CompileArtifact { request: request.clone(), circuit, report, resources })
+    }
+}
+
+/// Extracts the sub-circuit of `hw` starting at operation index `start_op`,
+/// re-based so the instruction starts at `t = 0`, together with its
+/// resource report under the model's profile. Used so reports reflect an
+/// instruction alone, not its input preparation.
+pub(crate) fn instruction_subcircuit(
+    hw: &HardwareModel,
+    start_op: usize,
+) -> (Circuit, ResourceReport) {
+    let mut ops: Vec<_> = hw.circuit().ops()[start_op..].to_vec();
+    let t0 = ops.iter().map(|o| o.start_us).fold(f64::INFINITY, f64::min);
+    for op in &mut ops {
+        op.start_us -= t0;
+    }
+    let sub = Circuit::from_ops(ops);
+    let resources = ResourceReport::from_circuit_with_spec(&sub, hw.grid().layout(), hw.spec());
+    (sub, resources)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_request_reproduces_the_legacy_row() {
+        let compiler = Compiler::new();
+        let artifact =
+            compiler.compile(&CompileRequest::new(Instruction::PrepareZ, 2, 2, 1)).unwrap();
+        let legacy =
+            crate::tables::compile_instruction_row(Instruction::PrepareZ, 2, 2, 1).unwrap();
+        assert_eq!(artifact.row(), legacy);
+        assert!(!artifact.circuit.is_empty());
+        assert_eq!(artifact.report.tiles, 1);
+    }
+
+    #[test]
+    fn profiles_change_the_schedule_but_not_the_accounting() {
+        let compiler = Compiler::new();
+        let base = CompileRequest::new(Instruction::Idle, 2, 2, 1);
+        let h1 = compiler.compile(&base).unwrap();
+        let fast = compiler.compile(&base.clone().with_spec(HardwareSpec::projected())).unwrap();
+        assert!(fast.resources.execution_time_s < h1.resources.execution_time_s);
+        assert_eq!(fast.report.logical_time_steps, h1.report.logical_time_steps);
+        assert_eq!(fast.resources.total_ops, h1.resources.total_ops);
+        assert_ne!(base.key(), base.clone().with_spec(HardwareSpec::projected()).key());
+    }
+
+    #[test]
+    fn compile_row_is_memoized_per_profile() {
+        let compiler = Compiler::new();
+        let req = CompileRequest::new(Instruction::MeasureZ, 2, 2, 1);
+        let a = compiler.compile_row(&req).unwrap();
+        let b = compiler.compile_row(&req).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(compiler.cache().misses(), 1);
+        assert_eq!(compiler.cache().hits(), 1);
+        // A different profile is a different cache entry.
+        let slow = req.with_profile("slow_junction").unwrap();
+        compiler.compile_row(&slow).unwrap();
+        assert_eq!(compiler.cache().len(), 2);
+    }
+
+    #[test]
+    fn with_profile_rejects_unknown_names() {
+        let err =
+            CompileRequest::new(Instruction::Idle, 2, 2, 1).with_profile("warp9").unwrap_err();
+        assert!(err.to_string().contains("h1"));
+    }
+}

@@ -4,11 +4,15 @@
 //! simulator (`tiscc-orqcs`) to regenerate every table and figure of the
 //! TISCC paper:
 //!
+//! * [`compiler`] — the unified front door: [`compiler::Compiler`] turns
+//!   [`compiler::CompileRequest`]s (instruction × distances × hardware
+//!   profile) into [`compiler::CompileArtifact`]s,
 //! * [`tables`] — Tables 1–3 (instruction sets with logical time-step
 //!   accounting), Table 5 (native gate set and durations) and the Sec. 3.4
 //!   resource-estimation sweep,
 //! * [`sweep`] — the batched sweep engine: [`sweep::SweepSpec`] grids fanned
-//!   out over rayon with a concurrent compile cache and CSV/JSON emission,
+//!   out over rayon with a concurrent compile cache and CSV/JSON emission;
+//!   hardware profiles are a first-class sweep axis,
 //! * [`verify`] — the Sec. 4 verification harness: logical state and process
 //!   tomography of compiled circuits, with Pauli-frame corrections,
 //! * [`experiments`] — the figure-level reports (arrangements, operator
@@ -19,9 +23,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compiler;
 pub mod experiments;
 pub mod sweep;
 pub mod tables;
 pub mod verify;
 
+pub use compiler::{CompileArtifact, CompileRequest, Compiler};
 pub use sweep::{run_sweep, CompileCache, SweepResult, SweepSpec};

@@ -9,11 +9,15 @@
 //! returns a [`SweepResult`] that renders as an aligned text table, CSV, or
 //! JSON.
 //!
-//! The cache is keyed on the full configuration [`SweepKey`]; requests are
+//! The cache is keyed on the full configuration [`SweepKey`] — including a
+//! fingerprint of the hardware profile, so the same workload compiled under
+//! different [`HardwareSpec`]s never shares cache entries; requests are
 //! deduplicated *before* the parallel fan-out, so even a cold sweep never
 //! compiles the same configuration twice, and a warm sweep over an already
 //! seen spec performs zero compilations while still reproducing every row in
-//! request order.
+//! request order. Hardware profiles are a first-class sweep axis:
+//! [`SweepSpec::with_profiles`] turns "same workload, N hardware profiles"
+//! into a one-line change.
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
@@ -28,8 +32,9 @@ use rayon::prelude::*;
 
 use tiscc_core::instruction::Instruction;
 use tiscc_core::CoreError;
+use tiscc_hw::{HardwareSpec, SpecFingerprint};
 
-use crate::tables::{compile_instruction_row, csv_header, render_csv, ResourceRow};
+use crate::tables::{compile_instruction_row_with, csv_header, render_csv, ResourceRow};
 
 /// How the temporal code distance `dt` (rounds of error correction per
 /// logical time-step) is chosen for each spatial configuration.
@@ -53,7 +58,8 @@ impl DtPolicy {
 }
 
 /// One fully resolved sweep configuration — the memoization key of the
-/// [`CompileCache`].
+/// [`CompileCache`]. The hardware profile participates through its
+/// parameter fingerprint, so two profiles never collide in the cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct SweepKey {
     /// The instruction to compile.
@@ -64,17 +70,19 @@ pub struct SweepKey {
     pub dz: usize,
     /// Rounds of error correction per logical time-step.
     pub dt: usize,
+    /// Fingerprint of the hardware profile compiled under.
+    pub spec: SpecFingerprint,
 }
 
 impl fmt::Display for SweepKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}@dx{}dz{}dt{}", self.instruction.id(), self.dx, self.dz, self.dt)
+        write!(f, "{}@dx{}dz{}dt{}#{}", self.instruction.id(), self.dx, self.dz, self.dt, self.spec)
     }
 }
 
-/// A batched sweep specification: the cross product of instructions,
-/// `(dx, dz)` distance pairs and dt policies.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// A batched sweep specification: the cross product of hardware profiles,
+/// instructions, `(dx, dz)` distance pairs and dt policies.
+#[derive(Clone, Debug, PartialEq)]
 pub struct SweepSpec {
     /// Instructions to compile.
     pub instructions: Vec<Instruction>,
@@ -82,43 +90,63 @@ pub struct SweepSpec {
     pub distances: Vec<(usize, usize)>,
     /// Temporal-distance policies (usually a single entry).
     pub dts: Vec<DtPolicy>,
+    /// Hardware profiles to compile under (usually a single entry; the
+    /// constructors default to [`HardwareSpec::h1`]).
+    pub profiles: Vec<HardwareSpec>,
 }
 
 impl SweepSpec {
     /// A spec over explicit instructions and square distances `dx = dz = d`
-    /// with the paper's `dt = d` policy.
+    /// with the paper's `dt = d` policy, under the default profile.
     pub fn square(instructions: Vec<Instruction>, distances: &[usize]) -> Self {
         SweepSpec {
             instructions,
             distances: distances.iter().map(|&d| (d, d)).collect(),
             dts: vec![DtPolicy::EqualsDistance],
+            profiles: vec![HardwareSpec::default()],
         }
     }
 
     /// The full paper sweep: **all 13** Table 1 instructions at every square
-    /// distance `2 ≤ d ≤ dmax`, with `dt = d`.
+    /// distance `2 ≤ d ≤ dmax`, with `dt = d`, under the default profile.
     pub fn paper(dmax: usize) -> Self {
         let distances: Vec<usize> = (2..=dmax.max(2)).collect();
         SweepSpec::square(Instruction::all().to_vec(), &distances)
     }
 
+    /// Replaces the hardware-profile axis: the whole grid is compiled once
+    /// per profile.
+    pub fn with_profiles(mut self, profiles: Vec<HardwareSpec>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
     /// Expands the grid into resolved keys, in deterministic request order
-    /// (distance-major, then instruction, then dt policy).
+    /// (profile-major, then distance, then instruction, then dt policy), so
+    /// a multi-profile sweep renders as one contiguous table per profile.
     pub fn keys(&self) -> Vec<SweepKey> {
         let mut keys = Vec::with_capacity(self.len());
-        for &(dx, dz) in &self.distances {
-            for &instruction in &self.instructions {
-                for &dt in &self.dts {
-                    keys.push(SweepKey { instruction, dx, dz, dt: dt.resolve(dx, dz) });
+        for profile in &self.profiles {
+            let spec = profile.fingerprint();
+            for &(dx, dz) in &self.distances {
+                for &instruction in &self.instructions {
+                    for &dt in &self.dts {
+                        keys.push(SweepKey { instruction, dx, dz, dt: dt.resolve(dx, dz), spec });
+                    }
                 }
             }
         }
         keys
     }
 
+    /// The profile each [`SweepSpec::keys`] fingerprint resolves to.
+    pub fn profiles_by_fingerprint(&self) -> HashMap<SpecFingerprint, &HardwareSpec> {
+        self.profiles.iter().map(|p| (p.fingerprint(), p)).collect()
+    }
+
     /// Number of grid points (including duplicates after dt resolution).
     pub fn len(&self) -> usize {
-        self.instructions.len() * self.distances.len() * self.dts.len()
+        self.instructions.len() * self.distances.len() * self.dts.len() * self.profiles.len()
     }
 
     /// Whether the grid is empty.
@@ -252,9 +280,11 @@ impl SweepResult {
             }
             counts.push('}');
             out.push_str(&format!(
-                "    {{ \"operation\": \"{}\", \"instruction_id\": \"{}\", \"dx\": {}, \"dz\": {}, \"dt\": {}, \"tiles\": {}, \"logical_time_steps\": {}, \"execution_time_s\": {}, \"area_m2\": {}, \"spacetime_volume_s_m2\": {}, \"trapping_zones\": {}, \"junctions\": {}, \"zone_seconds\": {}, \"active_zone_seconds\": {}, \"total_ops\": {}, \"measurements\": {}, \"op_counts\": {} }}{}\n",
+                "    {{ \"operation\": \"{}\", \"instruction_id\": \"{}\", \"profile\": \"{}\", \"spec_fingerprint\": \"{}\", \"dx\": {}, \"dz\": {}, \"dt\": {}, \"tiles\": {}, \"logical_time_steps\": {}, \"execution_time_s\": {}, \"area_m2\": {}, \"spacetime_volume_s_m2\": {}, \"trapping_zones\": {}, \"junctions\": {}, \"zone_seconds\": {}, \"active_zone_seconds\": {}, \"total_ops\": {}, \"measurements\": {}, \"op_counts\": {} }}{}\n",
                 json_escape(&row.name),
                 key.instruction.id(),
+                json_escape(&row.profile),
+                key.spec,
                 key.dx,
                 key.dz,
                 key.dt,
@@ -319,6 +349,7 @@ fn json_escape(s: &str) -> String {
 pub fn run_sweep(spec: &SweepSpec, cache: &CompileCache) -> Result<SweepResult, CoreError> {
     let started = Instant::now();
     let keys = spec.keys();
+    let profiles = spec.profiles_by_fingerprint();
 
     // Deduplicate while preserving first-seen order; every later occurrence
     // of a key is by construction a cache hit.
@@ -343,7 +374,11 @@ pub fn run_sweep(spec: &SweepSpec, cache: &CompileCache) -> Result<SweepResult, 
     let compiled: Result<Vec<(SweepKey, ResourceRow)>, CoreError> = missing
         .into_par_iter()
         .map(|key| {
-            compile_instruction_row(key.instruction, key.dx, key.dz, key.dt).map(|row| (key, row))
+            let profile = profiles
+                .get(&key.spec)
+                .expect("every resolved key's fingerprint maps to a spec profile");
+            compile_instruction_row_with(profile, key.instruction, key.dx, key.dz, key.dt)
+                .map(|row| (key, row))
         })
         .collect();
     let compiled = compiled?;
@@ -403,10 +438,10 @@ pub fn parse_csv(text: &str) -> Result<Vec<ResourceRow>, CsvParseError> {
         }
         let lineno = idx + 1;
         let fields: Vec<&str> = line.split(',').collect();
-        if fields.len() != 11 {
+        if fields.len() != 12 {
             return Err(CsvParseError {
                 line: lineno,
-                message: format!("expected 11 fields, found {}", fields.len()),
+                message: format!("expected 12 fields, found {}", fields.len()),
             });
         }
         fn num<T: std::str::FromStr>(
@@ -431,6 +466,7 @@ pub fn parse_csv(text: &str) -> Result<Vec<ResourceRow>, CsvParseError> {
             dz: num(&fields, 2, lineno)?,
             tiles: num(&fields, 3, lineno)?,
             logical_time_steps: num(&fields, 4, lineno)?,
+            profile: fields[11].to_string(),
             resources: tiscc_hw::ResourceReport {
                 execution_time_s,
                 area_m2,
@@ -514,8 +550,33 @@ mod tests {
         let bad_row = format!("{}\nPrepare Z,2,2,1\n", csv_header());
         let err = parse_csv(&bad_row).unwrap_err();
         assert_eq!(err.line, 2);
-        let not_numeric = format!("{}\nPrepare Z,x,2,1,1,0.1,9,10,1.0,0.1,0.01\n", csv_header());
+        let not_numeric = format!("{}\nPrepare Z,x,2,1,1,0.1,9,10,1.0,0.1,0.01,h1\n", csv_header());
         assert!(parse_csv(&not_numeric).is_err());
+    }
+
+    #[test]
+    fn profile_axis_multiplies_the_grid_and_separates_cache_entries() {
+        let cache = CompileCache::new();
+        let spec =
+            SweepSpec::square(vec![Instruction::Idle], &[2]).with_profiles(HardwareSpec::presets());
+        assert_eq!(spec.len(), 3);
+        let result = run_sweep(&spec, &cache).unwrap();
+        assert_eq!(result.rows.len(), 3);
+        assert_eq!(result.cache_misses, 3, "each profile is its own cache entry");
+        let profiles: Vec<&str> = result.rows.iter().map(|r| r.profile.as_str()).collect();
+        assert_eq!(profiles, vec!["h1", "projected", "slow_junction"]);
+        // Same workload, different physics: execution times must differ.
+        let times: Vec<f64> = result.rows.iter().map(|r| r.resources.execution_time_s).collect();
+        assert!(times[1] < times[0], "projected profile is faster than h1");
+        // Accounting (ops, tiles, steps) is profile-independent.
+        assert!(result
+            .rows
+            .iter()
+            .all(|r| r.resources.total_ops == result.rows[0].resources.total_ops));
+        // A warm re-run over the multi-profile grid is all hits.
+        let warm = run_sweep(&spec, &cache).unwrap();
+        assert_eq!(warm.cache_misses, 0);
+        assert_eq!(warm.rows, result.rows);
     }
 
     #[test]

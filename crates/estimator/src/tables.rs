@@ -5,14 +5,16 @@
 use rayon::prelude::*;
 
 use tiscc_core::derived::DerivedInstruction;
-use tiscc_core::instruction::{apply_instruction, apply_two_tile_instruction, Instruction};
+use tiscc_core::instruction::Instruction;
 use tiscc_core::CoreError;
-use tiscc_hw::{NativeOp, ResourceReport};
+use tiscc_hw::{HardwareSpec, NativeOp, ResourceReport};
 
+use crate::compiler::{instruction_subcircuit, CompileRequest};
 use crate::verify::{Fiducial, SingleTile, TwoTiles};
 
 /// One row of a resource table: an operation compiled at a given code
-/// distance together with its measured space-time resources.
+/// distance, under a named hardware profile, together with its measured
+/// space-time resources.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ResourceRow {
     /// Operation name.
@@ -25,6 +27,8 @@ pub struct ResourceRow {
     pub logical_time_steps: usize,
     /// Number of logical tiles involved.
     pub tiles: usize,
+    /// Name of the hardware profile the row was compiled under.
+    pub profile: String,
     /// Measured space-time resources of the compiled hardware circuit.
     pub resources: ResourceReport,
 }
@@ -33,7 +37,7 @@ impl ResourceRow {
     /// Renders the row as an aligned text line.
     pub fn render(&self) -> String {
         format!(
-            "{:<24} dx={:<2} dz={:<2} tiles={} steps={} time={:>9.4}s zones={:>4} ops={:>7} area={:.3e}m^2 vol={:.3e}s*m^2",
+            "{:<24} dx={:<2} dz={:<2} tiles={} steps={} time={:>9.4}s zones={:>4} ops={:>7} area={:.3e}m^2 vol={:.3e}s*m^2 profile={}",
             self.name,
             self.dx,
             self.dz,
@@ -44,13 +48,14 @@ impl ResourceRow {
             self.resources.total_ops,
             self.resources.area_m2,
             self.resources.spacetime_volume_s_m2,
+            self.profile,
         )
     }
 
     /// Renders the row as a CSV record.
     pub fn csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
             self.name,
             self.dx,
             self.dz,
@@ -62,115 +67,104 @@ impl ResourceRow {
             self.resources.area_m2,
             self.resources.spacetime_volume_s_m2,
             self.resources.active_zone_seconds,
+            self.profile,
         )
     }
 }
 
 /// CSV header matching [`ResourceRow::csv`].
 pub fn csv_header() -> &'static str {
-    "operation,dx,dz,tiles,logical_time_steps,execution_time_s,trapping_zones,native_ops,area_m2,spacetime_volume_s_m2,active_zone_seconds"
+    "operation,dx,dz,tiles,logical_time_steps,execution_time_s,trapping_zones,native_ops,area_m2,spacetime_volume_s_m2,active_zone_seconds,profile"
 }
 
-/// Table 5 / Fig. 5: the native gate set and its durations.
+/// Table 5 / Fig. 5: the native gate set and its durations under the
+/// default profile.
 pub fn table5() -> String {
-    let mut out = String::from("Native trapped-ion gate set (paper Table 5 / Fig. 5)\n");
+    table5_with(&HardwareSpec::default())
+}
+
+/// Table 5 / Fig. 5 under an arbitrary hardware profile.
+pub fn table5_with(spec: &HardwareSpec) -> String {
+    let mut out =
+        format!("Native trapped-ion gate set (paper Table 5 / Fig. 5; profile '{}')\n", spec.name);
     out.push_str(&format!("{:<12} {:>10}\n", "Operation", "Time (us)"));
-    for op in NativeOp::all() {
-        out.push_str(&format!("{:<12} {:>10.2}\n", op.mnemonic(), op.duration_us()));
+    for &op in NativeOp::all() {
+        out.push_str(&format!("{:<12} {:>10.2}\n", op.mnemonic(), spec.duration_us(op)));
     }
     out
 }
 
-/// Compiles one Table 1 instruction at the given distances and reports its
-/// resources. The instruction is compiled in a realistic context: the input
-/// tiles are first prepared (and idled) as required, then only the
-/// instruction's own circuit is accounted.
+/// Compiles one Table 1 instruction at the given distances under the
+/// default profile and reports its resources. Thin wrapper over the
+/// [`Compiler`] front door (see [`crate::compiler`]).
 pub fn compile_instruction_row(
     instruction: Instruction,
     dx: usize,
     dz: usize,
     dt: usize,
 ) -> Result<ResourceRow, CoreError> {
-    if instruction.tiles() == 2 {
-        let mut fixture = match instruction {
-            Instruction::MeasureZZ => TwoTiles::new_horizontal(dx, dz, dt)?,
-            _ => TwoTiles::new(dx, dz, dt)?,
-        };
-        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper)?;
-        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.lower)?;
-        let before = fixture.hw.circuit().len();
-        apply_two_tile_instruction(
-            &mut fixture.hw,
-            instruction,
-            &mut fixture.upper,
-            &mut fixture.lower,
-        )?;
-        let resources = report_since(&fixture.hw, before);
-        Ok(ResourceRow {
-            name: instruction.name().to_string(),
-            dx,
-            dz,
-            logical_time_steps: instruction.logical_time_steps(),
-            tiles: 2,
-            resources,
-        })
-    } else {
-        let mut fixture = SingleTile::new(dx, dz, dt)?;
-        // Instructions acting on an initialized tile need one.
-        let needs_input = !matches!(
-            instruction,
-            Instruction::PrepareZ
-                | Instruction::PrepareX
-                | Instruction::InjectY
-                | Instruction::InjectT
-        );
-        if needs_input {
-            Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch)?;
-        }
-        let before = fixture.hw.circuit().len();
-        apply_instruction(&mut fixture.hw, instruction, &mut fixture.patch)?;
-        let resources = report_since(&fixture.hw, before);
-        Ok(ResourceRow {
-            name: instruction.name().to_string(),
-            dx,
-            dz,
-            logical_time_steps: instruction.logical_time_steps(),
-            tiles: 1,
-            resources,
-        })
-    }
+    compile_instruction_row_with(&HardwareSpec::default(), instruction, dx, dz, dt)
+}
+
+/// Compiles one Table 1 instruction under an arbitrary hardware profile.
+pub fn compile_instruction_row_with(
+    spec: &HardwareSpec,
+    instruction: Instruction,
+    dx: usize,
+    dz: usize,
+    dt: usize,
+) -> Result<ResourceRow, CoreError> {
+    // The stateless pipeline: batch callers (sweep, table generators) bring
+    // their own memoization, so no per-row Compiler cache is built here.
+    crate::compiler::compile_uncached(
+        &CompileRequest::new(instruction, dx, dz, dt).with_spec(spec.clone()),
+    )
+    .map(|artifact| artifact.row())
 }
 
 fn report_since(hw: &tiscc_hw::HardwareModel, start_op: usize) -> ResourceReport {
-    // Rebuild a circuit containing only the instruction's own operations so
-    // that the report reflects the instruction, not its input preparation.
-    let mut ops: Vec<_> = hw.circuit().ops()[start_op..].to_vec();
-    // Re-base the schedule so the instruction starts at t = 0.
-    let t0 = ops.iter().map(|o| o.start_us).fold(f64::INFINITY, f64::min);
-    for op in &mut ops {
-        op.start_us -= t0;
-    }
-    let sub = tiscc_hw::Circuit::from_ops(ops);
-    ResourceReport::from_circuit(&sub, hw.grid().layout())
+    // Rebuild a circuit containing only the operation's own native gates so
+    // that the report reflects the operation, not its input preparation.
+    instruction_subcircuit(hw, start_op).1
 }
 
-/// Table 1: every instruction compiled at each requested distance.
+/// Table 1: every instruction compiled at each requested distance, under
+/// the default profile.
 pub fn table1_rows(distances: &[usize], dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
+    table1_rows_with(&HardwareSpec::default(), distances, dt)
+}
+
+/// Table 1 under an arbitrary hardware profile.
+pub fn table1_rows_with(
+    spec: &HardwareSpec,
+    distances: &[usize],
+    dt: usize,
+) -> Result<Vec<ResourceRow>, CoreError> {
     let mut jobs = Vec::new();
     for &d in distances {
         for &i in Instruction::all() {
             jobs.push((i, d));
         }
     }
-    jobs.into_par_iter().map(|(i, d)| compile_instruction_row(i, d, d, dt)).collect()
+    jobs.into_par_iter().map(|(i, d)| compile_instruction_row_with(spec, i, d, d, dt)).collect()
 }
 
 /// A Table 2 primitive exercised through the patch API.
 type PrimitiveOp = Box<dyn Fn(&mut SingleTile) -> Result<(), CoreError>>;
 
 /// Table 2: the primitive operations with their logical time-steps, compiled
-/// at a single distance (the primitives are exercised through the patch API).
+/// at a single distance under the default profile (the primitives are
+/// exercised through the patch API).
 pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
+    table2_rows_with(&HardwareSpec::default(), d, dt)
+}
+
+/// Table 2 under an arbitrary hardware profile.
+pub fn table2_rows_with(
+    spec: &HardwareSpec,
+    d: usize,
+    dt: usize,
+) -> Result<Vec<ResourceRow>, CoreError> {
     let mut rows = Vec::new();
     let prims: Vec<(&str, usize, PrimitiveOp)> = vec![
         ("Prepare Z (transversal)", 0, Box::new(|f| f.patch.transversal_prepare_z(&mut f.hw))),
@@ -190,7 +184,7 @@ pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
         ("Idle", 1, Box::new(|f| f.patch.idle(&mut f.hw).map(|_| ()))),
     ];
     for (name, steps, op) in prims {
-        let mut fixture = SingleTile::new(d, d, dt)?;
+        let mut fixture = SingleTile::with_spec(d, d, dt, spec.clone())?;
         if name.starts_with("Measure")
             || name.starts_with("Hadamard")
             || name.starts_with("Pauli")
@@ -206,11 +200,12 @@ pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
             dz: d,
             logical_time_steps: steps,
             tiles: 1,
+            profile: spec.name.clone(),
             resources: report_since(&fixture.hw, before),
         });
     }
     // Merge and Split are exercised through Measure XX (merge = 1 step, split = 0).
-    let mut fixture = TwoTiles::new(d, d, dt)?;
+    let mut fixture = TwoTiles::with_spec(d, d, dt, spec.clone())?;
     Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper)?;
     Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.lower)?;
     let before = fixture.hw.circuit().len();
@@ -226,6 +221,7 @@ pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
         dz: d,
         logical_time_steps: 1,
         tiles: 2,
+        profile: spec.name.clone(),
         resources: report_since(&fixture.hw, before),
     });
     let before = fixture.hw.circuit().len();
@@ -241,16 +237,27 @@ pub fn table2_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
         dz: d,
         logical_time_steps: 0,
         tiles: 2,
+        profile: spec.name.clone(),
         resources: report_since(&fixture.hw, before),
     });
     Ok(rows)
 }
 
-/// Table 3: the derived instruction set compiled at a single distance.
+/// Table 3: the derived instruction set compiled at a single distance under
+/// the default profile.
 pub fn table3_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
+    table3_rows_with(&HardwareSpec::default(), d, dt)
+}
+
+/// Table 3 under an arbitrary hardware profile.
+pub fn table3_rows_with(
+    spec: &HardwareSpec,
+    d: usize,
+    dt: usize,
+) -> Result<Vec<ResourceRow>, CoreError> {
     let mut rows = Vec::new();
     for &instr in DerivedInstruction::all() {
-        let mut fixture = TwoTiles::new(d, d, dt)?;
+        let mut fixture = TwoTiles::with_spec(d, d, dt, spec.clone())?;
         match instr {
             DerivedInstruction::BellStatePreparation => {}
             DerivedInstruction::BellBasisMeasurement | DerivedInstruction::MergeContract => {
@@ -322,6 +329,7 @@ pub fn table3_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
                     dz: d,
                     logical_time_steps: instr.logical_time_steps(),
                     tiles: 2,
+                    profile: spec.name.clone(),
                     resources: report_since(&fixture.hw, before_contract),
                 });
                 continue;
@@ -333,6 +341,7 @@ pub fn table3_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
             dz: d,
             logical_time_steps: instr.logical_time_steps(),
             tiles: 2,
+            profile: spec.name.clone(),
             resources: report_since(&fixture.hw, before),
         });
     }
@@ -340,8 +349,18 @@ pub fn table3_rows(d: usize, dt: usize) -> Result<Vec<ResourceRow>, CoreError> {
 }
 
 /// The Sec. 3.4 resource-estimation sweep: a set of representative
-/// operations compiled across a range of code distances, in parallel.
+/// operations compiled across a range of code distances, in parallel, under
+/// the default profile.
 pub fn resource_sweep(
+    distances: &[usize],
+    dt_equals_d: bool,
+) -> Result<Vec<ResourceRow>, CoreError> {
+    resource_sweep_with(&HardwareSpec::default(), distances, dt_equals_d)
+}
+
+/// The Sec. 3.4 sweep under an arbitrary hardware profile.
+pub fn resource_sweep_with(
+    spec: &HardwareSpec,
     distances: &[usize],
     dt_equals_d: bool,
 ) -> Result<Vec<ResourceRow>, CoreError> {
@@ -360,7 +379,9 @@ pub fn resource_sweep(
             jobs.push((op, d, dt));
         }
     }
-    jobs.into_par_iter().map(|(op, d, dt)| compile_instruction_row(op, d, d, dt)).collect()
+    jobs.into_par_iter()
+        .map(|(op, d, dt)| compile_instruction_row_with(spec, op, d, d, dt))
+        .collect()
 }
 
 /// Renders a set of rows as an aligned text table.

@@ -7,7 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use tiscc_core::{CoreError, LogicalQubit, TrackedOperator};
-use tiscc_hw::HardwareModel;
+use tiscc_hw::{HardwareModel, HardwareSpec};
 use tiscc_orqcs::postprocess::CorrectedOperator;
 use tiscc_orqcs::tomography::BlochVector;
 use tiscc_orqcs::{Interpreter, RunResult};
@@ -111,11 +111,22 @@ pub struct SingleTile {
 
 impl SingleTile {
     /// Creates a fresh grid hosting a single `dx × dz` patch with temporal
-    /// distance `dt`.
+    /// distance `dt`, under the default hardware profile.
     pub fn new(dx: usize, dz: usize, dt: usize) -> Result<Self, CoreError> {
+        SingleTile::with_spec(dx, dz, dt, HardwareSpec::default())
+    }
+
+    /// Creates a fresh grid hosting a single `dx × dz` patch, compiling
+    /// under the given hardware profile.
+    pub fn with_spec(
+        dx: usize,
+        dz: usize,
+        dt: usize,
+        spec: HardwareSpec,
+    ) -> Result<Self, CoreError> {
         let rows = tiscc_core::plaquette::tile_rows(dz) + 2;
         let cols = tiscc_core::plaquette::tile_cols(dx) + 2;
-        let mut hw = HardwareModel::new(rows, cols);
+        let mut hw = HardwareModel::with_spec(rows, cols, spec);
         let patch = LogicalQubit::new(&mut hw, dx, dz, dt, (0, 0))?;
         let snapshot = hw.grid().snapshot();
         Ok(SingleTile { hw, patch, snapshot })
@@ -152,11 +163,23 @@ pub struct TwoTiles {
 }
 
 impl TwoTiles {
-    /// Creates a fresh grid hosting two vertically adjacent patches.
+    /// Creates a fresh grid hosting two vertically adjacent patches, under
+    /// the default hardware profile.
     pub fn new(dx: usize, dz: usize, dt: usize) -> Result<Self, CoreError> {
+        TwoTiles::with_spec(dx, dz, dt, HardwareSpec::default())
+    }
+
+    /// Creates a fresh grid hosting two vertically adjacent patches,
+    /// compiling under the given hardware profile.
+    pub fn with_spec(
+        dx: usize,
+        dz: usize,
+        dt: usize,
+        spec: HardwareSpec,
+    ) -> Result<Self, CoreError> {
         let rows = 2 * tiscc_core::plaquette::tile_rows(dz) + 2;
         let cols = tiscc_core::plaquette::tile_cols(dx) + 2;
-        let mut hw = HardwareModel::new(rows, cols);
+        let mut hw = HardwareModel::with_spec(rows, cols, spec);
         let upper = LogicalQubit::new(&mut hw, dx, dz, dt, (0, 0))?;
         let lower =
             LogicalQubit::new(&mut hw, dx, dz, dt, (tiscc_core::plaquette::tile_rows(dz), 0))?;
@@ -164,11 +187,23 @@ impl TwoTiles {
         Ok(TwoTiles { hw, upper, lower, snapshot })
     }
 
-    /// Creates a fresh grid hosting two horizontally adjacent patches.
+    /// Creates a fresh grid hosting two horizontally adjacent patches, under
+    /// the default hardware profile.
     pub fn new_horizontal(dx: usize, dz: usize, dt: usize) -> Result<Self, CoreError> {
+        TwoTiles::new_horizontal_with_spec(dx, dz, dt, HardwareSpec::default())
+    }
+
+    /// Creates a fresh grid hosting two horizontally adjacent patches,
+    /// compiling under the given hardware profile.
+    pub fn new_horizontal_with_spec(
+        dx: usize,
+        dz: usize,
+        dt: usize,
+        spec: HardwareSpec,
+    ) -> Result<Self, CoreError> {
         let rows = tiscc_core::plaquette::tile_rows(dz) + 2;
         let cols = 2 * tiscc_core::plaquette::tile_cols(dx) + 2;
-        let mut hw = HardwareModel::new(rows, cols);
+        let mut hw = HardwareModel::with_spec(rows, cols, spec);
         let upper = LogicalQubit::new(&mut hw, dx, dz, dt, (0, 0))?;
         let lower =
             LogicalQubit::new(&mut hw, dx, dz, dt, (0, tiscc_core::plaquette::tile_cols(dx)))?;

@@ -184,7 +184,7 @@ mod tests {
             sites: vec![QSite::new(0, 1)],
             qubits: vec![QubitId(0)],
             start_us: start,
-            duration_us: op.duration_us(),
+            duration_us: op.duration_us(&crate::spec::HardwareSpec::h1()),
             junction: None,
             measurement: None,
         }

@@ -4,10 +4,13 @@
 //! This crate is the bottom layer of the TISCC stack (paper Secs. 3.2–3.4).
 //! It exposes:
 //!
+//! * [`HardwareSpec`] — a pluggable hardware parameterisation (per-operation
+//!   durations, transport speeds, zone pitch and capacity) with the
+//!   paper-faithful [`HardwareSpec::h1`] default plus named variants,
 //! * [`NativeOp`] — the native trapped-ion gate set of paper Table 5/Fig. 5
 //!   (specialised Pauli rotations, `ZZ`, state preparation, measurement and
-//!   the `Move`/`Junction` transport primitives) together with their nominal
-//!   durations,
+//!   the `Move`/`Junction` transport primitives); durations resolve against
+//!   a [`HardwareSpec`],
 //! * [`Circuit`] — a time-resolved hardware circuit: every emitted operation
 //!   carries the qsites it acts on, the ions involved and its start time,
 //! * [`HardwareModel`] — the builder that appends native operations with
@@ -19,15 +22,17 @@
 //! * [`validity`] — an independent replay checker for compiled circuits.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod circuit;
 pub mod model;
 pub mod ops;
 pub mod resources;
+pub mod spec;
 pub mod validity;
 
 pub use circuit::{Circuit, MeasurementRecord, TimedOp};
 pub use model::{HardwareModel, HwError};
 pub use ops::NativeOp;
 pub use resources::ResourceReport;
+pub use spec::{HardwareSpec, SpecFingerprint, UnknownProfile};

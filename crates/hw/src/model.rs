@@ -16,6 +16,8 @@ use tiscc_grid::{route_avoiding, GridError, GridManager, MoveStep, QSite, QubitI
 
 use crate::circuit::{Circuit, MeasurementRecord, TimedOp};
 use crate::ops::NativeOp;
+use crate::resources::ResourceReport;
+use crate::spec::HardwareSpec;
 
 /// Errors raised while compiling onto the hardware model.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -58,11 +60,19 @@ pub struct HardwareModel {
     qubit_busy: HashMap<QubitId, f64>,
     junction_busy: HashMap<QSite, f64>,
     barrier_us: f64,
+    spec: HardwareSpec,
 }
 
 impl HardwareModel {
-    /// A model over a fresh grid of `unit_rows × unit_cols` repeating units.
+    /// A model over a fresh grid of `unit_rows × unit_cols` repeating units,
+    /// under the paper-faithful default profile ([`HardwareSpec::h1`]).
     pub fn new(unit_rows: u32, unit_cols: u32) -> Self {
+        HardwareModel::with_spec(unit_rows, unit_cols, HardwareSpec::default())
+    }
+
+    /// A model over a fresh grid, compiling under the given hardware
+    /// profile: every emitted operation takes the duration `spec` assigns it.
+    pub fn with_spec(unit_rows: u32, unit_cols: u32, spec: HardwareSpec) -> Self {
         HardwareModel {
             grid: GridManager::new(unit_rows, unit_cols),
             circuit: Circuit::new(),
@@ -70,12 +80,24 @@ impl HardwareModel {
             qubit_busy: HashMap::new(),
             junction_busy: HashMap::new(),
             barrier_us: 0.0,
+            spec,
         }
+    }
+
+    /// The hardware profile this model compiles against.
+    pub fn spec(&self) -> &HardwareSpec {
+        &self.spec
     }
 
     /// The grid manager (read access).
     pub fn grid(&self) -> &GridManager {
         &self.grid
+    }
+
+    /// Space-time resource report of the circuit compiled so far, accounted
+    /// under this model's hardware profile.
+    pub fn resource_report(&self) -> ResourceReport {
+        ResourceReport::from_circuit_with_spec(&self.circuit, self.grid.layout(), &self.spec)
     }
 
     /// The circuit compiled so far.
@@ -137,7 +159,7 @@ impl HardwareModel {
         junction: Option<QSite>,
         measurement: Option<usize>,
     ) -> f64 {
-        let duration = op.duration_us();
+        let duration = op.duration_us(&self.spec);
         let start = self.ready_time(&qubits, &sites, junction);
         let end = start + duration;
         for q in &qubits {
@@ -439,6 +461,20 @@ mod tests {
                 NativeOp::YPi4,
             ]
         );
+    }
+
+    #[test]
+    fn schedule_follows_the_hardware_profile() {
+        let spec = HardwareSpec::h1().scale_durations(2.0);
+        let mut hw = HardwareModel::with_spec(1, 1, spec);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        hw.apply_1q(NativeOp::XPi2, q).unwrap();
+        let ops = hw.circuit().ops();
+        assert_eq!(ops[0].duration_us, 20.0);
+        assert_eq!(ops[1].start_us, 20.0);
+        assert!((hw.now_us() - 40.0).abs() < 1e-9);
+        assert_eq!(hw.spec().name, "h1*2");
     }
 
     #[test]

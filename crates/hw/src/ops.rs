@@ -6,12 +6,16 @@
 //! entangling `(ZZ)_{π/4}` interaction, `Prepare_Z`, `Measure_Z`, and the
 //! `Move`/`Junction` transport operations.
 
+use crate::spec::HardwareSpec;
+
 /// One native hardware operation.
 ///
-/// Durations are literature-derived (paper Sec. 3.2): transport at 80 m/s
-/// between zones and 4 m/s through junctions over a 420 µm pitch; the
-/// `(ZZ)_{π/4}` time is dominated by the implied split/merge/cool steps
-/// (≈ 2 ms).
+/// Durations are a property of the hardware profile, not of the operation:
+/// [`NativeOp::duration_us`] resolves against a [`HardwareSpec`]. The
+/// per-variant times quoted below are those of the paper-faithful default
+/// profile ([`HardwareSpec::h1`], Sec. 3.2): transport at 80 m/s between
+/// zones and 4 m/s through junctions over a 420 µm pitch; the `(ZZ)_{π/4}`
+/// time is dominated by the implied split/merge/cool steps (≈ 2 ms).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NativeOp {
     /// Prepare an ion in |0⟩ (10 µs).
@@ -50,22 +54,10 @@ pub enum NativeOp {
 }
 
 impl NativeOp {
-    /// Nominal duration in microseconds (paper Table 5/Fig. 5).
-    pub fn duration_us(self) -> f64 {
-        match self {
-            NativeOp::PrepareZ => 10.0,
-            NativeOp::MeasureZ => 120.0,
-            NativeOp::XPi2 | NativeOp::XPi4 | NativeOp::XPi4Dag => 10.0,
-            NativeOp::YPi2 | NativeOp::YPi4 | NativeOp::YPi4Dag => 10.0,
-            NativeOp::ZPi2
-            | NativeOp::ZPi4
-            | NativeOp::ZPi4Dag
-            | NativeOp::ZPi8
-            | NativeOp::ZPi8Dag => 3.0,
-            NativeOp::ZZ => 2000.0,
-            NativeOp::Move => 5.25,
-            NativeOp::JunctionMove => 210.0,
-        }
+    /// Duration in microseconds under the given hardware profile (paper
+    /// Table 5/Fig. 5 for [`HardwareSpec::h1`]).
+    pub fn duration_us(self, spec: &HardwareSpec) -> f64 {
+        spec.duration_us(self)
     }
 
     /// Number of qsites the operation addresses (2 for `ZZ` and transport,
@@ -146,17 +138,27 @@ mod tests {
     use super::*;
 
     #[test]
-    fn durations_match_paper_table5() {
-        assert_eq!(NativeOp::PrepareZ.duration_us(), 10.0);
-        assert_eq!(NativeOp::MeasureZ.duration_us(), 120.0);
-        assert_eq!(NativeOp::XPi2.duration_us(), 10.0);
-        assert_eq!(NativeOp::YPi4.duration_us(), 10.0);
-        assert_eq!(NativeOp::ZPi2.duration_us(), 3.0);
-        assert_eq!(NativeOp::ZPi8.duration_us(), 3.0);
-        assert_eq!(NativeOp::ZZ.duration_us(), 2000.0);
-        assert_eq!(NativeOp::Move.duration_us(), 5.25);
+    fn durations_match_paper_table5_under_the_default_profile() {
+        let spec = HardwareSpec::h1();
+        assert_eq!(NativeOp::PrepareZ.duration_us(&spec), 10.0);
+        assert_eq!(NativeOp::MeasureZ.duration_us(&spec), 120.0);
+        assert_eq!(NativeOp::XPi2.duration_us(&spec), 10.0);
+        assert_eq!(NativeOp::YPi4.duration_us(&spec), 10.0);
+        assert_eq!(NativeOp::ZPi2.duration_us(&spec), 3.0);
+        assert_eq!(NativeOp::ZPi8.duration_us(&spec), 3.0);
+        assert_eq!(NativeOp::ZZ.duration_us(&spec), 2000.0);
+        assert_eq!(NativeOp::Move.duration_us(&spec), 5.25);
         // One junction traversal is 105 µs; a compiled junction move is two.
-        assert_eq!(NativeOp::JunctionMove.duration_us(), 210.0);
+        assert_eq!(NativeOp::JunctionMove.duration_us(&spec), 210.0);
+    }
+
+    #[test]
+    fn durations_follow_the_profile() {
+        let spec = HardwareSpec::projected();
+        for &op in NativeOp::all() {
+            assert_eq!(op.duration_us(&spec), spec.duration_us(op));
+        }
+        assert!(spec.duration_us(NativeOp::ZZ) < HardwareSpec::h1().duration_us(NativeOp::ZZ));
     }
 
     #[test]

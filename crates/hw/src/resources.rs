@@ -8,10 +8,11 @@
 
 use std::collections::BTreeMap;
 
-use tiscc_grid::{Layout, ZONE_WIDTH_M};
+use tiscc_grid::Layout;
 
 use crate::circuit::Circuit;
 use crate::ops::NativeOp;
+use crate::spec::HardwareSpec;
 
 /// Space-time resources consumed by one compiled hardware circuit.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,8 +41,17 @@ pub struct ResourceReport {
 }
 
 impl ResourceReport {
-    /// Computes the report for `circuit` compiled on `layout`.
+    /// Computes the report for `circuit` compiled on `layout`, under the
+    /// paper-faithful default profile ([`HardwareSpec::h1`]).
     pub fn from_circuit(circuit: &Circuit, layout: &Layout) -> Self {
+        ResourceReport::from_circuit_with_spec(circuit, layout, &HardwareSpec::default())
+    }
+
+    /// Computes the report for `circuit` compiled on `layout` under the
+    /// given hardware profile: the physical area uses the profile's zone
+    /// pitch. Time-dependent quantities are read off the circuit's schedule,
+    /// which was already laid out with the profile's durations.
+    pub fn from_circuit_with_spec(circuit: &Circuit, layout: &Layout, spec: &HardwareSpec) -> Self {
         let execution_time_s = circuit.makespan_us() * 1e-6;
         let zones = circuit.zones_touched();
         let junctions = circuit.junctions_touched();
@@ -57,8 +67,8 @@ impl ResourceReport {
                 let rmax = all.iter().map(|s| s.row).max().unwrap();
                 let cmin = all.iter().map(|s| s.col).min().unwrap();
                 let cmax = all.iter().map(|s| s.col).max().unwrap();
-                let height = (rmax - rmin + 1) as f64 * ZONE_WIDTH_M;
-                let width = (cmax - cmin + 1) as f64 * ZONE_WIDTH_M;
+                let height = (rmax - rmin + 1) as f64 * spec.zone_pitch_m;
+                let width = (cmax - cmin + 1) as f64 * spec.zone_pitch_m;
                 height * width
             }
         };
@@ -111,7 +121,7 @@ impl ResourceReport {
 mod tests {
     use super::*;
     use crate::model::HardwareModel;
-    use tiscc_grid::QSite;
+    use tiscc_grid::{QSite, ZONE_WIDTH_M};
 
     #[test]
     fn report_counts_basic_quantities() {
@@ -150,6 +160,18 @@ mod tests {
         assert!(report.junctions >= 1);
         assert!(report.trapping_zones >= 2);
         assert!(report.area_m2 > ZONE_WIDTH_M * ZONE_WIDTH_M);
+    }
+
+    #[test]
+    fn area_follows_the_profile_pitch() {
+        let mut spec = HardwareSpec::h1();
+        spec.zone_pitch_m *= 2.0;
+        let mut hw = HardwareModel::with_spec(1, 1, spec);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        let report = hw.resource_report();
+        // Doubling the pitch quadruples the single-zone bounding-box area.
+        assert!((report.area_m2 - 4.0 * ZONE_WIDTH_M * ZONE_WIDTH_M).abs() < 1e-15);
     }
 
     #[test]

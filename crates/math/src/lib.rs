@@ -2,7 +2,7 @@
 //!
 //! These are the mathematical substrates shared by the TISCC surface-code
 //! compiler (`tiscc-core`, which maintains a parity-check matrix and logical
-//! operators for every [`LogicalQubit`]) and by the quasi-Clifford simulator
+//! operators for every `LogicalQubit`) and by the quasi-Clifford simulator
 //! (`tiscc-orqcs`, which represents stabilizer groups as sets of Pauli
 //! strings and needs to test membership of a Pauli in a stabilizer group).
 //!

@@ -8,16 +8,18 @@
 
 use tiscc::core::derived::bell_state_preparation;
 use tiscc::estimator::verify::TwoTiles;
-use tiscc::hw::ResourceReport;
+use tiscc::hw::HardwareSpec;
 
 fn main() {
     let distance = 3;
-    let mut fixture = TwoTiles::new(distance, distance, distance).expect("grid");
+    let spec = HardwareSpec::h1();
+    let mut fixture =
+        TwoTiles::with_spec(distance, distance, distance, spec.clone()).expect("grid");
     let outcome =
         bell_state_preparation(&mut fixture.hw, &mut fixture.upper, &mut fixture.lower).unwrap();
 
-    let report = ResourceReport::from_circuit(fixture.hw.circuit(), fixture.hw.grid().layout());
-    println!("Bell pair at distance {distance}:");
+    let report = fixture.hw.resource_report();
+    println!("Bell pair at distance {distance} under profile '{}':", spec.name);
     println!("{}", report.render());
 
     // Verify: the pair is stabilised by (outcome)·X_AX_B and +Z_AZ_B.

@@ -8,10 +8,11 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tiscc::estimator::verify::{corrected, SingleTile};
+use tiscc::hw::HardwareSpec;
 use tiscc::orqcs::{Interpreter, QuasiCliffordEstimator};
 
 fn main() {
-    let mut fixture = SingleTile::new(3, 3, 1).expect("grid");
+    let mut fixture = SingleTile::with_spec(3, 3, 1, HardwareSpec::h1()).expect("grid");
     fixture.patch.inject_t(&mut fixture.hw).unwrap();
     fixture.patch.syndrome_round(&mut fixture.hw, "quiescence").unwrap();
 

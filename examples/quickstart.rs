@@ -1,6 +1,7 @@
-//! Quickstart: compile a fault-tolerant `Prepare Z` followed by an `Idle` on
-//! a distance-3 patch, print the space-time resource report, and verify the
-//! encoded state with the quasi-Clifford simulator.
+//! Quickstart: compile a fault-tolerant `Prepare Z` through the unified
+//! [`Compiler`] front door, compare it across hardware profiles, then build
+//! the same workload by hand and verify the encoded state with the
+//! quasi-Clifford simulator.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
@@ -8,24 +9,35 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tiscc::core::instruction::apply_instruction;
 use tiscc::core::{Instruction, LogicalQubit};
+use tiscc::estimator::compiler::{CompileRequest, Compiler};
 use tiscc::estimator::verify::corrected;
-use tiscc::hw::{HardwareModel, ResourceReport};
+use tiscc::hw::{HardwareModel, HardwareSpec};
 use tiscc::orqcs::Interpreter;
 
 fn main() {
-    // 1. A trapped-ion grid of 6 x 6 repeating units and one distance-3 patch.
-    let mut hw = HardwareModel::new(6, 6);
+    // 1. The front door: one request = instruction x distances x profile.
+    let compiler = Compiler::new();
+    let request = CompileRequest::new(Instruction::PrepareZ, 3, 3, 3);
+    let artifact = compiler.compile(&request).expect("compiles");
+    println!(
+        "Prepare Z at d=3 under '{}': {} native ops, {:.6} s",
+        request.spec.name, artifact.resources.total_ops, artifact.resources.execution_time_s
+    );
+
+    // 2. The same workload under every built-in hardware profile.
+    for spec in HardwareSpec::presets() {
+        let row = compiler.compile_row(&request.clone().with_spec(spec)).expect("compiles");
+        println!("  {:<14} {:.6} s", row.profile, row.resources.execution_time_s);
+    }
+
+    // 3. Under the hood: a hardware model hosting one distance-3 patch.
+    let mut hw = HardwareModel::with_spec(6, 6, HardwareSpec::h1());
     let mut patch = LogicalQubit::new(&mut hw, 3, 3, 3, (0, 0)).expect("patch fits on the grid");
     let snapshot = hw.grid().snapshot();
-
-    // 2. Compile Table 1 instructions.
     apply_instruction(&mut hw, Instruction::PrepareZ, &mut patch).unwrap();
     apply_instruction(&mut hw, Instruction::Idle, &mut patch).unwrap();
-
-    // 3. Resource estimation (paper Sec. 3.4).
-    let report = ResourceReport::from_circuit(hw.circuit(), hw.grid().layout());
-    println!("Compiled {} native operations:", hw.circuit().len());
-    println!("{}", report.render());
+    println!("\nCompiled {} native operations:", hw.circuit().len());
+    println!("{}", hw.resource_report().render());
 
     // 4. Verification (paper Sec. 4): the logical Z expectation must be +1.
     let interpreter = Interpreter::new(&snapshot);

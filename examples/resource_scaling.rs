@@ -1,20 +1,56 @@
-//! Resource-estimation sweep (paper Sec. 3.4): compiles representative
-//! surface-code instructions across a range of code distances and prints the
-//! execution time, trapping-zone count and space-time volume scaling — the
-//! numbers a fault-tolerant resource analysis would feed on.
+//! Resource-estimation sweep (paper Sec. 3.4) across hardware profiles:
+//! compiles representative surface-code instructions over a range of code
+//! distances under every built-in `HardwareSpec`, showing how execution
+//! time and space-time volume scale with both code distance and
+//! trap-architecture assumptions.
 //!
 //! Run with `cargo run --release --example resource_scaling -- 3 5 7`.
 
-use tiscc::estimator::tables::{render_csv, render_rows, resource_sweep};
+use tiscc::core::Instruction;
+use tiscc::estimator::sweep::{run_sweep, CompileCache, SweepSpec};
+use tiscc::estimator::tables::render_rows;
+use tiscc::hw::HardwareSpec;
 
 fn main() {
     let distances: Vec<usize> = std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
     let distances = if distances.is_empty() { vec![3, 5, 7] } else { distances };
 
-    let rows = resource_sweep(&distances, true).expect("sweep compiles");
+    let ops = vec![
+        Instruction::PrepareZ,
+        Instruction::Idle,
+        Instruction::Hadamard,
+        Instruction::MeasureZ,
+        Instruction::MeasureXX,
+        Instruction::MeasureZZ,
+    ];
+    // The profile axis: same workload, every built-in hardware profile.
+    let spec = SweepSpec::square(ops, &distances).with_profiles(HardwareSpec::presets());
+
+    let cache = CompileCache::new();
+    let result = run_sweep(&spec, &cache).expect("sweep compiles");
     println!(
-        "{}",
-        render_rows(&format!("Resource sweep over distances {distances:?} (dt = d)"), &rows)
+        "swept {} configurations in {:.2}s on {} thread(s) ({} compiled, {} cache hits)\n",
+        result.rows.len(),
+        result.elapsed_s,
+        result.threads,
+        result.cache_misses,
+        result.cache_hits
     );
-    println!("{}", render_csv(&rows));
+
+    // One contiguous table per profile (keys are profile-major).
+    let per_profile = result.rows.len() / spec.profiles.len();
+    for (i, profile) in spec.profiles.iter().enumerate() {
+        let rows = &result.rows[i * per_profile..(i + 1) * per_profile];
+        println!(
+            "{}",
+            render_rows(
+                &format!(
+                    "Resource sweep, profile '{}' ({}), distances {distances:?}, dt = d",
+                    profile.name, profile.description
+                ),
+                rows
+            )
+        );
+    }
+    print!("{}", result.to_csv());
 }

@@ -12,22 +12,47 @@
 //! * [`core`] — the surface-code compiler (patches, syndrome extraction,
 //!   lattice surgery, the Table 1/3 instruction sets),
 //! * [`orqcs`] — the quasi-Clifford simulator used for verification,
-//! * [`estimator`] — table/figure regeneration and the verification harness.
+//! * [`estimator`] — the unified [`estimator::Compiler`] front door,
+//!   table/figure regeneration and the verification harness.
 //!
 //! ## Quickstart
+//!
+//! The front door: a [`estimator::CompileRequest`] names an instruction,
+//! code distances, and a hardware profile; the [`estimator::Compiler`]
+//! returns the compiled circuit with its resource accounting.
+//!
+//! ```
+//! use tiscc::core::Instruction;
+//! use tiscc::estimator::{CompileRequest, Compiler};
+//! use tiscc::hw::HardwareSpec;
+//!
+//! let compiler = Compiler::new();
+//! // Prepare Z on a distance-3 patch, dt = 3 rounds, paper-faithful profile.
+//! let request = CompileRequest::new(Instruction::PrepareZ, 3, 3, 3);
+//! let artifact = compiler.compile(&request).unwrap();
+//! assert!(artifact.resources.execution_time_s > 0.0);
+//! assert!(artifact.resources.trapping_zones > 9);
+//!
+//! // Same workload, different hardware profile: one line.
+//! let projected = compiler
+//!     .compile(&request.with_spec(HardwareSpec::projected()))
+//!     .unwrap();
+//! assert!(projected.resources.execution_time_s < artifact.resources.execution_time_s);
+//! ```
+//!
+//! The lower-level patch API remains available for custom workloads:
 //!
 //! ```
 //! use tiscc::core::{Instruction, LogicalQubit};
 //! use tiscc::core::instruction::apply_instruction;
-//! use tiscc::hw::{HardwareModel, ResourceReport};
+//! use tiscc::hw::{HardwareModel, HardwareSpec};
 //!
 //! // A grid of 6 x 6 repeating units, one distance-3 patch, dt = 3 rounds.
-//! let mut hw = HardwareModel::new(6, 6);
+//! let mut hw = HardwareModel::with_spec(6, 6, HardwareSpec::h1());
 //! let mut patch = LogicalQubit::new(&mut hw, 3, 3, 3, (0, 0)).unwrap();
 //! apply_instruction(&mut hw, Instruction::PrepareZ, &mut patch).unwrap();
-//! let report = ResourceReport::from_circuit(hw.circuit(), hw.grid().layout());
+//! let report = hw.resource_report();
 //! assert!(report.execution_time_s > 0.0);
-//! assert!(report.trapping_zones > 9);
 //! ```
 
 pub use tiscc_core as core;

@@ -8,6 +8,7 @@ use proptest::prelude::*;
 use tiscc::core::instruction::Instruction;
 use tiscc::estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
 use tiscc::estimator::tables::render_csv;
+use tiscc::hw::HardwareSpec;
 
 fn arb_spec() -> impl Strategy<Value = SweepSpec> {
     // Small distances keep each compile fast; every instruction is still
@@ -16,8 +17,9 @@ fn arb_spec() -> impl Strategy<Value = SweepSpec> {
         proptest::collection::vec(0usize..13, 1..5),
         proptest::collection::vec((2usize..4, 2usize..4), 1..3),
         0usize..3,
+        0usize..3,
     )
-        .prop_map(|(instr_idx, distances, dt_idx)| {
+        .prop_map(|(instr_idx, distances, dt_idx, profile_idx)| {
             let instructions: Vec<Instruction> =
                 instr_idx.iter().map(|&i| Instruction::all()[i]).collect();
             let dts = match dt_idx {
@@ -25,7 +27,12 @@ fn arb_spec() -> impl Strategy<Value = SweepSpec> {
                 1 => vec![DtPolicy::Fixed(1)],
                 _ => vec![DtPolicy::EqualsDistance, DtPolicy::Fixed(2)],
             };
-            SweepSpec { instructions, distances, dts }
+            let profiles = match profile_idx {
+                0 => vec![HardwareSpec::h1()],
+                1 => vec![HardwareSpec::projected()],
+                _ => vec![HardwareSpec::h1(), HardwareSpec::slow_junction()],
+            };
+            SweepSpec { instructions, distances, dts, profiles }
         })
 }
 
