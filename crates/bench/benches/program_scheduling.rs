@@ -1,0 +1,49 @@
+//! Program-scheduling throughput: instructions/second of the full
+//! front-end pipeline (allocation + ASAP list scheduling) as the program
+//! grows. Scheduling is the per-instruction-cheap part of `tiscc
+//! estimate` — it must stay linear-ish in program size so million-gate
+//! programs remain schedulable; a regression here shows up as superlinear
+//! growth between the parameter points.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tiscc_program::{examples, schedule, LogicalProgram, Placement};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("program_scheduling");
+    group.sample_size(10);
+    for width in [4usize, 16, 64, 256] {
+        let program = examples::adder_t_layer(width);
+        group.bench_with_input(
+            BenchmarkId::new("adder_t_layer", program.len()),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let placement = Placement::allocate(program);
+                    schedule(program, &placement)
+                })
+            },
+        );
+    }
+    // A serial worst case: one long dependency chain (no packing possible).
+    let mut serial = LogicalProgram::new("serial-chain");
+    let q = serial.add_qubit("q").expect("fresh");
+    serial.prepare_z(q).expect("valid");
+    for _ in 0..1024 {
+        serial.idle(q).expect("valid");
+    }
+    group.bench_function("serial_chain/1025", |b| {
+        b.iter(|| {
+            let placement = Placement::allocate(&serial);
+            schedule(&serial, &placement)
+        })
+    });
+    // The parser's share of the front end.
+    let text = examples::adder_t_layer(64).to_tql();
+    group.bench_function("parse_tql/adder64", |b| {
+        b.iter(|| LogicalProgram::parse("adder", &text).expect("parses"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

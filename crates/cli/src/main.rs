@@ -2,35 +2,44 @@
 //!
 //! ```text
 //! tiscc compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
+//! tiscc estimate <program.tql>                 estimate a whole logical program
 //! tiscc tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
 //! tiscc sweep [--dmax N] [--dt N|d] [--out F]  batched resource sweep (CSV + JSON)
 //! tiscc profiles                               list hardware profiles and parameters
 //! tiscc verify [--seed N]                      run the Sec. 4 verification harness
 //! ```
 //!
-//! `compile`, `tables` and `sweep` accept `--profile <name>` to select a
-//! hardware profile (`sweep` accepts a comma-separated list, sweeping the
-//! whole grid once per profile).
+//! `compile`, `tables`, `sweep` and `estimate` accept `--profile <name>` to
+//! select a hardware profile (`sweep` and `estimate` accept a
+//! comma-separated list).
 //!
-//! `<instruction>` is one of: prepare_z, prepare_x, inject_y, inject_t,
-//! measure_z, measure_x, pauli_x, pauli_y, pauli_z, hadamard, idle,
-//! measure_xx, measure_zz.
+//! Every subcommand reports bad arguments (unknown instruction, unreadable
+//! program file, unknown profile, malformed flag values) as a one-line
+//! message on stderr and exit code 2; runtime failures exit with code 1.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tiscc_core::instruction::Instruction;
 use tiscc_estimator::compiler::{CompileRequest, Compiler};
+use tiscc_estimator::program::{estimate_program, EstimateError, ProgramEstimateSpec};
 use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
 use tiscc_estimator::tables;
 use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
 use tiscc_hw::HardwareSpec;
+use tiscc_program::{BudgetError, ErrorModel, LogicalProgram};
 
 const USAGE: &str = "usage: tiscc <subcommand> [args]
 
 subcommands:
   compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
           [--profile NAME]
+  estimate <program.tql>                 estimate a whole logical program
+          [--budget X]                   total logical error budget (default 1e-9)
+          [--profile NAME[,NAME...]]     one report row per profile
+          [--dmax N]                     distance-search ceiling (default 49)
+          [--p-phys X] [--p-th X]        per-step error model parameters
+          [--prefactor X]
   tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
          [--profile NAME]
   sweep [--dmax N] [--dt N|d]            batched resource sweep (CSV + JSON)
@@ -45,9 +54,23 @@ profiles: h1 (default) projected slow_junction
 instructions: prepare_z prepare_x inject_y inject_t measure_z measure_x
               pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz";
 
-fn usage() -> ! {
-    eprintln!("{USAGE}");
-    std::process::exit(2);
+/// A CLI failure: an exit code plus a one-line message. Bad arguments use
+/// code 2 (Unix convention for usage errors); runtime failures use code 1.
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    /// A bad-argument error (exit code 2).
+    fn usage(message: impl Into<String>) -> CliError {
+        CliError { code: 2, message: message.into() }
+    }
+
+    /// A runtime failure (exit code 1).
+    fn runtime(message: impl Into<String>) -> CliError {
+        CliError { code: 1, message: message.into() }
+    }
 }
 
 /// Minimal flag parser accepting `--flag VALUE` and `--flag=VALUE`: returns
@@ -88,56 +111,77 @@ impl Args {
         self.flags.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
     }
 
-    fn flag_usize(&self, name: &str, default: usize) -> usize {
+    fn flag_usize(&self, name: &str, default: usize) -> Result<usize, CliError> {
         match self.flag(name) {
-            None => default,
-            Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("--{name} expects a number, got {v:?}");
-                std::process::exit(2);
-            }),
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("--{name} expects a number, got {v:?}"))),
+        }
+    }
+
+    fn flag_f64(&self, name: &str, default: f64) -> Result<f64, CliError> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("--{name} expects a number, got {v:?}"))),
         }
     }
 
     /// Resolves `--profile` to a single hardware profile (default: h1).
-    fn profile(&self) -> HardwareSpec {
+    fn profile(&self) -> Result<HardwareSpec, CliError> {
         match self.flag("profile") {
-            None => HardwareSpec::default(),
+            None => Ok(HardwareSpec::default()),
             Some(name) => resolve_profile(name),
         }
     }
 
     /// Resolves `--profile` to a comma-separated list of profiles
     /// (default: just h1).
-    fn profile_list(&self) -> Vec<HardwareSpec> {
+    fn profile_list(&self) -> Result<Vec<HardwareSpec>, CliError> {
         match self.flag("profile") {
-            None => vec![HardwareSpec::default()],
+            None => Ok(vec![HardwareSpec::default()]),
             Some(names) => names.split(',').map(resolve_profile).collect(),
         }
     }
 }
 
-/// Looks up a preset profile by name, exiting with the usage status (and
-/// the available-profile listing) on unknown names.
-fn resolve_profile(name: &str) -> HardwareSpec {
-    HardwareSpec::by_name(name).unwrap_or_else(|e| {
-        eprintln!("{e}");
-        std::process::exit(2);
-    })
+/// Looks up a preset profile by name; unknown names are a usage error
+/// listing the available profiles.
+fn resolve_profile(name: &str) -> Result<HardwareSpec, CliError> {
+    HardwareSpec::by_name(name).map_err(|e| CliError::usage(e.to_string()))
 }
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let Some(subcommand) = raw.first() else { usage() };
+    match run(&raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if !e.message.is_empty() {
+                eprintln!("tiscc: {}", e.message);
+            }
+            ExitCode::from(e.code)
+        }
+    }
+}
+
+fn run(raw: &[String]) -> Result<(), CliError> {
+    let Some(subcommand) = raw.first() else {
+        eprintln!("{USAGE}");
+        return Err(CliError { code: 2, message: String::new() });
+    };
     let args = Args::parse(&raw[1..]);
     match subcommand.as_str() {
         "compile" => cmd_compile(&args),
+        "estimate" => cmd_estimate(&args),
         "tables" => cmd_tables(&args),
         "sweep" => cmd_sweep(&args),
         "profiles" => cmd_profiles(),
         "verify" => cmd_verify(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            ExitCode::SUCCESS
+            Ok(())
         }
         other => {
             // Backwards compatibility with the original single-purpose CLI:
@@ -147,56 +191,96 @@ fn main() -> ExitCode {
                 compat.extend(args.positional.iter().cloned());
                 return cmd_compile(&Args { positional: compat, flags: args.flags });
             }
-            eprintln!("unknown subcommand '{other}'");
-            usage()
+            Err(CliError::usage(format!(
+                "unknown subcommand '{other}' (run 'tiscc help' for usage)"
+            )))
         }
     }
 }
 
-fn cmd_compile(args: &Args) -> ExitCode {
+fn cmd_compile(args: &Args) -> Result<(), CliError> {
     let Some(instr_name) = args.positional.first() else {
-        eprintln!("usage: tiscc compile <instruction> [dx] [dz] [dt] [--profile NAME]");
-        return ExitCode::from(2);
+        return Err(CliError::usage(
+            "usage: tiscc compile <instruction> [dx] [dz] [dt] [--profile NAME]",
+        ));
     };
-    let instruction = match Instruction::from_id(instr_name) {
-        Ok(i) => i,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::from(2);
+    let instruction =
+        Instruction::from_id(instr_name).map_err(|e| CliError::usage(e.to_string()))?;
+    let distance = |index: usize, name: &str, default: usize| -> Result<usize, CliError> {
+        match args.positional.get(index) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("{name} expects a number, got {v:?}"))),
         }
     };
-    let dx: usize = args.positional.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let dz: usize = args.positional.get(2).and_then(|s| s.parse().ok()).unwrap_or(dx);
-    let dt: usize = args.positional.get(3).and_then(|s| s.parse().ok()).unwrap_or(dz.max(dx));
-    let spec = args.profile();
+    let dx = distance(1, "dx", 3)?;
+    let dz = distance(2, "dz", dx)?;
+    let dt = distance(3, "dt", dz.max(dx))?;
+    let spec = args.profile()?;
 
     let request = CompileRequest::new(instruction, dx, dz, dt).with_spec(spec);
-    match Compiler::new().compile(&request) {
-        Ok(artifact) => {
-            println!(
-                "{} at dx={dx} dz={dz} dt={dt} under profile '{}': {} logical time-step(s), {} tile(s)",
-                instruction.name(),
-                request.spec.name,
-                artifact.report.logical_time_steps,
-                artifact.report.tiles
-            );
-            println!("{}", artifact.resources.render());
-            ExitCode::SUCCESS
+    let artifact = Compiler::new()
+        .compile(&request)
+        .map_err(|e| CliError::runtime(format!("compilation failed: {e}")))?;
+    println!(
+        "{} at dx={dx} dz={dz} dt={dt} under profile '{}': {} logical time-step(s), {} tile(s)",
+        instruction.name(),
+        request.spec.name,
+        artifact.report.logical_time_steps,
+        artifact.report.tiles
+    );
+    println!("{}", artifact.resources.render());
+    Ok(())
+}
+
+fn cmd_estimate(args: &Args) -> Result<(), CliError> {
+    let Some(path) = args.positional.first() else {
+        return Err(CliError::usage(
+            "usage: tiscc estimate <program.tql> [--budget X] [--profile NAME[,NAME...]]",
+        ));
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+    let stem = PathBuf::from(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "program".to_string());
+    let program =
+        LogicalProgram::parse(stem, &text).map_err(|e| CliError::usage(format!("{path}:{e}")))?;
+
+    let model = ErrorModel {
+        p_physical: args.flag_f64("p-phys", ErrorModel::default().p_physical)?,
+        p_threshold: args.flag_f64("p-th", ErrorModel::default().p_threshold)?,
+        prefactor: args.flag_f64("prefactor", ErrorModel::default().prefactor)?,
+    };
+    let spec = ProgramEstimateSpec {
+        budget: args.flag_f64("budget", 1e-9)?,
+        model,
+        profiles: args.profile_list()?,
+        d_max: args.flag_usize("dmax", 49)?,
+    };
+
+    // Malformed-but-parseable argument values (zero budget, a physical
+    // error rate at or above threshold) are bad arguments, not runtime
+    // failures: surface them as usage errors before any compilation.
+    let estimate = estimate_program(&program, &spec, &Compiler::new()).map_err(|e| match e {
+        EstimateError::Budget(BudgetError::InvalidModel(_)) | EstimateError::Spec(_) => {
+            CliError::usage(e.to_string())
         }
-        Err(e) => {
-            eprintln!("compilation failed: {e}");
-            ExitCode::FAILURE
-        }
-    }
+        other => CliError::runtime(other.to_string()),
+    })?;
+    print!("{}", estimate.render());
+    Ok(())
 }
 
 type TableJob =
     fn(&HardwareSpec, usize, usize) -> Result<Vec<tables::ResourceRow>, tiscc_core::CoreError>;
 
-fn cmd_tables(args: &Args) -> ExitCode {
-    let d = args.flag_usize("d", 3).max(2);
-    let dt = args.flag_usize("dt", 2);
-    let spec = args.profile();
+fn cmd_tables(args: &Args) -> Result<(), CliError> {
+    let d = args.flag_usize("d", 3)?.max(2);
+    let dt = args.flag_usize("dt", 2)?;
+    let spec = args.profile()?;
     println!("{}", tables::table5_with(&spec));
     let jobs: [(&str, TableJob); 3] = [
         ("Table 1: local lattice-surgery instruction set", |spec, d, dt| {
@@ -206,37 +290,32 @@ fn cmd_tables(args: &Args) -> ExitCode {
         ("Table 3: derived instruction set", tables::table3_rows_with),
     ];
     for (title, job) in jobs {
-        match job(&spec, d, dt) {
-            Ok(rows) => println!("{}", tables::render_rows(title, &rows)),
-            Err(e) => {
-                eprintln!("error compiling {title}: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+        let rows = job(&spec, d, dt)
+            .map_err(|e| CliError::runtime(format!("error compiling {title}: {e}")))?;
+        println!("{}", tables::render_rows(title, &rows));
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_profiles() -> ExitCode {
+fn cmd_profiles() -> Result<(), CliError> {
     println!("Available hardware profiles (select with --profile NAME):\n");
     for spec in HardwareSpec::presets() {
         print!("{}", spec.render());
         println!("  fingerprint         : {}", spec.fingerprint());
         println!();
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_sweep(args: &Args) -> ExitCode {
-    let dmax = args.flag_usize("dmax", 5).max(2);
-    let profiles = args.profile_list();
+fn cmd_sweep(args: &Args) -> Result<(), CliError> {
+    let dmax = args.flag_usize("dmax", 5)?.max(2);
+    let profiles = args.profile_list()?;
     let mut spec = SweepSpec::paper(dmax).with_profiles(profiles);
     if let Some(dt) = args.flag("dt") {
         if dt != "d" {
-            let Ok(dt) = dt.parse::<usize>() else {
-                eprintln!("--dt expects a number or 'd', got {dt:?}");
-                return ExitCode::from(2);
-            };
+            let dt = dt.parse::<usize>().map_err(|_| {
+                CliError::usage(format!("--dt expects a number or 'd', got {dt:?}"))
+            })?;
             spec.dts = vec![DtPolicy::Fixed(dt)];
         }
     }
@@ -251,13 +330,8 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         spec.dts,
         profile_names
     );
-    let result = match run_sweep(&spec, &cache) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("sweep failed: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let result =
+        run_sweep(&spec, &cache).map_err(|e| CliError::runtime(format!("sweep failed: {e}")))?;
     eprintln!(
         "cold sweep: {} rows in {:.2}s on {} thread(s) ({} compiled, {} cache hits)",
         result.rows.len(),
@@ -271,24 +345,17 @@ fn cmd_sweep(args: &Args) -> ExitCode {
     // from the compile cache. This both demonstrates and regression-checks
     // the memoization (a real client issuing overlapping sweeps, e.g. the
     // Table 1/2/3 generators, shares primitives exactly this way).
-    match run_sweep(&spec, &cache) {
-        Ok(warm) => {
-            eprintln!(
-                "warm sweep: {} rows in {:.3}s ({} cache hits, {} compiled)",
-                warm.rows.len(),
-                warm.elapsed_s,
-                warm.cache_hits,
-                warm.cache_misses
-            );
-            if warm.cache_misses != 0 || warm.rows != result.rows {
-                eprintln!("cache inconsistency: warm sweep diverged from cold sweep");
-                return ExitCode::FAILURE;
-            }
-        }
-        Err(e) => {
-            eprintln!("warm sweep failed: {e}");
-            return ExitCode::FAILURE;
-        }
+    let warm = run_sweep(&spec, &cache)
+        .map_err(|e| CliError::runtime(format!("warm sweep failed: {e}")))?;
+    eprintln!(
+        "warm sweep: {} rows in {:.3}s ({} cache hits, {} compiled)",
+        warm.rows.len(),
+        warm.elapsed_s,
+        warm.cache_hits,
+        warm.cache_misses
+    );
+    if warm.cache_misses != 0 || warm.rows != result.rows {
+        return Err(CliError::runtime("cache inconsistency: warm sweep diverged from cold sweep"));
     }
 
     // Artifact targets: --out writes the CSV (and, unless --json overrides
@@ -300,50 +367,36 @@ fn cmd_sweep(args: &Args) -> ExitCode {
         (None, None) => None,
     };
     if let Some(csv_path) = &csv_path {
-        if let Err(e) = result.write_csv(csv_path) {
-            eprintln!("cannot write {}: {e}", csv_path.display());
-            return ExitCode::FAILURE;
-        }
+        result
+            .write_csv(csv_path)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", csv_path.display())))?;
         // Self-check: the artifact we just wrote must parse back.
-        match std::fs::read_to_string(csv_path).map_err(|e| e.to_string()) {
-            Ok(text) => {
-                if let Err(e) = parse_csv(&text) {
-                    eprintln!("written CSV failed to re-parse: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-            Err(e) => {
-                eprintln!("cannot re-read {}: {e}", csv_path.display());
-                return ExitCode::FAILURE;
-            }
-        }
+        let text = std::fs::read_to_string(csv_path).map_err(|e| {
+            CliError::runtime(format!("cannot re-read {}: {e}", csv_path.display()))
+        })?;
+        parse_csv(&text)
+            .map_err(|e| CliError::runtime(format!("written CSV failed to re-parse: {e}")))?;
         eprintln!("wrote {}", csv_path.display());
     }
     if let Some(json_path) = &json_path {
-        if let Err(e) = result.write_json(json_path) {
-            eprintln!("cannot write {}: {e}", json_path.display());
-            return ExitCode::FAILURE;
-        }
+        result
+            .write_json(json_path)
+            .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", json_path.display())))?;
         eprintln!("wrote {}", json_path.display());
     }
     if csv_path.is_none() && json_path.is_none() {
         print!("{}", result.to_csv());
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
-fn cmd_verify(args: &Args) -> ExitCode {
-    let seed = args.flag_usize("seed", 17) as u64;
+fn cmd_verify(args: &Args) -> Result<(), CliError> {
+    let seed = args.flag_usize("seed", 17)? as u64;
     let mut failures = 0usize;
     println!("Sec. 4 verification (fiducial state preparation + Idle process map):");
     for fiducial in Fiducial::all() {
-        let mut fixture = match SingleTile::new(2, 2, 1) {
-            Ok(f) => f,
-            Err(e) => {
-                eprintln!("fixture construction failed: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
+        let mut fixture = SingleTile::new(2, 2, 1)
+            .map_err(|e| CliError::runtime(format!("fixture construction failed: {e}")))?;
         if let Err(e) = fiducial.prepare(&mut fixture.hw, &mut fixture.patch) {
             eprintln!("prepare {fiducial:?} failed to compile: {e}");
             failures += 1;
@@ -384,9 +437,9 @@ fn cmd_verify(args: &Args) -> ExitCode {
     }
     if failures == 0 {
         println!("verification passed");
-        ExitCode::SUCCESS
+        Ok(())
     } else {
         println!("verification FAILED ({failures} check(s))");
-        ExitCode::FAILURE
+        Err(CliError { code: 1, message: String::new() })
     }
 }

@@ -13,6 +13,9 @@
 //! * [`sweep`] — the batched sweep engine: [`sweep::SweepSpec`] grids fanned
 //!   out over rayon with a concurrent compile cache and CSV/JSON emission;
 //!   hardware profiles are a first-class sweep axis,
+//! * [`program`] — the algorithm-level estimator: a whole
+//!   `tiscc_program::LogicalProgram` placed, scheduled, distance-selected
+//!   against an error budget, and costed per hardware profile,
 //! * [`verify`] — the Sec. 4 verification harness: logical state and process
 //!   tomography of compiled circuits, with Pauli-frame corrections,
 //! * [`experiments`] — the figure-level reports (arrangements, operator
@@ -25,9 +28,11 @@
 
 pub mod compiler;
 pub mod experiments;
+pub mod program;
 pub mod sweep;
 pub mod tables;
 pub mod verify;
 
 pub use compiler::{CompileArtifact, CompileRequest, Compiler};
+pub use program::{estimate_program, ProgramEstimate, ProgramEstimateSpec};
 pub use sweep::{run_sweep, CompileCache, SweepResult, SweepSpec};

@@ -1,0 +1,400 @@
+//! The algorithm-level program estimator.
+//!
+//! [`estimate_program`] joins the `tiscc_program` layers (patch
+//! allocation, dependency scheduling, error-budget distance selection) to
+//! the per-instruction [`Compiler`] front door:
+//!
+//! 1. the program is validated, its qubits are placed by the
+//!    [`Placement`] allocator, and the instruction stream is packed into
+//!    parallel logical time steps by the ASAP scheduler;
+//! 2. the configurable [`ErrorModel`] selects the smallest code distance
+//!    whose total program error (patch-steps × per-step logical error)
+//!    meets the requested budget;
+//! 3. every distinct instruction kind of the program is compiled at the
+//!    selected distance under every requested hardware profile — fanned
+//!    out over rayon and memoized in the compiler's
+//!    [`CompileCache`](crate::sweep::CompileCache), so
+//!    repeated estimates (and overlapping programs) share compilations;
+//! 4. per-profile space–time totals are assembled: each parallel step
+//!    costs the longest of its member instructions, the machine footprint
+//!    comes from [`Placement::layout`], and qubit-rounds multiply the
+//!    trapping zones by the program's error-correction rounds.
+//!
+//! The `tiscc estimate <program.tql>` subcommand and the
+//! `program_estimate` example are thin wrappers around this module.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use tiscc_core::instruction::Instruction;
+use tiscc_core::CoreError;
+use tiscc_hw::HardwareSpec;
+use tiscc_program::budget::BudgetError;
+use tiscc_program::ir::ProgramError;
+use tiscc_program::{schedule, ErrorModel, LogicalProgram, Placement, Schedule};
+
+use crate::compiler::{CompileRequest, Compiler};
+
+/// What to estimate: the error budget, the per-step error model, the
+/// hardware profiles to compare, and the distance-search ceiling.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgramEstimateSpec {
+    /// Target total logical error budget for the whole program.
+    pub budget: f64,
+    /// The per-patch-step logical error model.
+    pub model: ErrorModel,
+    /// Hardware profiles to estimate under (one report row each).
+    pub profiles: Vec<HardwareSpec>,
+    /// Largest code distance the selection searches.
+    pub d_max: usize,
+}
+
+impl ProgramEstimateSpec {
+    /// A spec with the default error model, the default profile and a
+    /// `d_max` of 49.
+    pub fn new(budget: f64) -> Self {
+        ProgramEstimateSpec {
+            budget,
+            model: ErrorModel::default(),
+            profiles: vec![HardwareSpec::default()],
+            d_max: 49,
+        }
+    }
+
+    /// Replaces the hardware-profile axis.
+    pub fn with_profiles(mut self, profiles: Vec<HardwareSpec>) -> Self {
+        self.profiles = profiles;
+        self
+    }
+
+    /// Replaces the error model.
+    pub fn with_model(mut self, model: ErrorModel) -> Self {
+        self.model = model;
+        self
+    }
+}
+
+impl Default for ProgramEstimateSpec {
+    /// One-in-a-billion total program error under the default model.
+    fn default() -> Self {
+        ProgramEstimateSpec::new(1e-9)
+    }
+}
+
+/// One per-profile row of a [`ProgramEstimate`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProfileEstimate {
+    /// Hardware profile name.
+    pub profile: String,
+    /// Selected code distance (`dx = dz = dt = d`).
+    pub distance: usize,
+    /// Achieved total program error at the selected distance.
+    pub achieved_error: f64,
+    /// Wall-clock program duration in seconds: the sum over parallel
+    /// steps of the longest member instruction.
+    pub duration_s: f64,
+    /// Trapping zones of the machine hosting the placement.
+    pub trapping_zones: usize,
+    /// Physical area of the machine in square metres.
+    pub area_m2: f64,
+    /// Zone-rounds: trapping zones × error-correction rounds
+    /// (logical time steps × `dt = d`).
+    pub qubit_rounds: u64,
+}
+
+/// A program-level space–time resource estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgramEstimate {
+    /// The program's name.
+    pub program: String,
+    /// Declared logical qubits.
+    pub logical_qubits: usize,
+    /// Instructions in the program.
+    pub instructions: usize,
+    /// Tiles of the placement (data row + routing lane).
+    pub tiles: usize,
+    /// Parallel steps after scheduling.
+    pub depth: usize,
+    /// Total logical time steps (Table 1 accounting, summed over steps).
+    pub logical_time_steps: usize,
+    /// Widest parallel step (instructions packed together).
+    pub max_parallelism: usize,
+    /// Patch-steps the error budget was spent over.
+    pub patch_steps: u64,
+    /// The requested error budget.
+    pub budget: f64,
+    /// One row per requested hardware profile.
+    pub rows: Vec<ProfileEstimate>,
+}
+
+impl ProgramEstimate {
+    /// Renders the estimate as an aligned multi-line report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "Program '{}': {} logical qubit(s), {} instruction(s)\n",
+            self.program, self.logical_qubits, self.instructions
+        );
+        out.push_str(&format!(
+            "  schedule: {} parallel step(s), {} logical time step(s), \
+             max {} instruction(s)/step\n",
+            self.depth, self.logical_time_steps, self.max_parallelism
+        ));
+        out.push_str(&format!(
+            "  placement: {} tile(s) (data + routing lane), {} patch-step(s), \
+             budget {:.1e}\n\n",
+            self.tiles, self.patch_steps, self.budget
+        ));
+        out.push_str(&format!(
+            "  {:<14} {:>4} {:>12} {:>12} {:>8} {:>12} {:>14}\n",
+            "profile", "d", "error", "duration", "zones", "area", "qubit-rounds"
+        ));
+        for row in &self.rows {
+            out.push_str(&format!(
+                "  {:<14} {:>4} {:>12.3e} {:>11.4}s {:>8} {:>9.3e}m^2 {:>14}\n",
+                row.profile,
+                row.distance,
+                row.achieved_error,
+                row.duration_s,
+                row.trapping_zones,
+                row.area_m2,
+                row.qubit_rounds
+            ));
+        }
+        out
+    }
+}
+
+/// Errors raised by [`estimate_program`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EstimateError {
+    /// The program failed validation.
+    Program(ProgramError),
+    /// Distance selection failed (bad model or unsatisfiable budget).
+    Budget(BudgetError),
+    /// A per-instruction compilation failed.
+    Compile(String),
+    /// The spec is malformed (e.g. no profiles).
+    Spec(String),
+}
+
+impl std::fmt::Display for EstimateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimateError::Program(e) => write!(f, "invalid program: {e}"),
+            EstimateError::Budget(e) => write!(f, "{e}"),
+            EstimateError::Compile(e) => write!(f, "compilation failed: {e}"),
+            EstimateError::Spec(e) => write!(f, "invalid estimate spec: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimateError {}
+
+impl From<ProgramError> for EstimateError {
+    fn from(e: ProgramError) -> Self {
+        EstimateError::Program(e)
+    }
+}
+
+impl From<BudgetError> for EstimateError {
+    fn from(e: BudgetError) -> Self {
+        EstimateError::Budget(e)
+    }
+}
+
+impl From<CoreError> for EstimateError {
+    fn from(e: CoreError) -> Self {
+        EstimateError::Compile(e.to_string())
+    }
+}
+
+/// Estimates `program` under `spec`, compiling through (and memoizing in)
+/// `compiler`.
+pub fn estimate_program(
+    program: &LogicalProgram,
+    spec: &ProgramEstimateSpec,
+    compiler: &Compiler,
+) -> Result<ProgramEstimate, EstimateError> {
+    program.validate()?;
+    if spec.profiles.is_empty() {
+        return Err(EstimateError::Spec("at least one hardware profile is required".into()));
+    }
+
+    let placement = Placement::allocate(program);
+    let sched = schedule(program, &placement);
+    let patch_steps = sched.patch_steps(placement.total_tiles());
+    let d = spec.model.select_distance(patch_steps, spec.budget, spec.d_max)?;
+    let achieved_error = spec.model.program_error(d, patch_steps);
+
+    // The distinct instruction kinds of the program: each is compiled once
+    // per profile at the selected distance (the compiler cache makes
+    // repeated estimates free).
+    let mut kinds: Vec<Instruction> = Vec::new();
+    for pi in program.instructions() {
+        if !kinds.contains(&pi.instruction) {
+            kinds.push(pi.instruction);
+        }
+    }
+
+    let requests: Vec<(usize, CompileRequest)> = spec
+        .profiles
+        .iter()
+        .enumerate()
+        .flat_map(|(pi, profile)| {
+            kinds.iter().map(move |&kind| {
+                (pi, CompileRequest::new(kind, d, d, d).with_spec(profile.clone()))
+            })
+        })
+        .collect();
+    let compiled: Result<Vec<_>, CoreError> = requests
+        .into_par_iter()
+        .map(|(pi, request)| {
+            compiler.compile_row(&request).map(|row| ((pi, request.instruction), row))
+        })
+        .collect();
+    let times: HashMap<(usize, Instruction), f64> =
+        compiled?.into_iter().map(|(key, row)| (key, row.resources.execution_time_s)).collect();
+
+    // The machine footprint depends only on the placement and the selected
+    // distance, never on the profile.
+    let layout = placement.layout(d);
+    let zones = layout.trapping_zone_count();
+    let area_m2 = layout.area_m2();
+    let rows = spec
+        .profiles
+        .iter()
+        .enumerate()
+        .map(|(pi, profile)| {
+            let duration_s = program_duration_s(program, &sched, |kind| times[&(pi, kind)]);
+            ProfileEstimate {
+                profile: profile.name.clone(),
+                distance: d,
+                achieved_error,
+                duration_s,
+                trapping_zones: zones,
+                area_m2,
+                qubit_rounds: zones as u64 * sched.logical_time_steps as u64 * d as u64,
+            }
+        })
+        .collect();
+
+    Ok(ProgramEstimate {
+        program: program.name().to_string(),
+        logical_qubits: program.qubit_count(),
+        instructions: program.len(),
+        tiles: placement.total_tiles(),
+        depth: sched.depth(),
+        logical_time_steps: sched.logical_time_steps,
+        max_parallelism: sched.max_parallelism(),
+        patch_steps,
+        budget: spec.budget,
+        rows,
+    })
+}
+
+/// Wall-clock duration of a scheduled program: parallel steps run their
+/// member instructions concurrently, so each step costs its longest
+/// member and the program costs the sum over steps.
+fn program_duration_s(
+    program: &LogicalProgram,
+    sched: &Schedule,
+    time_of: impl Fn(Instruction) -> f64,
+) -> f64 {
+    sched
+        .steps
+        .iter()
+        .map(|step| {
+            step.instructions
+                .iter()
+                .map(|&i| time_of(program.instructions()[i].instruction))
+                .fold(0.0, f64::max)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiscc_program::examples;
+
+    /// A loose budget keeps selected distances (and compile times) small.
+    fn fast_spec() -> ProgramEstimateSpec {
+        ProgramEstimateSpec::new(1e-3)
+    }
+
+    #[test]
+    fn teleportation_estimate_has_consistent_totals() {
+        let program = examples::teleportation();
+        let compiler = Compiler::new();
+        let est = estimate_program(&program, &fast_spec(), &compiler).unwrap();
+        assert_eq!(est.logical_qubits, 3);
+        assert_eq!(est.instructions, 9);
+        assert_eq!(est.tiles, 6);
+        assert!(est.depth >= 3 && est.depth <= est.instructions);
+        assert!(est.rows[0].achieved_error <= 1e-3);
+        let row = &est.rows[0];
+        assert_eq!(row.profile, "h1");
+        assert!(row.duration_s > 0.0);
+        assert!(row.trapping_zones > 0);
+        assert_eq!(
+            row.qubit_rounds,
+            row.trapping_zones as u64 * est.logical_time_steps as u64 * row.distance as u64
+        );
+        let report = est.render();
+        assert!(report.contains("teleport"));
+        assert!(report.contains("h1"));
+    }
+
+    #[test]
+    fn profiles_share_distance_but_differ_in_duration() {
+        let program = examples::bell_pair();
+        let compiler = Compiler::new();
+        let spec = fast_spec().with_profiles(vec![HardwareSpec::h1(), HardwareSpec::projected()]);
+        let est = estimate_program(&program, &spec, &compiler).unwrap();
+        assert_eq!(est.rows.len(), 2);
+        assert_eq!(est.rows[0].distance, est.rows[1].distance);
+        assert!(
+            est.rows[1].duration_s < est.rows[0].duration_s,
+            "projected hardware runs the same program faster"
+        );
+        assert_eq!(est.rows[0].trapping_zones, est.rows[1].trapping_zones);
+    }
+
+    #[test]
+    fn estimates_are_memoized_across_calls() {
+        let program = examples::bell_pair();
+        let compiler = Compiler::new();
+        estimate_program(&program, &fast_spec(), &compiler).unwrap();
+        let misses = compiler.cache().misses();
+        assert!(misses > 0);
+        let again = estimate_program(&program, &fast_spec(), &compiler).unwrap();
+        assert_eq!(compiler.cache().misses(), misses, "second estimate is all cache hits");
+        assert!(again.rows[0].duration_s > 0.0);
+    }
+
+    #[test]
+    fn invalid_programs_and_specs_are_rejected() {
+        let mut bad = LogicalProgram::new("bad");
+        let q = bad.add_qubit("q").unwrap();
+        bad.hadamard(q).unwrap();
+        let compiler = Compiler::new();
+        assert!(matches!(
+            estimate_program(&bad, &fast_spec(), &compiler),
+            Err(EstimateError::Program(_))
+        ));
+
+        let program = examples::bell_pair();
+        let no_profiles = ProgramEstimateSpec { profiles: vec![], ..fast_spec() };
+        assert!(matches!(
+            estimate_program(&program, &no_profiles, &compiler),
+            Err(EstimateError::Spec(_))
+        ));
+
+        let impossible = ProgramEstimateSpec { budget: 1e-300, d_max: 3, ..fast_spec() };
+        assert!(matches!(
+            estimate_program(&program, &impossible, &compiler),
+            Err(EstimateError::Budget(BudgetError::Unsatisfiable { .. }))
+        ));
+    }
+}

@@ -321,8 +321,10 @@ impl SweepResult {
 fn json_f64(v: f64) -> String {
     // JSON has no NaN/Infinity literals; resource quantities are always
     // finite, but degrade gracefully rather than emitting invalid JSON.
+    // `{:?}` is shortest-round-trip: the emitted literal parses back to
+    // the identical bit pattern.
     if v.is_finite() {
-        format!("{v}")
+        format!("{v:?}")
     } else {
         "null".to_string()
     }

@@ -52,10 +52,13 @@ impl ResourceRow {
         )
     }
 
-    /// Renders the row as a CSV record.
+    /// Renders the row as a CSV record. Float fields use shortest
+    /// round-trip (`{:?}`) formatting, so parsing the record back yields
+    /// bit-identical values ([`crate::sweep::parse_csv`] round-trips
+    /// exactly).
     pub fn csv(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{:?},{},{},{:?},{:?},{:?},{}",
             self.name,
             self.dx,
             self.dz,
@@ -96,7 +99,7 @@ pub fn table5_with(spec: &HardwareSpec) -> String {
 
 /// Compiles one Table 1 instruction at the given distances under the
 /// default profile and reports its resources. Thin wrapper over the
-/// [`Compiler`] front door (see [`crate::compiler`]).
+/// [`Compiler`](crate::compiler::Compiler) front door (see [`crate::compiler`]).
 pub fn compile_instruction_row(
     instruction: Instruction,
     dx: usize,

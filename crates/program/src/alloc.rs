@@ -1,0 +1,160 @@
+//! The patch allocator: logical qubits onto tiles with routing lanes.
+//!
+//! Logical qubits are placed on a *data row* of tiles, one qubit per tile
+//! column in declaration order, backed by an *ancilla routing lane* — a
+//! second row of tiles reserved for the merge ancillae of long-range
+//! lattice surgery (the multi-patch bus of the scaling literature):
+//!
+//! ```text
+//! column:     0    1    2    3
+//! data row:  [q0] [q1] [q2] [q3]
+//! lane row:  [··] [··] [··] [··]   ← routing / merge ancilla lane
+//! ```
+//!
+//! A `Measure ZZ` between horizontally adjacent qubits runs directly on
+//! the shared boundary; every other joint measurement routes through the
+//! lane, occupying the lane tiles spanning the two columns for the
+//! duration of the merge. The [`Placement::footprint`] of an instruction
+//! is exactly the tile set the scheduler uses for conflict detection.
+//!
+//! [`Placement::layout`] maps the tile grid onto the
+//! [`tiscc_grid::Layout`] substrate: a distance-`d` tile occupies `d × d`
+//! repeating units, so the machine for a placement is a
+//! `(tile_rows·d) × (tile_cols·d)`-unit grid.
+
+use tiscc_core::instruction::Instruction;
+use tiscc_grid::Layout;
+
+use crate::ir::{LogicalProgram, ProgramInstruction, QubitRef};
+
+/// The tile coordinate `(row, col)` of one logical patch; row 0 is the
+/// data row, row 1 the routing lane.
+pub type Tile = (usize, usize);
+
+/// A placement of a program's logical qubits onto the tile grid.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    columns: Vec<usize>,
+    tile_cols: usize,
+}
+
+impl Placement {
+    /// Allocates tiles for every declared qubit of `program`: one data-row
+    /// column per qubit in declaration order, plus the full-width routing
+    /// lane beneath them.
+    pub fn allocate(program: &LogicalProgram) -> Placement {
+        let n = program.qubit_count();
+        Placement { columns: (0..n).collect(), tile_cols: n.max(1) }
+    }
+
+    /// The data-row column of a qubit.
+    pub fn column(&self, q: QubitRef) -> usize {
+        self.columns[q.0]
+    }
+
+    /// The data tile of a qubit.
+    pub fn data_tile(&self, q: QubitRef) -> Tile {
+        (0, self.column(q))
+    }
+
+    /// Tile rows of the placement (the data row plus the routing lane).
+    pub fn tile_rows(&self) -> usize {
+        2
+    }
+
+    /// Tile columns of the placement.
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Number of data tiles (one per logical qubit).
+    pub fn data_tiles(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Number of routing-lane tiles.
+    pub fn lane_tiles(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Total tiles of the placement, including the routing lane.
+    pub fn total_tiles(&self) -> usize {
+        self.tile_rows() * self.tile_cols
+    }
+
+    /// The set of tiles an instruction occupies while it executes: the
+    /// operand data tiles, plus — for joint measurements that are not a
+    /// direct horizontal `Measure ZZ` between adjacent columns — the
+    /// routing-lane tiles spanning the operand columns.
+    pub fn footprint(&self, pi: &ProgramInstruction) -> Vec<Tile> {
+        match pi.qubits.as_slice() {
+            [q] => vec![self.data_tile(*q)],
+            [a, b] => {
+                let (ca, cb) = (self.column(*a), self.column(*b));
+                let (lo, hi) = (ca.min(cb), ca.max(cb));
+                let mut tiles = vec![(0, ca), (0, cb)];
+                let direct_zz = pi.instruction == Instruction::MeasureZZ && hi - lo == 1;
+                if !direct_zz {
+                    tiles.extend((lo..=hi).map(|c| (1, c)));
+                }
+                tiles
+            }
+            _ => unreachable!("instructions act on one or two qubits"),
+        }
+    }
+
+    /// The trapped-ion grid hosting this placement at code distance `d`:
+    /// every tile is `d × d` repeating units (one unit per surface-code
+    /// qubit site, as in the per-instruction fixtures).
+    pub fn layout(&self, d: usize) -> Layout {
+        let d = d.max(1) as u32;
+        Layout::new(self.tile_rows() as u32 * d, self.tile_cols() as u32 * d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn qubits_get_declaration_order_columns() {
+        let p = examples::teleportation();
+        let place = Placement::allocate(&p);
+        assert_eq!(place.tile_cols(), 3);
+        assert_eq!(place.total_tiles(), 6);
+        for (i, name) in ["src", "anc", "dst"].iter().enumerate() {
+            let q = p.qubit(name).unwrap();
+            assert_eq!(place.data_tile(q), (0, i));
+        }
+    }
+
+    #[test]
+    fn footprints_distinguish_direct_and_routed_merges() {
+        let p = examples::teleportation();
+        let place = Placement::allocate(&p);
+        let instrs = p.instructions();
+        // merge_zz anc dst: columns 1 and 2 are adjacent → direct merge.
+        let zz = &instrs[3];
+        assert_eq!(zz.instruction, Instruction::MeasureZZ);
+        assert_eq!(place.footprint(zz), vec![(0, 1), (0, 2)]);
+        // merge_xx src anc: XX needs a vertical boundary → routed through
+        // the lane under columns 0..=1.
+        let xx = &instrs[4];
+        assert_eq!(xx.instruction, Instruction::MeasureXX);
+        assert_eq!(place.footprint(xx), vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+        // Single-qubit footprints are just the data tile.
+        assert_eq!(place.footprint(&instrs[0]), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn layout_scales_with_distance_and_tile_grid() {
+        let p = examples::bell_pair();
+        let place = Placement::allocate(&p);
+        let layout = place.layout(3);
+        assert_eq!(layout.unit_rows(), 2 * 3);
+        assert_eq!(layout.unit_cols(), 2 * 3);
+        // 6 trapping zones per unit (tiscc_grid invariant).
+        assert_eq!(layout.trapping_zone_count(), 6 * 36);
+    }
+}

@@ -1,0 +1,186 @@
+//! The per-step logical error model and error-budget distance selection.
+//!
+//! The estimator spends a *logical error budget* across the program: every
+//! allocated tile accrues one unit of logical failure probability per
+//! logical time step (a *patch-step*), following the standard
+//! sub-threshold scaling ansatz
+//!
+//! ```text
+//! p_L(d) = A · (p / p_th) ^ ⌊(d + 1) / 2⌋
+//! ```
+//!
+//! with physical error rate `p`, threshold `p_th` and prefactor `A`
+//! (Fowler et al.; the Azure QRE uses the same shape). Distance selection
+//! walks `d` upward and returns the smallest distance whose total program
+//! error meets the budget — monotone in the budget by construction, which
+//! the property tests pin down.
+
+use std::fmt;
+
+/// A configurable per-patch-step logical error model.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ErrorModel {
+    /// Physical error rate per operation (`p`).
+    pub p_physical: f64,
+    /// Fault-tolerance threshold of the code under this hardware (`p_th`).
+    pub p_threshold: f64,
+    /// Scaling prefactor (`A`).
+    pub prefactor: f64,
+}
+
+impl Default for ErrorModel {
+    /// The conventional surface-code working point: `p = 10⁻³`,
+    /// `p_th = 10⁻²`, `A = 0.1`.
+    fn default() -> Self {
+        ErrorModel { p_physical: 1e-3, p_threshold: 1e-2, prefactor: 0.1 }
+    }
+}
+
+impl ErrorModel {
+    /// Checks the model is physically meaningful: positive parameters and
+    /// sub-threshold operation (`p < p_th`, otherwise increasing the
+    /// distance makes things worse and no budget is reachable).
+    pub fn validate(&self) -> Result<(), BudgetError> {
+        if !(self.p_physical > 0.0 && self.p_threshold > 0.0 && self.prefactor > 0.0) {
+            return Err(BudgetError::InvalidModel(
+                "error-model parameters must be positive".to_string(),
+            ));
+        }
+        if self.p_physical >= self.p_threshold {
+            return Err(BudgetError::InvalidModel(format!(
+                "physical error rate {} is not below threshold {}",
+                self.p_physical, self.p_threshold
+            )));
+        }
+        Ok(())
+    }
+
+    /// Logical error probability of one patch over one logical time step
+    /// at code distance `d`.
+    pub fn logical_error_per_patch_step(&self, d: usize) -> f64 {
+        let exponent = d.div_ceil(2) as i32;
+        self.prefactor * (self.p_physical / self.p_threshold).powi(exponent)
+    }
+
+    /// Total program logical error over `patch_steps` patch-steps at
+    /// distance `d` (union bound, saturated at 1).
+    pub fn program_error(&self, d: usize, patch_steps: u64) -> f64 {
+        (patch_steps as f64 * self.logical_error_per_patch_step(d)).min(1.0)
+    }
+
+    /// The smallest code distance `d ≥ 2` whose total program error over
+    /// `patch_steps` patch-steps meets `budget`, searching up to `d_max`.
+    pub fn select_distance(
+        &self,
+        patch_steps: u64,
+        budget: f64,
+        d_max: usize,
+    ) -> Result<usize, BudgetError> {
+        self.validate()?;
+        if budget.is_nan() || budget <= 0.0 {
+            return Err(BudgetError::InvalidModel(format!(
+                "error budget must be positive, got {budget}"
+            )));
+        }
+        for d in 2..=d_max.max(2) {
+            if self.program_error(d, patch_steps) <= budget {
+                return Ok(d);
+            }
+        }
+        Err(BudgetError::Unsatisfiable {
+            budget,
+            d_max,
+            error_at_d_max: self.program_error(d_max.max(2), patch_steps),
+        })
+    }
+}
+
+/// Errors raised during distance selection.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BudgetError {
+    /// The error model (or budget) is not physically meaningful.
+    InvalidModel(String),
+    /// No distance up to `d_max` meets the budget.
+    Unsatisfiable {
+        /// The requested budget.
+        budget: f64,
+        /// The largest distance searched.
+        d_max: usize,
+        /// The achieved program error at `d_max`.
+        error_at_d_max: f64,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::InvalidModel(msg) => write!(f, "invalid error model: {msg}"),
+            BudgetError::Unsatisfiable { budget, d_max, error_at_d_max } => write!(
+                f,
+                "no distance up to d={d_max} meets the budget {budget:e} \
+                 (achieved {error_at_d_max:e} at d={d_max}); raise --dmax or the budget"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_error_decreases_with_distance() {
+        let m = ErrorModel::default();
+        let mut last = f64::INFINITY;
+        for d in 2..=25 {
+            let p = m.logical_error_per_patch_step(d);
+            assert!(p <= last, "p_L must be non-increasing in d");
+            assert!(p > 0.0);
+            last = p;
+        }
+        // d=3: 0.1 * (0.1)^2 = 1e-3.
+        assert!((m.logical_error_per_patch_step(3) - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn select_distance_returns_the_smallest_satisfying_distance() {
+        let m = ErrorModel::default();
+        let d = m.select_distance(100, 1e-9, 35).unwrap();
+        assert!(m.program_error(d, 100) <= 1e-9);
+        assert!(m.program_error(d - 1, 100) > 1e-9, "d is minimal");
+    }
+
+    #[test]
+    fn tighter_budgets_never_shrink_the_distance() {
+        let m = ErrorModel::default();
+        let loose = m.select_distance(1000, 1e-6, 45).unwrap();
+        let tight = m.select_distance(1000, 1e-12, 45).unwrap();
+        assert!(tight >= loose);
+    }
+
+    #[test]
+    fn unsatisfiable_and_invalid_inputs_error() {
+        let m = ErrorModel::default();
+        assert!(matches!(
+            m.select_distance(u64::MAX, 1e-30, 3),
+            Err(BudgetError::Unsatisfiable { .. })
+        ));
+        assert!(m.select_distance(1, 0.0, 25).is_err());
+        let above_threshold =
+            ErrorModel { p_physical: 0.5, p_threshold: 1e-2, ..ErrorModel::default() };
+        assert!(matches!(
+            above_threshold.select_distance(1, 1e-9, 25),
+            Err(BudgetError::InvalidModel(_))
+        ));
+        let err = m.select_distance(u64::MAX, 1e-30, 3).unwrap_err();
+        assert!(err.to_string().contains("--dmax"));
+    }
+
+    #[test]
+    fn zero_patch_steps_select_the_smallest_distance() {
+        let m = ErrorModel::default();
+        assert_eq!(m.select_distance(0, 1e-15, 25).unwrap(), 2);
+    }
+}

@@ -1,0 +1,121 @@
+//! Canonical logical programs.
+//!
+//! These mirror the `.tql` files bundled under `examples/programs/` in the
+//! repository root; the integration tests assert that the two stay in sync.
+
+use crate::ir::LogicalProgram;
+
+/// Logical Bell-pair preparation on two tiles: `|+⟩ ⊗ |0⟩` followed by a
+/// joint ZZ measurement (paper Table 3, Bell State Preparation, expressed
+/// at the program level).
+pub fn bell_pair() -> LogicalProgram {
+    let mut p = LogicalProgram::new("bell");
+    let a = p.add_qubit("a").expect("fresh program");
+    let b = p.add_qubit("b").expect("fresh program");
+    p.prepare_x(a).expect("valid");
+    p.prepare_z(b).expect("valid");
+    p.measure_zz(a, b).expect("valid");
+    p
+}
+
+/// Logical state teleportation: a Bell pair between `anc` and `dst`, a
+/// joint XX measurement of `src` against `anc`, destructive read-out of
+/// `src` and `anc`, and the (unconditionally accounted) Pauli frame
+/// corrections on `dst`.
+pub fn teleportation() -> LogicalProgram {
+    let mut p = LogicalProgram::new("teleport");
+    let src = p.add_qubit("src").expect("fresh program");
+    let anc = p.add_qubit("anc").expect("fresh program");
+    let dst = p.add_qubit("dst").expect("fresh program");
+    p.prepare_z(src).expect("valid");
+    p.prepare_x(anc).expect("valid");
+    p.prepare_z(dst).expect("valid");
+    // Bell pair between the ancilla and the destination.
+    p.measure_zz(anc, dst).expect("valid");
+    // Entangle the source with the ancilla, then read both out.
+    p.measure_xx(src, anc).expect("valid");
+    p.measure_z(src).expect("valid");
+    p.measure_z(anc).expect("valid");
+    // Pauli frame corrections (worst case accounted unconditionally).
+    p.pauli_x(dst).expect("valid");
+    p.pauli_z(dst).expect("valid");
+    p
+}
+
+/// The T-layer of a `width`-bit adder: every data qubit receives a T gate
+/// by magic-state teleportation — inject |T⟩ on an ancilla, merge it with
+/// the data qubit through a joint ZZ measurement, read the ancilla out in
+/// the X basis, and account the Clifford correction.
+///
+/// Data and ancilla qubits are declared interleaved (`d0 t0 d1 t1 …`) so
+/// the declaration-order patch allocator places each pair on adjacent
+/// tiles and the scheduler can run every teleportation in parallel.
+pub fn adder_t_layer(width: usize) -> LogicalProgram {
+    let mut p = LogicalProgram::new(format!("adder-t-layer-{width}"));
+    let pairs: Vec<_> = (0..width)
+        .map(|i| {
+            let d = p.add_qubit(format!("d{i}")).expect("fresh program");
+            let t = p.add_qubit(format!("t{i}")).expect("fresh program");
+            (d, t)
+        })
+        .collect();
+    for &(d, _) in &pairs {
+        p.prepare_z(d).expect("valid");
+    }
+    for &(_, t) in &pairs {
+        p.inject_t(t).expect("valid");
+    }
+    for &(d, t) in &pairs {
+        p.measure_zz(d, t).expect("valid");
+    }
+    for &(_, t) in &pairs {
+        p.measure_x(t).expect("valid");
+    }
+    for &(d, _) in &pairs {
+        p.pauli_z(d).expect("valid");
+    }
+    p
+}
+
+/// Every canonical program, paired with the `examples/programs/` file stem
+/// it is bundled as.
+pub fn all() -> Vec<(&'static str, LogicalProgram)> {
+    vec![("bell", bell_pair()), ("teleport", teleportation()), ("adder_t_layer", adder_t_layer(4))]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiscc_core::instruction::Instruction;
+
+    #[test]
+    fn canonical_programs_validate() {
+        for (name, p) in all() {
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(!p.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn teleportation_has_expected_shape() {
+        let p = teleportation();
+        assert_eq!(p.qubit_count(), 3);
+        assert_eq!(p.len(), 9);
+        assert_eq!(p.max_live_qubits(), 3);
+        let joints = p
+            .instructions()
+            .iter()
+            .filter(|i| matches!(i.instruction, Instruction::MeasureXX | Instruction::MeasureZZ))
+            .count();
+        assert_eq!(joints, 2);
+    }
+
+    #[test]
+    fn adder_t_layer_scales_with_width() {
+        let p = adder_t_layer(4);
+        assert_eq!(p.qubit_count(), 8);
+        assert_eq!(p.len(), 5 * 4);
+        p.validate().unwrap();
+        assert_eq!(p.max_live_qubits(), 8);
+    }
+}

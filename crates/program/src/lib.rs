@@ -1,0 +1,46 @@
+//! Algorithm-level logical programs for the TISCC stack.
+//!
+//! The paper's per-instruction compiler answers "what does one
+//! lattice-surgery instruction cost?"; this crate answers the question the
+//! compiler exists to feed: *what does a whole logical program cost?* It
+//! provides the four layers between a named algorithm and a space–time
+//! resource estimate:
+//!
+//! * [`ir`] — the logical-program intermediate representation: named
+//!   logical qubits plus a sequence of Table 1 lattice-surgery
+//!   instructions, with a builder API and liveness validation,
+//! * [`parse`] — the `.tql` (TISCC quantum logic) text format: a
+//!   line-oriented surface syntax for the IR with stable mnemonics
+//!   (`prep_x q0`, `merge_zz q0 q1`, `inject_t q2`, …),
+//! * [`examples`] — canonical programs (Bell-pair preparation, logical
+//!   state teleportation, the T-layer of a small ripple-carry adder) used
+//!   by the documentation, the CLI smoke tests and the benchmarks,
+//! * [`alloc`] — the patch allocator: assigns every logical qubit a tile
+//!   on a data row backed by an ancilla routing lane, and maps the
+//!   resulting tile grid onto the [`tiscc_grid::Layout`] substrate,
+//! * [`schedule`](mod@schedule) — the dependency-aware ASAP list
+//!   scheduler: packs
+//!   instructions that touch disjoint tiles (and disjoint routing-lane
+//!   segments) into the same parallel logical time step,
+//! * [`budget`] — the configurable per-step logical error model and
+//!   error-budget distance selection.
+//!
+//! The driver that joins these layers to the per-instruction compiler
+//! lives in `tiscc_estimator::program`; the `tiscc estimate` subcommand
+//! exposes it on the command line.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod budget;
+pub mod examples;
+pub mod ir;
+pub mod parse;
+pub mod schedule;
+
+pub use alloc::Placement;
+pub use budget::{BudgetError, ErrorModel};
+pub use ir::{LogicalProgram, ProgramError, ProgramInstruction, QubitRef};
+pub use parse::ParseError;
+pub use schedule::{schedule, Schedule, ScheduleStep};

@@ -1,0 +1,243 @@
+//! The `.tql` (TISCC quantum logic) text format.
+//!
+//! `.tql` is a line-oriented surface syntax for [`LogicalProgram`]s:
+//!
+//! ```text
+//! # Logical Bell-pair preparation.
+//! qubit a b          # declare logical qubits (one or more per line)
+//! prep_x a
+//! prep_z b
+//! merge_zz a b       # lattice-surgery joint ZZ measurement
+//! ```
+//!
+//! Everything from `#` to the end of a line is a comment. The first token
+//! of a non-empty line is either the `qubit` declaration keyword or an
+//! instruction mnemonic; remaining tokens are operand qubit names.
+//!
+//! Accepted mnemonics are the Table 1 instruction ids
+//! (see [`Instruction::from_id`]) plus the short program-level aliases:
+//! `prep_z`/`prep_x` (preparation), `meas_z`/`meas_x` (destructive
+//! measurement), `merge_zz`/`merge_xx` (joint measurement), and the
+//! one-letter gates `x`, `y`, `z`, `h`.
+
+use std::fmt;
+
+use tiscc_core::instruction::Instruction;
+
+use crate::ir::{LogicalProgram, QubitRef};
+
+/// An error raised while parsing `.tql` text, annotated with its 1-based
+/// source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Resolves a `.tql` instruction mnemonic: a program-level alias or any id
+/// accepted by [`Instruction::from_id`].
+pub fn instruction_from_mnemonic(word: &str) -> Option<Instruction> {
+    let lowered = word.to_ascii_lowercase();
+    let aliased = match lowered.as_str() {
+        "prep_z" => Some(Instruction::PrepareZ),
+        "prep_x" => Some(Instruction::PrepareX),
+        "meas_z" => Some(Instruction::MeasureZ),
+        "meas_x" => Some(Instruction::MeasureX),
+        "merge_zz" => Some(Instruction::MeasureZZ),
+        "merge_xx" => Some(Instruction::MeasureXX),
+        "x" => Some(Instruction::PauliX),
+        "y" => Some(Instruction::PauliY),
+        "z" => Some(Instruction::PauliZ),
+        "h" => Some(Instruction::Hadamard),
+        _ => None,
+    };
+    aliased.or_else(|| Instruction::from_id(&lowered).ok())
+}
+
+/// The mnemonic the `.tql` renderer uses for an instruction (the inverse
+/// of [`instruction_from_mnemonic`] on the alias set).
+pub fn mnemonic(instruction: Instruction) -> &'static str {
+    match instruction {
+        Instruction::PrepareZ => "prep_z",
+        Instruction::PrepareX => "prep_x",
+        Instruction::MeasureZ => "meas_z",
+        Instruction::MeasureX => "meas_x",
+        Instruction::MeasureZZ => "merge_zz",
+        Instruction::MeasureXX => "merge_xx",
+        other => other.id(),
+    }
+}
+
+impl LogicalProgram {
+    /// Parses `.tql` text into a validated program named `name`.
+    pub fn parse(name: impl Into<String>, text: &str) -> Result<LogicalProgram, ParseError> {
+        let mut program = LogicalProgram::new(name);
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut tokens = line.split_whitespace();
+            let head = tokens.next().expect("non-empty line has a first token");
+            if head.eq_ignore_ascii_case("qubit") {
+                let mut declared = 0usize;
+                for qubit in tokens {
+                    program
+                        .add_qubit(qubit)
+                        .map_err(|e| ParseError { line: lineno, message: e.to_string() })?;
+                    declared += 1;
+                }
+                if declared == 0 {
+                    return Err(ParseError {
+                        line: lineno,
+                        message: "qubit declaration names no qubits".to_string(),
+                    });
+                }
+                continue;
+            }
+            let instruction = instruction_from_mnemonic(head).ok_or_else(|| ParseError {
+                line: lineno,
+                message: format!(
+                    "unknown instruction '{head}'; valid mnemonics include qubit, prep_z, \
+                     prep_x, inject_y, inject_t, meas_z, meas_x, x, y, z, h, idle, \
+                     merge_xx, merge_zz"
+                ),
+            })?;
+            let operands: Result<Vec<QubitRef>, ParseError> = tokens
+                .map(|tok| {
+                    program.qubit(tok).ok_or_else(|| ParseError {
+                        line: lineno,
+                        message: format!("unknown qubit '{tok}' (declare it with 'qubit {tok}')"),
+                    })
+                })
+                .collect();
+            program
+                .push_at(instruction, &operands?, Some(lineno))
+                .map_err(|e| ParseError { line: lineno, message: e.to_string() })?;
+        }
+        program
+            .validate()
+            .map_err(|e| ParseError { line: error_line(&e), message: e.to_string() })?;
+        Ok(program)
+    }
+
+    /// Renders the program back to canonical `.tql` text.
+    /// `LogicalProgram::parse` of the output reproduces the program
+    /// (modulo source-line annotations).
+    pub fn to_tql(&self) -> String {
+        let mut out = format!("# {}\n", self.name());
+        if self.qubit_count() > 0 {
+            out.push_str("qubit");
+            for i in 0..self.qubit_count() {
+                out.push(' ');
+                out.push_str(self.qubit_name(QubitRef(i)));
+            }
+            out.push('\n');
+        }
+        for pi in self.instructions() {
+            out.push_str(mnemonic(pi.instruction));
+            for &q in &pi.qubits {
+                out.push(' ');
+                out.push_str(self.qubit_name(q));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn error_line(e: &crate::ir::ProgramError) -> usize {
+    match e {
+        crate::ir::ProgramError::NotLive { line, .. }
+        | crate::ir::ProgramError::AlreadyLive { line, .. } => line.unwrap_or(1),
+        _ => 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BELL: &str = "\
+# Bell pair
+qubit a b
+prep_x a
+prep_z b
+merge_zz a b  # joint ZZ
+";
+
+    #[test]
+    fn parses_a_commented_program() {
+        let p = LogicalProgram::parse("bell", BELL).unwrap();
+        assert_eq!(p.qubit_count(), 2);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.instructions()[2].instruction, Instruction::MeasureZZ);
+        assert_eq!(p.instructions()[2].line, Some(5));
+    }
+
+    #[test]
+    fn aliases_and_table1_ids_both_resolve() {
+        for (word, expect) in [
+            ("prep_z", Instruction::PrepareZ),
+            ("prepare_z", Instruction::PrepareZ),
+            ("PREP_X", Instruction::PrepareX),
+            ("meas_x", Instruction::MeasureX),
+            ("measure_x", Instruction::MeasureX),
+            ("merge_zz", Instruction::MeasureZZ),
+            ("measure_zz", Instruction::MeasureZZ),
+            ("x", Instruction::PauliX),
+            ("h", Instruction::Hadamard),
+            ("idle", Instruction::Idle),
+            ("inject_t", Instruction::InjectT),
+        ] {
+            assert_eq!(instruction_from_mnemonic(word), Some(expect), "{word}");
+        }
+        assert_eq!(instruction_from_mnemonic("cnot"), None);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let err = LogicalProgram::parse("p", "qubit a\nfrobnicate a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("frobnicate"));
+
+        let err = LogicalProgram::parse("p", "qubit a\nprep_z b\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown qubit 'b'"));
+
+        let err = LogicalProgram::parse("p", "qubit\n").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = LogicalProgram::parse("p", "qubit a\nmerge_zz a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        // Liveness violations point at the offending instruction's line.
+        let err =
+            LogicalProgram::parse("p", "qubit a\nprep_z a\n\nh a\nmeas_z a\nh a\n").unwrap_err();
+        assert_eq!(err.line, 6);
+        assert!(err.message.contains("not live"));
+    }
+
+    #[test]
+    fn tql_round_trips_through_render_and_parse() {
+        let p = LogicalProgram::parse("bell", BELL).unwrap();
+        let q = LogicalProgram::parse("bell", &p.to_tql()).unwrap();
+        assert_eq!(p.qubit_count(), q.qubit_count());
+        assert_eq!(p.len(), q.len());
+        for (a, b) in p.instructions().iter().zip(q.instructions()) {
+            assert_eq!(a.instruction, b.instruction);
+            assert_eq!(a.qubits, b.qubits);
+        }
+    }
+}

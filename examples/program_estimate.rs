@@ -1,0 +1,49 @@
+//! Algorithm-level program estimation: the bundled teleportation program
+//! scheduled, distance-selected against an error budget, and costed under
+//! two hardware profiles — the `tiscc estimate` subcommand as a library
+//! call.
+//!
+//! Run with `cargo run --release --example program_estimate`.
+
+use tiscc::estimator::{estimate_program, Compiler, ProgramEstimateSpec};
+use tiscc::hw::HardwareSpec;
+use tiscc::program::{examples, schedule, Placement};
+
+fn main() {
+    let program = examples::teleportation();
+
+    // The allocator and scheduler can be inspected standalone.
+    let placement = Placement::allocate(&program);
+    let sched = schedule(&program, &placement);
+    println!(
+        "'{}': {} instructions over {} qubits pack into {} parallel steps",
+        program.name(),
+        program.len(),
+        program.qubit_count(),
+        sched.depth()
+    );
+    for (i, step) in sched.steps.iter().enumerate() {
+        let names: Vec<String> = step
+            .instructions
+            .iter()
+            .map(|&idx| {
+                let pi = &program.instructions()[idx];
+                let mut s = pi.instruction.id().to_string();
+                for &q in &pi.qubits {
+                    s.push(' ');
+                    s.push_str(program.qubit_name(q));
+                }
+                s
+            })
+            .collect();
+        println!("  step {i}: [{}]", names.join(", "));
+    }
+
+    // A loose budget keeps the selected distance (and runtime) small; the
+    // CLI defaults to 1e-9 for production-grade numbers.
+    let spec = ProgramEstimateSpec::new(1e-4)
+        .with_profiles(vec![HardwareSpec::h1(), HardwareSpec::projected()]);
+    let estimate = estimate_program(&program, &spec, &Compiler::new()).expect("estimate");
+    println!();
+    print!("{}", estimate.render());
+}

@@ -12,8 +12,12 @@
 //! * [`core`] — the surface-code compiler (patches, syndrome extraction,
 //!   lattice surgery, the Table 1/3 instruction sets),
 //! * [`orqcs`] — the quasi-Clifford simulator used for verification,
+//! * [`program`] — algorithm-level logical programs: the `.tql` IR and
+//!   parser, the patch allocator with routing lanes, the dependency-aware
+//!   ASAP scheduler and the error-budget distance selection,
 //! * [`estimator`] — the unified [`estimator::Compiler`] front door,
-//!   table/figure regeneration and the verification harness.
+//!   table/figure regeneration, the program-level estimator
+//!   ([`estimator::program`]) and the verification harness.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +44,27 @@
 //! assert!(projected.resources.execution_time_s < artifact.resources.execution_time_s);
 //! ```
 //!
+//! A whole logical program — parsed from `.tql` text or built through the
+//! [`program::LogicalProgram`] API — is estimated end-to-end by
+//! [`estimator::estimate_program`]: the allocator places the qubits, the
+//! scheduler packs independent instructions into parallel steps, and the
+//! error budget selects the code distance:
+//!
+//! ```
+//! use tiscc::estimator::{estimate_program, Compiler, ProgramEstimateSpec};
+//! use tiscc::program::LogicalProgram;
+//!
+//! let program = LogicalProgram::parse(
+//!     "bell",
+//!     "qubit a b\nprep_x a\nprep_z b\nmerge_zz a b\n",
+//! )
+//! .unwrap();
+//! let spec = ProgramEstimateSpec::new(1e-3); // loose budget -> small distance
+//! let estimate = estimate_program(&program, &spec, &Compiler::new()).unwrap();
+//! assert_eq!(estimate.logical_qubits, 2);
+//! assert!(estimate.rows[0].duration_s > 0.0);
+//! ```
+//!
 //! The lower-level patch API remains available for custom workloads:
 //!
 //! ```
@@ -61,3 +86,4 @@ pub use tiscc_grid as grid;
 pub use tiscc_hw as hw;
 pub use tiscc_math as math;
 pub use tiscc_orqcs as orqcs;
+pub use tiscc_program as program;

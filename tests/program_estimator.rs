@@ -1,0 +1,114 @@
+//! Integration tests for the algorithm-level program estimator: the
+//! bundled `.tql` programs stay in sync with their canonical builders, the
+//! scheduler packs independent instructions into shared parallel steps,
+//! and error-budget distance selection is monotone in the budget.
+
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+
+use tiscc::estimator::{estimate_program, Compiler, ProgramEstimateSpec};
+use tiscc::hw::HardwareSpec;
+use tiscc::program::{examples, schedule, ErrorModel, LogicalProgram, Placement};
+
+fn bundled(stem: &str) -> String {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("examples/programs")
+        .join(format!("{stem}.tql"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+}
+
+/// Every bundled `.tql` file parses to exactly the canonical program of
+/// the same name (same qubits, same instruction stream).
+#[test]
+fn bundled_tql_files_match_canonical_programs() {
+    for (stem, canonical) in examples::all() {
+        let parsed = LogicalProgram::parse(stem, &bundled(stem)).unwrap();
+        assert_eq!(parsed.qubit_count(), canonical.qubit_count(), "{stem}");
+        assert_eq!(parsed.len(), canonical.len(), "{stem}");
+        for (i, (a, b)) in parsed.instructions().iter().zip(canonical.instructions()).enumerate() {
+            assert_eq!(a.instruction, b.instruction, "{stem} instruction {i}");
+            assert_eq!(a.qubits, b.qubits, "{stem} instruction {i}");
+        }
+    }
+}
+
+/// Provably independent instructions (disjoint tiles, disjoint lanes)
+/// land in the same logical time step.
+#[test]
+fn scheduler_packs_independent_instructions_into_one_step() {
+    let program = examples::adder_t_layer(4);
+    let placement = Placement::allocate(&program);
+    let sched = schedule(&program, &placement);
+    // 4 preparations + 4 magic-state injections on 8 disjoint tiles: one
+    // step. 4 direct ZZ merges on disjoint adjacent pairs: one step.
+    assert_eq!(sched.steps[0].instructions.len(), 8);
+    assert_eq!(sched.steps[1].instructions.len(), 4);
+    assert_eq!(sched.depth(), 3);
+    // A serial chain on a single qubit cannot pack at all.
+    let mut serial = LogicalProgram::new("serial");
+    let q = serial.add_qubit("q").unwrap();
+    serial.prepare_z(q).unwrap();
+    for _ in 0..5 {
+        serial.idle(q).unwrap();
+    }
+    let sp = Placement::allocate(&serial);
+    assert_eq!(schedule(&serial, &sp).depth(), 6);
+}
+
+/// An end-to-end estimate over the bundled teleportation program under
+/// two profiles (the CLI acceptance path, at a loose budget so the
+/// selected distance stays small).
+#[test]
+fn teleport_estimate_reports_two_profiles() {
+    let program = LogicalProgram::parse("teleport", &bundled("teleport")).unwrap();
+    let spec = ProgramEstimateSpec::new(1e-3)
+        .with_profiles(vec![HardwareSpec::h1(), HardwareSpec::projected()]);
+    let estimate = estimate_program(&program, &spec, &Compiler::new()).unwrap();
+    assert_eq!(estimate.rows.len(), 2);
+    assert!(estimate.rows.iter().all(|r| r.achieved_error <= 1e-3));
+    assert!(estimate.rows[1].duration_s < estimate.rows[0].duration_s);
+    let report = estimate.render();
+    for needle in ["teleport", "h1", "projected", "qubit-rounds"] {
+        assert!(report.contains(needle), "report missing {needle}:\n{report}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Distance selection is monotone in the budget: tightening the budget
+    /// can only keep or grow the selected distance, and the selected
+    /// distance always meets the budget it was selected for.
+    #[test]
+    fn distance_selection_is_monotone_in_the_budget(
+        exp_loose in 1u32..10,
+        exp_delta in 0u32..8,
+        patch_steps in 1u64..1_000_000,
+    ) {
+        let model = ErrorModel::default();
+        let loose = 10f64.powi(-(exp_loose as i32));
+        let tight = 10f64.powi(-((exp_loose + exp_delta) as i32));
+        let d_loose = model.select_distance(patch_steps, loose, 99).unwrap();
+        let d_tight = model.select_distance(patch_steps, tight, 99).unwrap();
+        prop_assert!(d_tight >= d_loose, "tighter budget selected a smaller distance");
+        prop_assert!(model.program_error(d_loose, patch_steps) <= loose);
+        prop_assert!(model.program_error(d_tight, patch_steps) <= tight);
+        // Minimality: one distance less misses the budget (d=2 is the floor).
+        if d_loose > 2 {
+            prop_assert!(model.program_error(d_loose - 1, patch_steps) > loose);
+        }
+    }
+
+    /// More patch-steps can never shrink the selected distance.
+    #[test]
+    fn distance_selection_is_monotone_in_patch_steps(
+        small in 1u64..10_000,
+        factor in 1u64..10_000,
+    ) {
+        let model = ErrorModel::default();
+        let d_small = model.select_distance(small, 1e-9, 99).unwrap();
+        let d_large = model.select_distance(small.saturating_mul(factor), 1e-9, 99).unwrap();
+        prop_assert!(d_large >= d_small);
+    }
+}

@@ -63,7 +63,10 @@ proptest! {
         prop_assert_eq!(&recompiled.rows, &cold.rows);
     }
 
-    /// CSV → parse → CSV is the identity on sweep artifacts.
+    /// CSV → parse → CSV is the identity on sweep artifacts, and the float
+    /// columns survive the text round trip *bit-exactly*: the emitter uses
+    /// shortest-round-trip (`{:?}`) formatting, so
+    /// `parse_csv(emit_csv(r)) == r` on every CSV-carried field.
     #[test]
     fn sweep_csv_round_trips(spec in arb_spec()) {
         let cache = CompileCache::new();
@@ -72,16 +75,33 @@ proptest! {
         let parsed = parse_csv(&csv).unwrap();
         prop_assert_eq!(parsed.len(), result.rows.len());
         prop_assert_eq!(render_csv(&parsed), csv);
-        // The parsed scalar columns match the originals field-for-field.
+        // The parsed columns match the originals field-for-field; floats
+        // are compared by bit pattern, not tolerance.
         for (orig, back) in result.rows.iter().zip(&parsed) {
             prop_assert_eq!(&orig.name, &back.name);
+            prop_assert_eq!(&orig.profile, &back.profile);
             prop_assert_eq!(orig.dx, back.dx);
             prop_assert_eq!(orig.dz, back.dz);
             prop_assert_eq!(orig.tiles, back.tiles);
             prop_assert_eq!(orig.logical_time_steps, back.logical_time_steps);
-            prop_assert_eq!(orig.resources.execution_time_s, back.resources.execution_time_s);
             prop_assert_eq!(orig.resources.trapping_zones, back.resources.trapping_zones);
             prop_assert_eq!(orig.resources.total_ops, back.resources.total_ops);
+            for (field, a, b) in [
+                ("execution_time_s", orig.resources.execution_time_s, back.resources.execution_time_s),
+                ("area_m2", orig.resources.area_m2, back.resources.area_m2),
+                (
+                    "spacetime_volume_s_m2",
+                    orig.resources.spacetime_volume_s_m2,
+                    back.resources.spacetime_volume_s_m2,
+                ),
+                (
+                    "active_zone_seconds",
+                    orig.resources.active_zone_seconds,
+                    back.resources.active_zone_seconds,
+                ),
+            ] {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "{} must round-trip bit-exactly", field);
+            }
         }
     }
 }
