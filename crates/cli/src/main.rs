@@ -7,6 +7,7 @@
 //! tiscc sweep [--dmax N] [--dt N|d] [--out F]  batched resource sweep (CSV + JSON)
 //! tiscc profiles                               list hardware profiles and parameters
 //! tiscc verify [--seed N]                      run the Sec. 4 verification harness
+//! tiscc bench-report <results.txt>...          convert/gate criterion bench output
 //! ```
 //!
 //! `compile`, `tables`, `sweep` and `estimate` accept `--profile <name>` to
@@ -47,6 +48,10 @@ subcommands:
         [--out F.csv] [--json F.json]    write artifacts (default: CSV to stdout)
   profiles                               list hardware profiles and parameters
   verify [--seed N]                      run the verification harness
+  bench-report <results.txt>...          parse `cargo bench` output into JSON
+         [--out F.json]                  write the parsed measurements
+         [--baseline F.json]             gate against a committed baseline
+         [--tolerance X]                 allowed slowdown fraction (default 0.3)
 
 flags take a value as `--flag VALUE` or `--flag=VALUE`
 
@@ -179,6 +184,7 @@ fn run(raw: &[String]) -> Result<(), CliError> {
         "sweep" => cmd_sweep(&args),
         "profiles" => cmd_profiles(),
         "verify" => cmd_verify(&args),
+        "bench-report" => cmd_bench_report(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -390,6 +396,189 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// One parsed benchmark measurement.
+#[derive(Clone, Debug, PartialEq)]
+struct BenchEntry {
+    id: String,
+    median_ns: f64,
+}
+
+/// Parses a `Duration` debug rendering (`"153ns"`, `"12.5µs"`, `"1.2ms"`,
+/// `"3.4s"`) into nanoseconds.
+fn parse_duration_ns(text: &str) -> Option<f64> {
+    let text = text.trim();
+    // Order matters: try the longest suffixes first ("ms" before "s").
+    for (suffix, scale) in [("ns", 1.0), ("µs", 1e3), ("us", 1e3), ("ms", 1e6), ("s", 1e9)] {
+        if let Some(value) = text.strip_suffix(suffix) {
+            return value.trim().parse::<f64>().ok().map(|v| v * scale);
+        }
+    }
+    None
+}
+
+/// Parses the benchmark-harness output format
+/// `<id>: median <duration> over <n> sample(s), total <duration>`
+/// (and the `--test` form `<id>: ok (<duration>)`) into entries.
+fn parse_bench_output(text: &str) -> Vec<BenchEntry> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some((id, rest)) = line.split_once(": ") else { continue };
+        let median = if let Some(rest) = rest.strip_prefix("median ") {
+            rest.split(" over ").next().and_then(parse_duration_ns)
+        } else if let Some(rest) = rest.strip_prefix("ok (") {
+            rest.strip_suffix(')').and_then(parse_duration_ns)
+        } else {
+            None
+        };
+        if let Some(median_ns) = median {
+            entries.push(BenchEntry { id: id.trim().to_string(), median_ns });
+        }
+    }
+    entries
+}
+
+/// Renders entries as the committed `BENCH_BASELINE.json` document.
+fn render_bench_json(entries: &[BenchEntry]) -> String {
+    let mut out = String::from("{\n  \"schema\": \"tiscc.bench.v1\",\n  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"id\": \"{}\", \"median_ns\": {} }}{}\n",
+            e.id.replace('\\', "\\\\").replace('"', "\\\""),
+            e.median_ns,
+            if i + 1 < entries.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_BASELINE.json` document (as written by
+/// [`render_bench_json`]): one `{ "id": …, "median_ns": … }` object per line.
+fn parse_bench_json(text: &str) -> Result<Vec<BenchEntry>, String> {
+    let mut entries = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\":") else { continue };
+        let rest = &line[id_at + 5..];
+        let Some(open) = rest.find('"') else { continue };
+        let Some(close) = rest[open + 1..].find('"') else { continue };
+        let id = rest[open + 1..open + 1 + close].to_string();
+        let Some(med_at) = rest.find("\"median_ns\":") else {
+            return Err(format!("entry for {id:?} is missing median_ns"));
+        };
+        let tail = rest[med_at + 12..].trim_start();
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E'))
+            .collect();
+        let median_ns: f64 =
+            num.parse().map_err(|_| format!("entry for {id:?} has a malformed median_ns"))?;
+        entries.push(BenchEntry { id, median_ns });
+    }
+    Ok(entries)
+}
+
+/// One benchmark that slowed down past the allowed tolerance.
+#[derive(Clone, Debug, PartialEq)]
+struct BenchRegression {
+    id: String,
+    baseline_ns: f64,
+    current_ns: f64,
+}
+
+/// Compares current entries against a baseline: a benchmark regresses when
+/// its median exceeds `baseline * (1 + tolerance)`. Benchmarks present only
+/// on one side never fail the gate (renames and new benches are reported by
+/// the caller, not gated).
+fn bench_regressions(
+    baseline: &[BenchEntry],
+    current: &[BenchEntry],
+    tolerance: f64,
+) -> Vec<BenchRegression> {
+    let mut regressions = Vec::new();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.id == base.id) else { continue };
+        if cur.median_ns > base.median_ns * (1.0 + tolerance) {
+            regressions.push(BenchRegression {
+                id: base.id.clone(),
+                baseline_ns: base.median_ns,
+                current_ns: cur.median_ns,
+            });
+        }
+    }
+    regressions
+}
+
+fn cmd_bench_report(args: &Args) -> Result<(), CliError> {
+    if args.positional.is_empty() {
+        return Err(CliError::usage(
+            "usage: tiscc bench-report <results.txt>... [--out F.json] \
+             [--baseline F.json] [--tolerance X]",
+        ));
+    }
+    let tolerance = args.flag_f64("tolerance", 0.3)?;
+    if !(0.0..=100.0).contains(&tolerance) {
+        return Err(CliError::usage(format!(
+            "--tolerance expects a fraction >= 0 (got {tolerance})"
+        )));
+    }
+
+    let mut entries = Vec::new();
+    for path in &args.positional {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+        entries.extend(parse_bench_output(&text));
+    }
+    if entries.is_empty() {
+        return Err(CliError::runtime(
+            "no benchmark measurements found in the input (expected \
+             `<id>: median <time> over <n> sample(s)` lines)",
+        ));
+    }
+    println!("parsed {} benchmark measurement(s)", entries.len());
+
+    if let Some(out) = args.flag("out") {
+        std::fs::write(out, render_bench_json(&entries))
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+        println!("wrote {out}");
+    }
+
+    if let Some(baseline_path) = args.flag("baseline") {
+        let text = std::fs::read_to_string(baseline_path)
+            .map_err(|e| CliError::usage(format!("cannot read {baseline_path}: {e}")))?;
+        let baseline = parse_bench_json(&text)
+            .map_err(|e| CliError::runtime(format!("malformed baseline {baseline_path}: {e}")))?;
+        for base in &baseline {
+            if !entries.iter().any(|c| c.id == base.id) {
+                eprintln!("warning: baseline benchmark {:?} was not measured", base.id);
+            }
+        }
+        let regressions = bench_regressions(&baseline, &entries, tolerance);
+        if regressions.is_empty() {
+            println!(
+                "bench gate passed: no benchmark regressed more than {:.0}% vs {}",
+                tolerance * 100.0,
+                baseline_path
+            );
+        } else {
+            for r in &regressions {
+                eprintln!(
+                    "REGRESSION {}: {:.0}ns -> {:.0}ns ({:+.1}%)",
+                    r.id,
+                    r.baseline_ns,
+                    r.current_ns,
+                    (r.current_ns / r.baseline_ns - 1.0) * 100.0
+                );
+            }
+            return Err(CliError::runtime(format!(
+                "bench gate failed: {} benchmark(s) regressed more than {:.0}%",
+                regressions.len(),
+                tolerance * 100.0
+            )));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_verify(args: &Args) -> Result<(), CliError> {
     let seed = args.flag_usize("seed", 17)? as u64;
     let mut failures = 0usize;
@@ -441,5 +630,56 @@ fn cmd_verify(args: &Args) -> Result<(), CliError> {
     } else {
         println!("verification FAILED ({failures} check(s))");
         Err(CliError { code: 1, message: String::new() })
+    }
+}
+
+#[cfg(test)]
+mod bench_report_tests {
+    use super::*;
+
+    #[test]
+    fn durations_parse_in_every_unit() {
+        assert_eq!(parse_duration_ns("153ns"), Some(153.0));
+        assert_eq!(parse_duration_ns("12.5µs"), Some(12_500.0));
+        assert_eq!(parse_duration_ns("12.5us"), Some(12_500.0));
+        assert_eq!(parse_duration_ns("1.2ms"), Some(1_200_000.0));
+        assert_eq!(parse_duration_ns("3.5s"), Some(3_500_000_000.0));
+        assert_eq!(parse_duration_ns("nonsense"), None);
+    }
+
+    #[test]
+    fn bench_output_round_trips_through_json() {
+        let raw = "profile_throughput/h1/idle: median 1.5ms over 10 sample(s), total 15ms\n\
+                   warm_cache/idle: median 220ns over 10 sample(s), total 2.2µs\n\
+                   some unrelated line\n\
+                   tested/one: ok (3.1µs)\n";
+        let entries = parse_bench_output(raw);
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries[0].id, "profile_throughput/h1/idle");
+        assert_eq!(entries[0].median_ns, 1_500_000.0);
+        assert_eq!(entries[2], BenchEntry { id: "tested/one".into(), median_ns: 3_100.0 });
+        let json = render_bench_json(&entries);
+        assert!(json.contains("\"schema\": \"tiscc.bench.v1\""));
+        let parsed = parse_bench_json(&json).unwrap();
+        assert_eq!(parsed, entries);
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_tolerance() {
+        let baseline = vec![
+            BenchEntry { id: "a".into(), median_ns: 1000.0 },
+            BenchEntry { id: "b".into(), median_ns: 1000.0 },
+            BenchEntry { id: "gone".into(), median_ns: 1000.0 },
+        ];
+        let current = vec![
+            BenchEntry { id: "a".into(), median_ns: 1290.0 }, // +29% — within tolerance
+            BenchEntry { id: "b".into(), median_ns: 1400.0 }, // +40% — regression
+            BenchEntry { id: "new".into(), median_ns: 9999.0 }, // unknown — ignored
+        ];
+        let regressions = bench_regressions(&baseline, &current, 0.30);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].id, "b");
+        // A faster run never fails.
+        assert!(bench_regressions(&baseline, &baseline, 0.0).is_empty());
     }
 }

@@ -1,0 +1,129 @@
+//! Process-level tests of `tiscc bench-report`: the CI benchmark gate.
+//!
+//! The bench job in CI pipes `cargo bench … -- --quick` output into this
+//! subcommand, writes the parsed measurements as JSON, and fails on a >30%
+//! regression against the committed `BENCH_BASELINE.json`. These tests pin
+//! the full exit-code contract so a CI wiring change cannot silently turn
+//! the gate into a no-op.
+
+use std::process::{Command, Output};
+
+fn tiscc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_tiscc")).args(args).output().expect("spawn tiscc")
+}
+
+const RESULTS: &str = "\
+compile_rounds/templated/idle/d5: median 2.8ms over 10 sample(s), total 28ms
+profile_throughput/warm_cache/idle: median 300ns over 10 sample(s), total 3µs
+program_scheduling/parse_tql/adder64: median 151.2µs over 10 sample(s), total 1.6ms
+";
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> String {
+    let path = dir.join(name);
+    std::fs::write(&path, content).expect("write temp file");
+    path.to_string_lossy().into_owned()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("tiscc-bench-report-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn out_writes_json_and_gate_passes_against_itself() {
+    let dir = temp_dir("roundtrip");
+    let results = write(&dir, "results.txt", RESULTS);
+    let baseline = dir.join("baseline.json");
+    let baseline = baseline.to_str().unwrap();
+
+    let out = tiscc(&["bench-report", &results, "--out", baseline]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = std::fs::read_to_string(baseline).expect("baseline written");
+    assert!(json.contains("\"schema\": \"tiscc.bench.v1\""));
+    assert!(json.contains("\"id\": \"compile_rounds/templated/idle/d5\""));
+    assert!(json.contains("\"median_ns\": 2800000"));
+
+    // Identical measurements pass the gate at any tolerance.
+    let out = tiscc(&["bench-report", &results, "--baseline", baseline, "--tolerance", "0"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("bench gate passed"));
+}
+
+#[test]
+fn gate_fails_on_regression_beyond_tolerance() {
+    let dir = temp_dir("regression");
+    let fast = write(&dir, "fast.txt", RESULTS);
+    let baseline = dir.join("baseline.json");
+    let baseline = baseline.to_str().unwrap();
+    assert_eq!(tiscc(&["bench-report", &fast, "--out", baseline]).status.code(), Some(0));
+
+    // 2.8ms -> 4.2ms is +50%: beyond the default 30% tolerance.
+    let slow = write(
+        &dir,
+        "slow.txt",
+        "compile_rounds/templated/idle/d5: median 4.2ms over 10 sample(s), total 42ms\n",
+    );
+    let out = tiscc(&["bench-report", &slow, "--baseline", baseline]);
+    assert_eq!(out.status.code(), Some(1), "regression must fail the gate");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("REGRESSION compile_rounds/templated/idle/d5"));
+    assert!(stderr.contains("bench gate failed"));
+    // Benchmarks in the baseline but missing from the run are warned about,
+    // not silently dropped.
+    assert!(stderr.contains("warning: baseline benchmark"));
+
+    // The same slowdown passes under a generous tolerance (missing
+    // benchmarks warn but never fail the gate).
+    let out = tiscc(&["bench-report", &slow, "--baseline", baseline, "--tolerance", "0.6"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn regression_within_tolerance_passes() {
+    let dir = temp_dir("tolerated");
+    let fast = write(&dir, "fast.txt", RESULTS);
+    let baseline = dir.join("baseline.json");
+    let baseline = baseline.to_str().unwrap();
+    assert_eq!(tiscc(&["bench-report", &fast, "--out", baseline]).status.code(), Some(0));
+    // +25% stays within the default 30%.
+    let slower = write(
+        &dir,
+        "slower.txt",
+        "compile_rounds/templated/idle/d5: median 3.5ms over 10 sample(s), total 35ms\n\
+         profile_throughput/warm_cache/idle: median 300ns over 10 sample(s), total 3µs\n\
+         program_scheduling/parse_tql/adder64: median 151.2µs over 10 sample(s), total 1.6ms\n",
+    );
+    let out = tiscc(&["bench-report", &slower, "--baseline", baseline]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn bad_arguments_follow_the_cli_error_contract() {
+    // No input files: usage error, exit 2.
+    let out = tiscc(&["bench-report"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: tiscc bench-report"));
+    // Unreadable input: usage error naming the file.
+    let out = tiscc(&["bench-report", "/no/such/bench.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read /no/such/bench.txt"));
+    // Input with no measurements: runtime failure, exit 1.
+    let dir = temp_dir("empty");
+    let empty = write(&dir, "empty.txt", "no benchmarks here\n");
+    let out = tiscc(&["bench-report", &empty]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no benchmark measurements"));
+}
+
+#[test]
+fn committed_baseline_is_well_formed() {
+    // The baseline the CI gate compares against must always parse.
+    let path =
+        std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_BASELINE.json");
+    let text = std::fs::read_to_string(&path).expect("committed BENCH_BASELINE.json exists");
+    assert!(text.contains("\"schema\": \"tiscc.bench.v1\""));
+    for bench in ["profile_throughput", "program_scheduling", "compile_rounds"] {
+        assert!(text.contains(bench), "baseline missing the {bench} suite");
+    }
+}

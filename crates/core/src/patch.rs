@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 
 use tiscc_grid::{QSite, QubitId};
-use tiscc_hw::HardwareModel;
+use tiscc_hw::{HardwareModel, Label, RoundLabel};
 use tiscc_math::PauliOp;
 
 use crate::arrangement::Arrangement;
@@ -266,7 +266,8 @@ impl LogicalQubit {
         let mut indices = HashMap::new();
         for i in 0..self.dz {
             for j in 0..self.dx {
-                let idx = hw.measure_z(self.data_ion(i, j)?, &format!("data ({i},{j}) Z"))?;
+                let label = Label::DataReadout { x_basis: false, row: i as u32, col: j as u32 };
+                let idx = hw.measure_z(self.data_ion(i, j)?, label)?;
                 indices.insert((i, j), idx);
             }
         }
@@ -285,7 +286,8 @@ impl LogicalQubit {
         let mut indices = HashMap::new();
         for i in 0..self.dz {
             for j in 0..self.dx {
-                let idx = hw.measure_x(self.data_ion(i, j)?, &format!("data ({i},{j}) X"))?;
+                let label = Label::DataReadout { x_basis: true, row: i as u32, col: j as u32 };
+                let idx = hw.measure_x(self.data_ion(i, j)?, label)?;
                 indices.insert((i, j), idx);
             }
         }
@@ -437,13 +439,68 @@ impl LogicalQubit {
     pub fn syndrome_round(
         &mut self,
         hw: &mut HardwareModel,
-        label: &str,
+        label: impl Into<RoundLabel>,
     ) -> Result<RoundRecord, CoreError> {
         self.require_initialized("syndrome extraction")?;
         let binding = self.binding();
-        let record = syndrome_round(hw, &binding, label)?;
+        let record = syndrome_round(hw, &binding, label.into())?;
         self.latest_round = record.measurements.clone();
         Ok(record)
+    }
+
+    /// `rounds` consecutive rounds of error correction labelled
+    /// `ctx(0), ctx(1), …`.
+    ///
+    /// With round templating enabled on `hw` (see
+    /// [`HardwareModel::set_round_templating`]) and `rounds ≥ 3`, rounds 0
+    /// and 1 are compiled normally and the remainder is replicated
+    /// analytically from round 1 — round 1 is the provably
+    /// barrier-quiescent representative (round 0 may overlap whatever
+    /// preceded the sequence). Replication reproduces the materialized
+    /// schedule bit-for-bit; if the hardware model cannot prove the round
+    /// replicable it falls back to materializing every round.
+    pub fn syndrome_rounds(
+        &mut self,
+        hw: &mut HardwareModel,
+        rounds: usize,
+        ctx: impl Fn(u32) -> RoundLabel,
+    ) -> Result<Vec<RoundRecord>, CoreError> {
+        let mut out = Vec::with_capacity(rounds);
+        if rounds == 0 {
+            return Ok(out);
+        }
+        out.push(self.syndrome_round(hw, ctx(0))?);
+        let mut next = 1;
+        if hw.round_templating() && rounds >= 3 {
+            hw.begin_round_capture();
+            match self.syndrome_round(hw, ctx(1)) {
+                Ok(record) => out.push(record),
+                Err(e) => {
+                    hw.cancel_round_capture();
+                    return Err(e);
+                }
+            }
+            next = 2;
+            if let Some(info) = hw.replicate_captured_round(rounds - 2) {
+                let template = out[1].clone();
+                for r in 2..rounds {
+                    let shift = (r - 1) * info.meas_per_round;
+                    out.push(RoundRecord {
+                        measurements: template
+                            .measurements
+                            .iter()
+                            .map(|(&cell, &idx)| (cell, idx + shift))
+                            .collect(),
+                    });
+                }
+                self.latest_round = out.last().expect("rounds >= 3").measurements.clone();
+                return Ok(out);
+            }
+        }
+        for r in next..rounds {
+            out.push(self.syndrome_round(hw, ctx(r as u32))?);
+        }
+        Ok(out)
     }
 
     /// The `Idle` primitive: `dt` rounds of error correction
@@ -452,17 +509,14 @@ impl LogicalQubit {
         self.idle_rounds(hw, self.dt)
     }
 
-    /// `rounds` rounds of error correction.
+    /// `rounds` rounds of error correction (round-templated when the
+    /// hardware model enables it; see [`LogicalQubit::syndrome_rounds`]).
     pub fn idle_rounds(
         &mut self,
         hw: &mut HardwareModel,
         rounds: usize,
     ) -> Result<Vec<RoundRecord>, CoreError> {
-        let mut out = Vec::with_capacity(rounds);
-        for r in 0..rounds {
-            out.push(self.syndrome_round(hw, &format!("idle round {r}"))?);
-        }
-        Ok(out)
+        self.syndrome_rounds(hw, rounds, RoundLabel::Idle)
     }
 
     // ----- tracked operators --------------------------------------------------

@@ -14,7 +14,7 @@
 
 use std::collections::HashMap;
 
-use tiscc_hw::HardwareModel;
+use tiscc_hw::{HardwareModel, Label, RoundLabel};
 use tiscc_math::{Pauli, PauliOp};
 
 use crate::deform::{combination_for_target, plaquette_pauli, support_pauli};
@@ -150,11 +150,9 @@ pub fn merge_patches(
         }
     }
 
-    // dt rounds of error correction over the merged patch.
-    let mut rounds = Vec::with_capacity(dt);
-    for r in 0..dt {
-        rounds.push(merged.syndrome_round(hw, &format!("merge round {r}"))?);
-    }
+    // dt rounds of error correction over the merged patch (round-templated
+    // when the hardware model enables it).
+    let rounds = merged.syndrome_rounds(hw, dt, RoundLabel::Merge)?;
 
     // The joint outcome: parity of the first-round outcomes of the new seam
     // stabilizers of the relevant type, corrected by the operator movement
@@ -281,10 +279,10 @@ pub fn split_patches(
                 Orientation::Horizontal => (other, idx),
             };
             let ion = merged.data_ion(i, j)?;
-            let label = format!("split ancilla ({i},{j})");
+            let label = Label::SplitAncilla { row: i as u32, col: j as u32 };
             let m = match outcome.orientation {
-                Orientation::Vertical => hw.measure_z(ion, &label)?,
-                Orientation::Horizontal => hw.measure_x(ion, &label)?,
+                Orientation::Vertical => hw.measure_z(ion, label)?,
+                Orientation::Horizontal => hw.measure_x(ion, label)?,
             };
             strip_indices.insert((i, j), m);
         }
@@ -409,10 +407,7 @@ pub fn extend_down(
         frame: upper.logical_z.frame.clone(),
         invert: upper.logical_z.invert,
     };
-    let mut rounds = Vec::with_capacity(dt);
-    for r in 0..dt {
-        rounds.push(extended.syndrome_round(hw, &format!("extension round {r}"))?);
-    }
+    let rounds = extended.syndrome_rounds(hw, dt, RoundLabel::Extension)?;
     upper.mark_uninitialized();
     lower_tile.mark_uninitialized();
     Ok((extended, rounds))
@@ -455,7 +450,7 @@ pub fn contract_keep_bottom(
     for i in 0..removed {
         for j in 0..dx {
             let ion = extended.data_ion(i, j)?;
-            let m = hw.measure_z(ion, &format!("contraction data ({i},{j})"))?;
+            let m = hw.measure_z(ion, Label::ContractionData { row: i as u32, col: j as u32 })?;
             removed_indices.insert((i, j), m);
         }
     }

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 
 use tiscc_grid::QubitId;
-use tiscc_hw::HardwareModel;
+use tiscc_hw::{HardwareModel, Label, RoundLabel};
 
 use crate::arrangement::Arrangement;
 use crate::plaquette::{anchor_unit, approach_site, measure_home_site, Plaquette, StabKind};
@@ -75,11 +75,12 @@ pub fn pattern_order(kind: StabKind, arrangement: Arrangement) -> [usize; 4] {
 /// Compiles one round of syndrome extraction over every stabilizer of the
 /// binding. Returns the per-cell measurement indices. A hardware barrier is
 /// inserted after the round so that consecutive rounds are cleanly separated
-/// in time.
+/// in time. Measurement labels are interned ([`Label::Syndrome`]) from the
+/// round context — no string is formatted while compiling.
 pub fn syndrome_round(
     hw: &mut HardwareModel,
     binding: &PatchBinding,
-    label: &str,
+    label: RoundLabel,
 ) -> Result<RoundRecord, CoreError> {
     let mut record = RoundRecord::default();
     for plaq in &binding.stabilizers {
@@ -114,10 +115,15 @@ pub fn syndrome_round(
 
         // Return home and read out.
         hw.route_and_move(measure_ion, home)?;
-        let label = format!("{label} {:?} cell {:?}", plaq.kind, plaq.cell);
+        let label = Label::Syndrome {
+            round: label,
+            x_type: plaq.kind == StabKind::X,
+            row: plaq.cell.0,
+            col: plaq.cell.1,
+        };
         let idx = match plaq.kind {
-            StabKind::Z => hw.measure_z(measure_ion, &label)?,
-            StabKind::X => hw.measure_x(measure_ion, &label)?,
+            StabKind::Z => hw.measure_z(measure_ion, label)?,
+            StabKind::X => hw.measure_x(measure_ion, label)?,
         };
         record.measurements.insert(plaq.cell, idx);
     }

@@ -15,7 +15,9 @@ use tiscc_core::instruction::{
     apply_instruction, apply_two_tile_instruction, Instruction, InstructionReport,
 };
 use tiscc_core::CoreError;
-use tiscc_hw::{Circuit, HardwareModel, HardwareSpec, ResourceReport, UnknownProfile};
+use tiscc_hw::{
+    Circuit, CompiledRounds, HardwareModel, HardwareSpec, ResourceReport, UnknownProfile,
+};
 
 use crate::sweep::{CompileCache, SweepKey};
 use crate::tables::ResourceRow;
@@ -73,17 +75,28 @@ impl CompileRequest {
 pub struct CompileArtifact {
     /// The request this artifact answers.
     pub request: CompileRequest,
-    /// The instruction's own time-resolved native circuit, re-based to
-    /// start at `t = 0` (input-state preparation is excluded).
-    pub circuit: Circuit,
+    /// The instruction's own time-resolved circuit in periodic
+    /// (round-templated) form, re-based to start at `t = 0` (input-state
+    /// preparation is excluded). Syndrome-extraction rounds beyond the
+    /// representative one are held analytically — the artifact costs the
+    /// memory of roughly one round, not `dt`.
+    pub rounds: CompiledRounds,
     /// The compiler-side accounting (logical time-steps, tiles, outcome).
     pub report: InstructionReport,
-    /// Measured space-time resources of [`CompileArtifact::circuit`] under
+    /// Measured space-time resources of [`CompileArtifact::rounds`] under
     /// the request's profile.
     pub resources: ResourceReport,
 }
 
 impl CompileArtifact {
+    /// Materializes the instruction's flat time-resolved circuit (every
+    /// round occurrence expanded). Prefer streaming over
+    /// [`CompileArtifact::rounds`] unless a consumer genuinely needs a
+    /// `Vec`-backed circuit.
+    pub fn circuit(&self) -> Circuit {
+        self.rounds.materialize()
+    }
+
     /// Renders the artifact as a resource-table row.
     pub fn row(&self) -> ResourceRow {
         ResourceRow {
@@ -153,6 +166,7 @@ pub(crate) fn compile_uncached(request: &CompileRequest) -> Result<CompileArtifa
             Instruction::MeasureZZ => TwoTiles::new_horizontal_with_spec(dx, dz, dt, spec.clone())?,
             _ => TwoTiles::with_spec(dx, dz, dt, spec.clone())?,
         };
+        fixture.hw.set_round_templating(true);
         Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper)?;
         Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.lower)?;
         let before = fixture.hw.circuit().len();
@@ -162,10 +176,11 @@ pub(crate) fn compile_uncached(request: &CompileRequest) -> Result<CompileArtifa
             &mut fixture.upper,
             &mut fixture.lower,
         )?;
-        let (circuit, resources) = instruction_subcircuit(&fixture.hw, before);
-        Ok(CompileArtifact { request: request.clone(), circuit, report, resources })
+        let (rounds, resources) = instruction_rounds(&fixture.hw, before);
+        Ok(CompileArtifact { request: request.clone(), rounds, report, resources })
     } else {
         let mut fixture = SingleTile::with_spec(dx, dz, dt, spec.clone())?;
+        fixture.hw.set_round_templating(true);
         // Instructions acting on an initialized tile need one.
         let needs_input = !matches!(
             instruction,
@@ -179,27 +194,25 @@ pub(crate) fn compile_uncached(request: &CompileRequest) -> Result<CompileArtifa
         }
         let before = fixture.hw.circuit().len();
         let report = apply_instruction(&mut fixture.hw, instruction, &mut fixture.patch)?;
-        let (circuit, resources) = instruction_subcircuit(&fixture.hw, before);
-        Ok(CompileArtifact { request: request.clone(), circuit, report, resources })
+        let (rounds, resources) = instruction_rounds(&fixture.hw, before);
+        Ok(CompileArtifact { request: request.clone(), rounds, report, resources })
     }
 }
 
-/// Extracts the sub-circuit of `hw` starting at operation index `start_op`,
-/// re-based so the instruction starts at `t = 0`, together with its
-/// resource report under the model's profile. Used so reports reflect an
-/// instruction alone, not its input preparation.
-pub(crate) fn instruction_subcircuit(
+/// Extracts the sub-range of `hw` starting at operation index `start_op` as
+/// a periodic [`CompiledRounds`] (re-based so the instruction starts at
+/// `t = 0`, measurement records carried over), together with its resource
+/// report under the model's profile — composed by streaming prologue,
+/// `repeats × template` and epilogue with running accumulators, so no round
+/// is ever re-materialized. Used so reports reflect an instruction alone,
+/// not its input preparation.
+pub(crate) fn instruction_rounds(
     hw: &HardwareModel,
     start_op: usize,
-) -> (Circuit, ResourceReport) {
-    let mut ops: Vec<_> = hw.circuit().ops()[start_op..].to_vec();
-    let t0 = ops.iter().map(|o| o.start_us).fold(f64::INFINITY, f64::min);
-    for op in &mut ops {
-        op.start_us -= t0;
-    }
-    let sub = Circuit::from_ops(ops);
-    let resources = ResourceReport::from_circuit_with_spec(&sub, hw.grid().layout(), hw.spec());
-    (sub, resources)
+) -> (CompiledRounds, ResourceReport) {
+    let rounds = CompiledRounds::extract(hw.circuit(), start_op);
+    let resources = ResourceReport::from_stream_with_spec(&rounds, hw.grid().layout(), hw.spec());
+    (rounds, resources)
 }
 
 #[cfg(test)]
@@ -214,7 +227,8 @@ mod tests {
         let legacy =
             crate::tables::compile_instruction_row(Instruction::PrepareZ, 2, 2, 1).unwrap();
         assert_eq!(artifact.row(), legacy);
-        assert!(!artifact.circuit.is_empty());
+        assert!(artifact.rounds.total_ops() > 0);
+        assert!(!artifact.circuit().is_empty());
         assert_eq!(artifact.report.tiles, 1);
     }
 

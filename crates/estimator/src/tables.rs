@@ -9,7 +9,7 @@ use tiscc_core::instruction::Instruction;
 use tiscc_core::CoreError;
 use tiscc_hw::{HardwareSpec, NativeOp, ResourceReport};
 
-use crate::compiler::{instruction_subcircuit, CompileRequest};
+use crate::compiler::{instruction_rounds, CompileRequest};
 use crate::verify::{Fiducial, SingleTile, TwoTiles};
 
 /// One row of a resource table: an operation compiled at a given code
@@ -126,9 +126,9 @@ pub fn compile_instruction_row_with(
 }
 
 fn report_since(hw: &tiscc_hw::HardwareModel, start_op: usize) -> ResourceReport {
-    // Rebuild a circuit containing only the operation's own native gates so
-    // that the report reflects the operation, not its input preparation.
-    instruction_subcircuit(hw, start_op).1
+    // Account only the operation's own native gates so that the report
+    // reflects the operation, not its input preparation.
+    instruction_rounds(hw, start_op).1
 }
 
 /// Table 1: every instruction compiled at each requested distance, under

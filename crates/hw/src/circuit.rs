@@ -4,10 +4,20 @@
 //! the list defines logical (causal) order per ion and is what the simulator
 //! replays; the `start_us` timestamps record the ASAP schedule used for
 //! resource estimation and for junction-conflict resolution (paper Sec. 3.3–3.4).
+//!
+//! A circuit may additionally carry [`ReplicatedSpan`]s: op ranges (captured
+//! syndrome-extraction rounds) that logically repeat without being
+//! re-materialized. [`Circuit::ops`] exposes only the materialized (first)
+//! occurrences; consumers that must see every logical operation stream them
+//! through [`OpStream::for_each_op`] or flatten with [`Circuit::materialize`].
+//! Circuits built without round replication carry no spans and behave exactly
+//! as before.
 
 use tiscc_grid::{QSite, QubitId};
 
+use crate::label::Label;
 use crate::ops::NativeOp;
+use crate::rounds::{replay_round, ReplicatedSpan};
 
 /// One scheduled native operation.
 #[derive(Clone, Debug, PartialEq)]
@@ -48,8 +58,52 @@ pub struct MeasurementRecord {
     pub site: QSite,
     /// Scheduled start time of the measurement.
     pub start_us: f64,
-    /// Free-form label attached by the compiler (e.g. `"plaquette Z (1,2) round 0"`).
-    pub label: String,
+    /// Interned label attached by the compiler (e.g. rendering to
+    /// `"idle round 0 Z cell (1, 2)"`); see [`Label`].
+    pub label: Label,
+}
+
+/// A view of one logical operation yielded by [`OpStream::for_each_op`].
+///
+/// For materialized ops this is the op itself; for an op inside a replicated
+/// round occurrence, `start_us` and `measurement` carry the occurrence's
+/// shifted schedule and re-numbered measurement index while `op` borrows the
+/// template operation.
+#[derive(Clone, Copy, Debug)]
+pub struct OpView<'a> {
+    /// The underlying operation (sites, qubits, kind, duration).
+    pub op: &'a TimedOp,
+    /// Scheduled start time of this logical occurrence in microseconds.
+    pub start_us: f64,
+    /// Measurement-record index of this logical occurrence, if any.
+    pub measurement: Option<usize>,
+}
+
+impl OpView<'_> {
+    /// Scheduled end time of this logical occurrence in microseconds.
+    pub fn end_us(&self) -> f64 {
+        self.start_us + self.op.duration_us
+    }
+}
+
+/// Anything that can stream its scheduled operations in logical order.
+///
+/// Implemented by [`Circuit`] (materialized ops plus replicated-span
+/// replays) and by [`crate::rounds::CompiledRounds`] (prologue, `repeats` ×
+/// template, epilogue). Consumers — resource accounting, validity checking,
+/// the simulator — fold over the stream with running accumulators instead of
+/// walking a cloned `Vec<TimedOp>`.
+pub trait OpStream {
+    /// Calls `f` once per logical operation, in stream (causal) order.
+    fn for_each_op(&self, f: &mut dyn FnMut(OpView<'_>));
+
+    /// Calls `f` once per *distinct* operation (each replicated round's ops
+    /// once, not per occurrence). Sufficient for set-valued accounting such
+    /// as zones touched.
+    fn for_each_distinct_op(&self, f: &mut dyn FnMut(&TimedOp));
+
+    /// Total number of measurement records across every occurrence.
+    fn measurement_count(&self) -> usize;
 }
 
 /// A compiled, time-resolved hardware circuit.
@@ -57,6 +111,7 @@ pub struct MeasurementRecord {
 pub struct Circuit {
     ops: Vec<TimedOp>,
     measurements: Vec<MeasurementRecord>,
+    spans: Vec<ReplicatedSpan>,
 }
 
 impl Circuit {
@@ -65,12 +120,19 @@ impl Circuit {
         Circuit::default()
     }
 
-    /// Builds a circuit from a list of already-scheduled operations (used by
-    /// the resource estimator to account for a sub-range of a larger compiled
-    /// circuit). Measurement records are not carried over; counters that need
-    /// them fall back to counting `Measure_Z` operations.
+    /// Builds a circuit from a list of already-scheduled operations with no
+    /// measurement records (hand-built test circuits). Prefer
+    /// [`Circuit::from_parts`] when records are available — counters that
+    /// need them otherwise fall back to counting `Measure_Z` ops.
     pub fn from_ops(ops: Vec<TimedOp>) -> Self {
-        Circuit { ops, measurements: Vec::new() }
+        Circuit { ops, measurements: Vec::new(), spans: Vec::new() }
+    }
+
+    /// Builds a circuit from already-scheduled operations *and* their
+    /// measurement records (used by the resource estimator to account for a
+    /// sub-range of a larger compiled circuit without losing its records).
+    pub fn from_parts(ops: Vec<TimedOp>, measurements: Vec<MeasurementRecord>) -> Self {
+        Circuit { ops, measurements, spans: Vec::new() }
     }
 
     /// Appends an operation (builder use only; prefer [`crate::HardwareModel`]).
@@ -91,19 +153,47 @@ impl Circuit {
         self.measurements[idx] = rec;
     }
 
-    /// The operations in stream (causal) order.
+    /// Marks an op range as a replicated round (see [`ReplicatedSpan`]).
+    pub(crate) fn push_span(&mut self, span: ReplicatedSpan) {
+        debug_assert!(span.op_end <= self.ops.len());
+        debug_assert!(self.spans.last().map_or(0, |s| s.op_end) <= span.op_start);
+        self.spans.push(span);
+    }
+
+    /// The materialized operations in stream (causal) order: every op's
+    /// *first* occurrence. Replicated rounds appear once; use
+    /// [`OpStream::for_each_op`] to stream every logical occurrence.
     pub fn ops(&self) -> &[TimedOp] {
         &self.ops
     }
 
-    /// The measurement records in emission order.
+    /// The replicated spans (empty for fully materialized circuits).
+    pub fn spans(&self) -> &[ReplicatedSpan] {
+        &self.spans
+    }
+
+    /// True if the circuit carries replicated (non-materialized) rounds.
+    pub fn is_periodic(&self) -> bool {
+        !self.spans.is_empty()
+    }
+
+    /// The measurement records in emission order (replicated rounds
+    /// included — records are always materialized).
     pub fn measurements(&self) -> &[MeasurementRecord] {
         &self.measurements
     }
 
-    /// Number of operations.
+    /// Number of *materialized* operations (also the index space of
+    /// [`Circuit::ops`]). See [`Circuit::logical_len`] for the count that
+    /// includes replicated occurrences.
     pub fn len(&self) -> usize {
         self.ops.len()
+    }
+
+    /// Total number of logical operations, counting every replicated
+    /// occurrence.
+    pub fn logical_len(&self) -> usize {
+        self.ops.len() + self.spans.iter().map(|s| s.extra * s.len()).sum::<usize>()
     }
 
     /// True if the circuit contains no operations.
@@ -111,19 +201,28 @@ impl Circuit {
         self.ops.is_empty()
     }
 
-    /// Total wall-clock duration (makespan) in microseconds.
+    /// Total wall-clock duration (makespan) in microseconds, replicated
+    /// rounds included.
     pub fn makespan_us(&self) -> f64 {
-        self.ops.iter().map(TimedOp::end_us).fold(0.0, f64::max)
+        let flat = self.ops.iter().map(TimedOp::end_us).fold(0.0, f64::max);
+        self.spans.iter().map(|s| s.end_makespan_us).fold(flat, f64::max)
     }
 
-    /// Count of operations of a given kind.
+    /// Count of operations of a given kind, replicated occurrences included.
     pub fn count_of(&self, op: NativeOp) -> usize {
-        self.ops.iter().filter(|t| t.op == op).count()
+        let flat = self.ops.iter().filter(|t| t.op == op).count();
+        let replicated: usize = self
+            .spans
+            .iter()
+            .map(|s| s.extra * self.ops[s.op_start..s.op_end].iter().filter(|t| t.op == op).count())
+            .sum();
+        flat + replicated
     }
 
     /// Every distinct trapping zone touched by the circuit (junctions held
     /// during hops are not included; they are counted separately by the
-    /// resource report).
+    /// resource report). Replicas revisit the zones of their template, so
+    /// the materialized ops already cover the full set.
     pub fn zones_touched(&self) -> std::collections::BTreeSet<QSite> {
         self.ops.iter().flat_map(|t| t.sites.iter().copied()).collect()
     }
@@ -133,10 +232,31 @@ impl Circuit {
         self.ops.iter().filter_map(|t| t.junction).collect()
     }
 
+    /// Flattens the circuit: every replicated occurrence becomes a
+    /// materialized op (with its replayed schedule and re-numbered
+    /// measurement index). Identity for circuits without spans.
+    pub fn materialize(&self) -> Circuit {
+        if self.spans.is_empty() {
+            return self.clone();
+        }
+        let mut ops = Vec::with_capacity(self.logical_len());
+        self.for_each_op(&mut |v: OpView<'_>| {
+            let mut op = v.op.clone();
+            op.start_us = v.start_us;
+            op.measurement = v.measurement;
+            ops.push(op);
+        });
+        Circuit::from_parts(ops, self.measurements.clone())
+    }
+
     /// Concatenates another circuit's operations after this one, offsetting
     /// its schedule so it starts no earlier than this circuit's makespan.
-    /// Measurement indices of `other` are re-based.
+    /// Measurement indices of `other` are re-based. A periodic `other` is
+    /// flattened first so no logical operation is lost.
     pub fn extend_sequential(&mut self, other: &Circuit) {
+        if other.is_periodic() {
+            return self.extend_sequential(&other.materialize());
+        }
         let offset = self.makespan_us();
         let meas_offset = self.measurements.len();
         for op in &other.ops {
@@ -153,30 +273,71 @@ impl Circuit {
         }
     }
 
-    /// Human-readable listing: one line per operation,
-    /// `t=<start>us <mnemonic> <site> [<site>]`.
+    /// Human-readable listing: one line per logical operation,
+    /// `t=<start>us <mnemonic> <site> [<site>]`. Replicated rounds are
+    /// expanded, so the listing matches the fully materialized circuit.
     pub fn render_listing(&self) -> String {
         let mut out = String::new();
-        for op in &self.ops {
-            out.push_str(&format!("t={:>10.2}us  {:<10}", op.start_us, op.op.mnemonic()));
-            for s in &op.sites {
+        self.for_each_op(&mut |v: OpView<'_>| {
+            out.push_str(&format!("t={:>10.2}us  {:<10}", v.start_us, v.op.op.mnemonic()));
+            for s in &v.op.sites {
                 out.push_str(&format!(" {s}"));
             }
-            if let Some(j) = op.junction {
+            if let Some(j) = v.op.junction {
                 out.push_str(&format!(" via {j}"));
             }
-            if let Some(m) = op.measurement {
+            if let Some(m) = v.measurement {
                 out.push_str(&format!("  -> m{m}"));
             }
             out.push('\n');
-        }
+        });
         out
+    }
+}
+
+impl OpStream for Circuit {
+    fn for_each_op(&self, f: &mut dyn FnMut(OpView<'_>)) {
+        let mut next = 0usize;
+        let (mut starts, mut ends) = (Vec::new(), Vec::new());
+        for span in &self.spans {
+            for op in &self.ops[next..span.op_end] {
+                f(OpView { op, start_us: op.start_us, measurement: op.measurement });
+            }
+            let ops = &self.ops[span.op_start..span.op_end];
+            let mut base = ops.iter().map(TimedOp::end_us).fold(span.base_us, f64::max);
+            for r in 1..=span.extra {
+                base = replay_round(ops, &span.preds, base, &mut starts, &mut ends);
+                let meas_shift = r * span.meas_per_round;
+                for (i, op) in ops.iter().enumerate() {
+                    f(OpView {
+                        op,
+                        start_us: starts[i],
+                        measurement: op.measurement.map(|m| m + meas_shift),
+                    });
+                }
+            }
+            next = span.op_end;
+        }
+        for op in &self.ops[next..] {
+            f(OpView { op, start_us: op.start_us, measurement: op.measurement });
+        }
+    }
+
+    fn for_each_distinct_op(&self, f: &mut dyn FnMut(&TimedOp)) {
+        for op in &self.ops {
+            f(op);
+        }
+    }
+
+    fn measurement_count(&self) -> usize {
+        self.measurements.len()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rounds::CompiledRounds;
 
     fn dummy_op(op: NativeOp, start: f64) -> TimedOp {
         TimedOp {
@@ -197,6 +358,7 @@ mod tests {
         c.push(dummy_op(NativeOp::ZPi2, 10.0));
         c.push(dummy_op(NativeOp::MeasureZ, 13.0));
         assert_eq!(c.len(), 3);
+        assert_eq!(c.logical_len(), 3);
         assert!((c.makespan_us() - 133.0).abs() < 1e-9);
         assert_eq!(c.count_of(NativeOp::ZPi2), 1);
         assert_eq!(c.count_of(NativeOp::ZZ), 0);
@@ -236,7 +398,7 @@ mod tests {
         a.extend_sequential(&b);
         assert_eq!(a.measurements().len(), 2);
         assert_eq!(a.measurements()[1].index, 1);
-        assert_eq!(a.measurements()[1].label, "second");
+        assert_eq!(a.measurements()[1].label.render(), "second");
         assert_eq!(a.ops().last().unwrap().measurement, Some(1));
         assert!(a.ops()[2].start_us >= before);
     }
@@ -248,5 +410,66 @@ mod tests {
         let listing = c.render_listing();
         assert!(listing.contains("ZZ"));
         assert!(listing.contains("0.1"));
+    }
+
+    #[test]
+    fn spans_stream_replicated_occurrences() {
+        // One "round": a prepare at the barrier followed by a chained gate.
+        let mut c = Circuit::new();
+        c.push(dummy_op(NativeOp::PrepareZ, 100.0));
+        let mut second = dummy_op(NativeOp::MeasureZ, 110.0);
+        second.measurement = Some(0);
+        c.push(second);
+        c.push_measurement(MeasurementRecord {
+            index: 0,
+            qubit: QubitId(0),
+            site: QSite::new(0, 1),
+            start_us: 110.0,
+            label: "r0".into(),
+        });
+        c.push_measurement(MeasurementRecord {
+            index: 1,
+            qubit: QubitId(0),
+            site: QSite::new(0, 1),
+            start_us: 240.0,
+            label: "r1".into(),
+        });
+        c.push_span(ReplicatedSpan {
+            op_start: 0,
+            op_end: 2,
+            meas_start: 0,
+            meas_per_round: 1,
+            extra: 1,
+            base_us: 100.0,
+            end_makespan_us: 360.0,
+            preds: vec![None, Some(0)],
+        });
+
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.logical_len(), 4);
+        assert_eq!(c.count_of(NativeOp::PrepareZ), 2);
+        assert!((c.makespan_us() - 360.0).abs() < 1e-9);
+
+        let mut seen = Vec::new();
+        c.for_each_op(&mut |v: OpView<'_>| seen.push((v.start_us, v.measurement)));
+        // Replica starts from the barrier after round 0 (max end = 230).
+        assert_eq!(seen, vec![(100.0, None), (110.0, Some(0)), (230.0, None), (240.0, Some(1))]);
+
+        let flat = c.materialize();
+        assert_eq!(flat.len(), 4);
+        assert!(!flat.is_periodic());
+        assert_eq!(flat.measurements().len(), 2);
+        assert_eq!(flat.ops()[3].measurement, Some(1));
+        assert_eq!(flat.render_listing(), c.render_listing());
+
+        // Extraction from op 0 yields the ISSUE's periodic form.
+        let rounds = CompiledRounds::extract(&c, 0);
+        assert_eq!(rounds.repeats, 2);
+        assert_eq!(rounds.total_ops(), 4);
+        assert_eq!(rounds.measurements.len(), 2);
+        let remat = rounds.materialize();
+        // Extraction re-bases to t = 0 (range started at t = 100).
+        assert_eq!(remat.ops()[0].start_us, 0.0);
+        assert_eq!(remat.ops()[2].start_us, 130.0);
     }
 }

@@ -19,20 +19,30 @@
 //!   compiles composite gates (Hadamard, CNOT) into natives following the
 //!   Quantinuum H1 constructions,
 //! * [`ResourceReport`] — the space-time resource counters of paper Sec. 3.4,
-//! * [`validity`] — an independent replay checker for compiled circuits.
+//!   computed with running accumulators over any [`OpStream`],
+//! * [`validity`] — an independent replay checker for compiled circuits,
+//! * [`rounds`] — periodic (round-templated) circuit representations:
+//!   captured syndrome-extraction rounds are replicated analytically with a
+//!   bit-exact schedule replay instead of being re-materialized, which is
+//!   what makes large-distance (`d ≥ 19`) compilation fast,
+//! * [`Label`] — interned, allocation-free measurement labels.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod circuit;
+pub mod label;
 pub mod model;
 pub mod ops;
 pub mod resources;
+pub mod rounds;
 pub mod spec;
 pub mod validity;
 
-pub use circuit::{Circuit, MeasurementRecord, TimedOp};
-pub use model::{HardwareModel, HwError};
+pub use circuit::{Circuit, MeasurementRecord, OpStream, OpView, TimedOp};
+pub use label::{Label, RoundLabel};
+pub use model::{HardwareModel, HwError, RoundReplication};
 pub use ops::NativeOp;
 pub use resources::ResourceReport;
+pub use rounds::{CompiledRounds, ReplicatedSpan, RoundTemplate};
 pub use spec::{HardwareSpec, SpecFingerprint, UnknownProfile};

@@ -15,8 +15,10 @@ use std::collections::HashMap;
 use tiscc_grid::{route_avoiding, GridError, GridManager, MoveStep, QSite, QubitId, SiteKind};
 
 use crate::circuit::{Circuit, MeasurementRecord, TimedOp};
+use crate::label::Label;
 use crate::ops::NativeOp;
 use crate::resources::ResourceReport;
+use crate::rounds::{replay_round, ReplicatedSpan};
 use crate::spec::HardwareSpec;
 
 /// Errors raised while compiling onto the hardware model.
@@ -51,16 +53,44 @@ impl std::fmt::Display for HwError {
 
 impl std::error::Error for HwError {}
 
+/// Summary of one analytic round replication (see
+/// [`HardwareModel::replicate_captured_round`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundReplication {
+    /// Native operations per round occurrence.
+    pub ops_per_round: usize,
+    /// Measurement records per round occurrence.
+    pub meas_per_round: usize,
+}
+
+/// In-flight state of a round capture (between
+/// [`HardwareModel::begin_round_capture`] and
+/// [`HardwareModel::replicate_captured_round`]).
+#[derive(Clone, Debug)]
+struct CaptureState {
+    op_start: usize,
+    meas_start: usize,
+    base_us: f64,
+    snapshot: Vec<(QubitId, QSite)>,
+    preds: Vec<Option<u32>>,
+    poisoned: bool,
+}
+
 /// Builder of time-resolved hardware circuits over a [`GridManager`].
 #[derive(Clone, Debug)]
 pub struct HardwareModel {
     grid: GridManager,
     circuit: Circuit,
-    site_busy: HashMap<QSite, f64>,
-    qubit_busy: HashMap<QubitId, f64>,
-    junction_busy: HashMap<QSite, f64>,
+    // Busy maps record, per resource, the end time of its last operation
+    // and that operation's index — the index is what lets a round capture
+    // identify each op's critical predecessor for bit-exact replication.
+    site_busy: HashMap<QSite, (f64, usize)>,
+    qubit_busy: HashMap<QubitId, (f64, usize)>,
+    junction_busy: HashMap<QSite, (f64, usize)>,
     barrier_us: f64,
     spec: HardwareSpec,
+    templating: bool,
+    capture: Option<CaptureState>,
 }
 
 impl HardwareModel {
@@ -81,7 +111,24 @@ impl HardwareModel {
             junction_busy: HashMap::new(),
             barrier_us: 0.0,
             spec,
+            templating: false,
+            capture: None,
         }
+    }
+
+    /// Enables (or disables) round templating: when on, round-compiling
+    /// callers (the patch layer's idle/merge/extension loops) compile one
+    /// representative syndrome-extraction round and replicate it
+    /// analytically instead of materializing every round. Off by default —
+    /// the verification harness simulates fully materialized circuits.
+    pub fn set_round_templating(&mut self, on: bool) {
+        self.templating = on;
+    }
+
+    /// True if round templating is enabled (see
+    /// [`HardwareModel::set_round_templating`]).
+    pub fn round_templating(&self) -> bool {
+        self.templating
     }
 
     /// The hardware profile this model compiles against.
@@ -137,18 +184,35 @@ impl HardwareModel {
         self.grid.position_of(qubit).ok_or(HwError::Grid(GridError::UnknownQubit(qubit)))
     }
 
-    fn ready_time(&self, qubits: &[QubitId], sites: &[QSite], junction: Option<QSite>) -> f64 {
+    /// The earliest start for an op over the given resources, together with
+    /// the index of the op whose end determined it (`None` when the current
+    /// barrier dominates, including exact ties).
+    fn ready_time(
+        &self,
+        qubits: &[QubitId],
+        sites: &[QSite],
+        junction: Option<QSite>,
+    ) -> (f64, Option<usize>) {
         let mut t = self.barrier_us;
+        let mut src = None;
+        let mut consider = |busy: Option<&(f64, usize)>| {
+            if let Some(&(end, idx)) = busy {
+                if end > t {
+                    t = end;
+                    src = Some(idx);
+                }
+            }
+        };
         for q in qubits {
-            t = t.max(*self.qubit_busy.get(q).unwrap_or(&0.0));
+            consider(self.qubit_busy.get(q));
         }
         for s in sites {
-            t = t.max(*self.site_busy.get(s).unwrap_or(&0.0));
+            consider(self.site_busy.get(s));
         }
         if let Some(j) = junction {
-            t = t.max(*self.junction_busy.get(&j).unwrap_or(&0.0));
+            consider(self.junction_busy.get(&j));
         }
-        t
+        (t, src)
     }
 
     fn emit(
@@ -160,16 +224,30 @@ impl HardwareModel {
         measurement: Option<usize>,
     ) -> f64 {
         let duration = op.duration_us(&self.spec);
-        let start = self.ready_time(&qubits, &sites, junction);
+        let (start, src) = self.ready_time(&qubits, &sites, junction);
         let end = start + duration;
+        let op_idx = self.circuit.len();
+        if let Some(cap) = &mut self.capture {
+            let pred = match src {
+                Some(j) if j >= cap.op_start => Some((j - cap.op_start) as u32),
+                // A predecessor from before the captured round means the
+                // round is not barrier-quiescent: refuse to replicate it.
+                Some(_) => {
+                    cap.poisoned = true;
+                    None
+                }
+                None => None,
+            };
+            cap.preds.push(pred);
+        }
         for q in &qubits {
-            self.qubit_busy.insert(*q, end);
+            self.qubit_busy.insert(*q, (end, op_idx));
         }
         for s in &sites {
-            self.site_busy.insert(*s, end);
+            self.site_busy.insert(*s, (end, op_idx));
         }
         if let Some(j) = junction {
-            self.junction_busy.insert(j, end);
+            self.junction_busy.insert(j, (end, op_idx));
         }
         self.circuit.push(TimedOp {
             op,
@@ -181,6 +259,108 @@ impl HardwareModel {
             measurement,
         });
         start
+    }
+
+    // ----- round capture / analytic replication ------------------------------
+
+    /// Starts capturing a syndrome-extraction round for analytic
+    /// replication. Must be called at a barrier-quiescent point (right
+    /// after [`HardwareModel::barrier`], with every ion at its round-start
+    /// position); the round compiled next must end with a barrier.
+    pub fn begin_round_capture(&mut self) {
+        debug_assert!(self.capture.is_none(), "nested round capture");
+        debug_assert!(
+            self.barrier_us >= self.circuit.makespan_us(),
+            "round capture must begin at a barrier-quiescent point"
+        );
+        self.capture = Some(CaptureState {
+            op_start: self.circuit.len(),
+            meas_start: self.circuit.measurements().len(),
+            base_us: self.barrier_us,
+            snapshot: self.grid.snapshot(),
+            preds: Vec::new(),
+            poisoned: false,
+        });
+    }
+
+    /// Discards an in-flight round capture without replicating.
+    pub fn cancel_round_capture(&mut self) {
+        self.capture = None;
+    }
+
+    /// Ends the capture begun by [`HardwareModel::begin_round_capture`] and
+    /// replays the captured round `extra` additional times analytically:
+    /// replica measurement records are appended (times from a bit-exact
+    /// schedule replay, labels re-numbered via [`Label::advance_round`]),
+    /// the clock advances past the replicas, and the circuit records a
+    /// [`ReplicatedSpan`] — but no operation is re-materialized.
+    ///
+    /// Returns `None` — leaving the model exactly as if no capture had
+    /// happened — when the captured round is not provably replicable: it
+    /// scheduled against pre-round operations, emitted nothing, or moved
+    /// ions away from their round-start positions. Callers then fall back
+    /// to materializing the remaining rounds.
+    pub fn replicate_captured_round(&mut self, extra: usize) -> Option<RoundReplication> {
+        let cap = self.capture.take()?;
+        let op_end = self.circuit.len();
+        if cap.poisoned || op_end == cap.op_start || self.grid.snapshot() != cap.snapshot {
+            return None;
+        }
+        let meas_per_round = self.circuit.measurements().len() - cap.meas_start;
+        let info = RoundReplication { ops_per_round: op_end - cap.op_start, meas_per_round };
+        if extra == 0 {
+            return Some(info);
+        }
+
+        let (new_records, end_makespan) = {
+            let ops = &self.circuit.ops()[cap.op_start..op_end];
+            // (record index, op position) pairs of the captured round, in
+            // record order (records are emitted monotonically with ops).
+            let meas_ops: Vec<(usize, usize)> = ops
+                .iter()
+                .enumerate()
+                .filter_map(|(pos, o)| o.measurement.map(|m| (m, pos)))
+                .collect();
+            debug_assert!(meas_ops
+                .iter()
+                .map(|&(m, _)| m)
+                .eq(cap.meas_start..cap.meas_start + meas_per_round));
+            let template_recs = &self.circuit.measurements()[cap.meas_start..];
+
+            let mut base = ops.iter().map(TimedOp::end_us).fold(cap.base_us, f64::max);
+            let (mut starts, mut ends) = (Vec::new(), Vec::new());
+            let mut new_records = Vec::with_capacity(extra * meas_per_round);
+            for r in 1..=extra {
+                base = replay_round(ops, &cap.preds, base, &mut starts, &mut ends);
+                for &(m, pos) in &meas_ops {
+                    let template = &template_recs[m - cap.meas_start];
+                    new_records.push(MeasurementRecord {
+                        index: 0, // assigned on push
+                        qubit: template.qubit,
+                        site: template.site,
+                        start_us: starts[pos],
+                        label: template.label.advance_round(r as u32),
+                    });
+                }
+            }
+            (new_records, base)
+        };
+
+        for rec in new_records {
+            self.circuit.push_measurement(rec);
+        }
+        self.barrier_us = end_makespan;
+        self.circuit.push_span(ReplicatedSpan {
+            op_start: cap.op_start,
+            op_end,
+            meas_start: cap.meas_start,
+            meas_per_round,
+            extra,
+            base_us: cap.base_us,
+            end_makespan_us: end_makespan,
+            preds: cap.preds,
+        });
+        Some(info)
     }
 
     /// Applies a single-qubit native gate to the ion's current zone.
@@ -203,14 +383,14 @@ impl HardwareModel {
     }
 
     /// Measures the ion in the Z basis; returns the measurement index.
-    pub fn measure_z(&mut self, qubit: QubitId, label: &str) -> Result<usize, HwError> {
+    pub fn measure_z(&mut self, qubit: QubitId, label: impl Into<Label>) -> Result<usize, HwError> {
         let site = self.position_of(qubit)?;
         let idx = self.circuit.push_measurement(MeasurementRecord {
             index: 0,
             qubit,
             site,
             start_us: 0.0,
-            label: label.to_string(),
+            label: label.into(),
         });
         let start = self.emit(NativeOp::MeasureZ, vec![qubit], vec![site], None, Some(idx));
         // Patch the recorded start time now that the schedule is known.
@@ -223,7 +403,7 @@ impl HardwareModel {
     }
 
     /// Measures the ion in the X basis (native Hadamard, then `Measure_Z`).
-    pub fn measure_x(&mut self, qubit: QubitId, label: &str) -> Result<usize, HwError> {
+    pub fn measure_x(&mut self, qubit: QubitId, label: impl Into<Label>) -> Result<usize, HwError> {
         self.hadamard(qubit)?;
         self.measure_z(qubit, label)
     }
@@ -437,7 +617,7 @@ mod tests {
         let idx = hw.measure_z(q, "data (0,0) final").unwrap();
         assert_eq!(idx, 0);
         let rec = &hw.circuit().measurements()[0];
-        assert_eq!(rec.label, "data (0,0) final");
+        assert_eq!(rec.label.render(), "data (0,0) final");
         assert!((rec.start_us - 10.0).abs() < 1e-9);
         assert_eq!(rec.qubit, q);
     }
@@ -475,6 +655,90 @@ mod tests {
         assert_eq!(ops[1].start_us, 20.0);
         assert!((hw.now_us() - 40.0).abs() < 1e-9);
         assert_eq!(hw.spec().name, "h1*2");
+    }
+
+    #[test]
+    fn captured_round_replicates_bit_exactly() {
+        // A "round": prepare + measure on one ion, terminated by a barrier.
+        let compile_round = |hw: &mut HardwareModel, q: QubitId, round: u32| {
+            hw.prepare_z(q).unwrap();
+            hw.measure_z(
+                q,
+                crate::label::Label::Syndrome {
+                    round: crate::label::RoundLabel::Idle(round),
+                    x_type: false,
+                    row: 0,
+                    col: 0,
+                },
+            )
+            .unwrap();
+            hw.barrier();
+        };
+
+        // Materialized reference: four rounds compiled normally.
+        let mut reference = HardwareModel::new(1, 1);
+        let q = reference.place_qubit(QSite::new(0, 1)).unwrap();
+        for r in 0..4 {
+            compile_round(&mut reference, q, r);
+        }
+
+        // Templated: round 0 compiled, round 1 captured, rounds 2–3 replicated.
+        let mut templated = HardwareModel::new(1, 1);
+        let q = templated.place_qubit(QSite::new(0, 1)).unwrap();
+        compile_round(&mut templated, q, 0);
+        templated.begin_round_capture();
+        compile_round(&mut templated, q, 1);
+        let info = templated.replicate_captured_round(2).expect("round is replicable");
+        assert_eq!(info, RoundReplication { ops_per_round: 2, meas_per_round: 1 });
+
+        assert_eq!(templated.circuit().len(), 4, "only two rounds materialized");
+        assert_eq!(templated.circuit().logical_len(), 8);
+        assert_eq!(templated.circuit().measurements().len(), 4);
+        assert_eq!(
+            templated.circuit().measurements()[3].label.render(),
+            "idle round 3 Z cell (0, 0)"
+        );
+        assert_eq!(templated.now_us(), reference.now_us());
+
+        // The materialization reproduces the reference schedule exactly.
+        let flat = templated.circuit().materialize();
+        assert_eq!(flat.ops(), reference.circuit().ops());
+        assert_eq!(flat.measurements().len(), reference.circuit().measurements().len());
+        for (a, b) in flat.measurements().iter().zip(reference.circuit().measurements()) {
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.start_us, b.start_us);
+            assert_eq!(a.label.render(), b.label.render());
+        }
+
+        // Ops emitted after replication schedule exactly as in the reference.
+        compile_round(&mut reference, q, 4);
+        compile_round(&mut templated, q, 4);
+        assert_eq!(templated.now_us(), reference.now_us());
+        assert_eq!(
+            templated.circuit().ops().last().unwrap().start_us,
+            reference.circuit().ops().last().unwrap().start_us
+        );
+    }
+
+    #[test]
+    fn replication_refuses_non_quiescent_rounds() {
+        let mut hw = HardwareModel::new(1, 2);
+        let a = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        let b = hw.place_qubit(QSite::new(0, 5)).unwrap();
+        hw.prepare_z(b).unwrap();
+        hw.barrier();
+        // A "round" that strands `a` away from its starting zone is not
+        // position-neutral, so it must refuse to replicate.
+        hw.begin_round_capture();
+        hw.prepare_z(a).unwrap();
+        hw.route_and_move(a, QSite::new(0, 2)).unwrap();
+        hw.barrier();
+        assert!(hw.replicate_captured_round(3).is_none(), "ion moved away from home");
+        // An empty capture is refused too.
+        hw.barrier();
+        hw.begin_round_capture();
+        hw.barrier();
+        assert!(hw.replicate_captured_round(1).is_none());
     }
 
     #[test]

@@ -6,11 +6,11 @@
 //! volume, number of trapping zones, trapping-zone-seconds and *active*
 //! trapping-zone-seconds, plus native-operation counts.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-use tiscc_grid::Layout;
+use tiscc_grid::{Layout, QSite};
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, OpStream, OpView};
 use crate::ops::NativeOp;
 use crate::spec::HardwareSpec;
 
@@ -52,9 +52,44 @@ impl ResourceReport {
     /// pitch. Time-dependent quantities are read off the circuit's schedule,
     /// which was already laid out with the profile's durations.
     pub fn from_circuit_with_spec(circuit: &Circuit, layout: &Layout, spec: &HardwareSpec) -> Self {
-        let execution_time_s = circuit.makespan_us() * 1e-6;
-        let zones = circuit.zones_touched();
-        let junctions = circuit.junctions_touched();
+        ResourceReport::from_stream_with_spec(circuit, layout, spec)
+    }
+
+    /// Computes the report for any [`OpStream`] — a materialized circuit,
+    /// a circuit carrying replicated rounds, or a
+    /// [`CompiledRounds`](crate::rounds::CompiledRounds) — with running
+    /// accumulators over the logical op stream. Streaming a periodic
+    /// circuit costs the arithmetic of every occurrence but never clones or
+    /// materializes its operations, and the accumulation order matches a
+    /// fully materialized walk, so reports agree bit-for-bit.
+    pub fn from_stream_with_spec(
+        stream: &(impl OpStream + ?Sized),
+        layout: &Layout,
+        spec: &HardwareSpec,
+    ) -> Self {
+        // One pass over distinct ops for the set-valued accounting.
+        let mut zones: BTreeSet<QSite> = BTreeSet::new();
+        let mut junctions: BTreeSet<QSite> = BTreeSet::new();
+        stream.for_each_distinct_op(&mut |op| {
+            zones.extend(op.sites.iter().copied());
+            junctions.extend(op.junction);
+        });
+
+        // One pass over the logical stream for the additive accounting.
+        let mut makespan_us = 0.0f64;
+        let mut op_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut active_zone_seconds = 0.0;
+        let mut total_ops = 0usize;
+        let mut measure_ops = 0usize;
+        stream.for_each_op(&mut |v: OpView<'_>| {
+            makespan_us = makespan_us.max(v.end_us());
+            *op_counts.entry(v.op.op.mnemonic()).or_insert(0) += 1;
+            let zones_involved = v.op.sites.len() + usize::from(v.op.junction.is_some());
+            active_zone_seconds += v.op.duration_us * 1e-6 * zones_involved as f64;
+            total_ops += 1;
+            measure_ops += usize::from(v.op.op == NativeOp::MeasureZ);
+        });
+        let execution_time_s = makespan_us * 1e-6;
 
         // Bounding box of every fine coordinate touched (zones and junctions),
         // converted to physical area: each fine step is one zone pitch.
@@ -73,14 +108,6 @@ impl ResourceReport {
             }
         };
 
-        let mut op_counts: BTreeMap<&'static str, usize> = BTreeMap::new();
-        let mut active_zone_seconds = 0.0;
-        for op in circuit.ops() {
-            *op_counts.entry(op.op.mnemonic()).or_insert(0) += 1;
-            let zones_involved = op.sites.len() + usize::from(op.junction.is_some());
-            active_zone_seconds += op.duration_us * 1e-6 * zones_involved as f64;
-        }
-
         // Sanity: the circuit must fit on the layout it claims to use.
         debug_assert!(zones.iter().all(|&z| layout.contains(z)));
 
@@ -93,8 +120,8 @@ impl ResourceReport {
             zone_seconds: zones.len() as f64 * execution_time_s,
             active_zone_seconds,
             op_counts,
-            total_ops: circuit.len(),
-            measurements: circuit.measurements().len().max(circuit.count_of(NativeOp::MeasureZ)),
+            total_ops,
+            measurements: stream.measurement_count().max(measure_ops),
         }
     }
 

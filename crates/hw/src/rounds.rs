@@ -1,0 +1,395 @@
+//! Periodic (round-templated) circuit representations.
+//!
+//! A surface-code workload spends almost all of its operations in syndrome-
+//! extraction rounds that are exact time-translations of each other: every
+//! round starts from a barrier-quiescent state (all ions home, every busy
+//! time at or before the barrier), so the ASAP schedule of round `k + 1` is
+//! the schedule of round `k` shifted by one round period. The types here
+//! exploit that:
+//!
+//! * [`ReplicatedSpan`] — bookkeeping attached to a [`Circuit`] marking that
+//!   one materialized op range (the *captured round*) logically repeats
+//!   `extra` additional times without being re-materialized;
+//! * [`RoundTemplate`] / [`CompiledRounds`] — the standalone periodic form
+//!   `{prologue, template, repeats, epilogue}` handed to resource consumers,
+//!   extracted from a compiled circuit sub-range by
+//!   [`CompiledRounds::extract`].
+//!
+//! Replica schedules are reproduced **bit-for-bit**: instead of adding a
+//! floating-point period per round (which would diverge from the compiled
+//! schedule in the last ulp for profiles with non-dyadic durations), each
+//! captured operation records its *critical predecessor* — the in-round
+//! operation whose end determined its start, or the round barrier — and
+//! replicas replay exactly the addition chain the scheduler would have
+//! performed ([`replay_round`]).
+
+use crate::circuit::{Circuit, MeasurementRecord, OpStream, OpView, TimedOp};
+
+/// Marks a materialized op range of a [`Circuit`] as logically repeating.
+///
+/// Ops `[op_start, op_end)` — one barrier-terminated syndrome-extraction
+/// round — occur `extra` additional times after their materialized (first)
+/// occurrence. Measurement *records* of the replicas are materialized (they
+/// are cheap and downstream code indexes into them); the ops are not.
+#[derive(Clone, Debug)]
+pub struct ReplicatedSpan {
+    /// First op index of the captured round.
+    pub op_start: usize,
+    /// One past the last op index of the captured round.
+    pub op_end: usize,
+    /// Measurement-record index of the captured round's first record.
+    pub meas_start: usize,
+    /// Measurement records emitted per round.
+    pub meas_per_round: usize,
+    /// Additional (analytic) repetitions beyond the captured occurrence.
+    pub extra: usize,
+    /// Barrier time the captured round was scheduled from (µs, absolute).
+    pub base_us: f64,
+    /// Circuit makespan after the last replica (µs, absolute).
+    pub end_makespan_us: f64,
+    /// Per-op critical predecessor: `Some(i)` if the op's start equals the
+    /// end of in-round op `i`, `None` if it equals the round barrier.
+    pub preds: Vec<Option<u32>>,
+}
+
+impl ReplicatedSpan {
+    /// Number of ops in the captured round.
+    pub fn len(&self) -> usize {
+        self.op_end - self.op_start
+    }
+
+    /// True if the span covers no operations.
+    pub fn is_empty(&self) -> bool {
+        self.op_end == self.op_start
+    }
+}
+
+/// Replays the ASAP schedule of one round occurrence.
+///
+/// `ops`/`preds` describe the captured round; `base` is the barrier this
+/// occurrence starts from. Fills `starts` and `ends` (both reset) with the
+/// occurrence's absolute op times and returns the barrier after the
+/// occurrence (the fold-max of its op ends). The arithmetic — one addition
+/// per op, one max-fold for the barrier — is exactly what the scheduler
+/// performs when materializing, so replayed times are bit-identical.
+pub fn replay_round(
+    ops: &[TimedOp],
+    preds: &[Option<u32>],
+    base: f64,
+    starts: &mut Vec<f64>,
+    ends: &mut Vec<f64>,
+) -> f64 {
+    starts.clear();
+    ends.clear();
+    starts.reserve(ops.len());
+    ends.reserve(ops.len());
+    for (op, pred) in ops.iter().zip(preds) {
+        let start = match pred {
+            Some(p) => ends[*p as usize],
+            None => base,
+        };
+        starts.push(start);
+        ends.push(start + op.duration_us);
+    }
+    ends.iter().copied().fold(base, f64::max)
+}
+
+/// One captured syndrome-extraction round, ready for analytic replication.
+///
+/// Op start times are stored **absolute** (as first compiled); the owning
+/// [`CompiledRounds`] applies its `rebase_us` lazily at view time so replica
+/// times reproduce the materialized `chain − t0` arithmetic bit-for-bit.
+/// Measurement indices are already rebased to the owner's local numbering.
+#[derive(Clone, Debug, Default)]
+pub struct RoundTemplate {
+    /// The round's ops (absolute start times, rebased measurement indices).
+    pub ops: Vec<TimedOp>,
+    /// Critical predecessor of each op (see [`ReplicatedSpan::preds`]).
+    pub preds: Vec<Option<u32>>,
+    /// Barrier the captured occurrence was scheduled from (µs, absolute).
+    pub base_us: f64,
+    /// Measurement records emitted per round.
+    pub meas_per_round: usize,
+}
+
+impl RoundTemplate {
+    /// Number of ops in one round.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if the template holds no operations.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// A compiled instruction in periodic form: a one-off `prologue`, a
+/// syndrome-extraction round `template` occurring `repeats` times, and a
+/// one-off `epilogue`. Produced by [`CompiledRounds::extract`]; consumed
+/// via the streaming [`OpStream`] interface (resource accounting, validity
+/// checking) or materialized back to a flat [`Circuit`] on demand.
+///
+/// Holding `repeats` rounds costs the memory of *one* round, which is what
+/// cuts sweep memory by the `dt` factor at large code distances.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledRounds {
+    /// Everything before the periodic part (rebased, record-free).
+    pub prologue: Circuit,
+    /// The representative round.
+    pub template: RoundTemplate,
+    /// Total occurrences of the template (0 when the range had no periodic
+    /// part — then `prologue` holds the whole range).
+    pub repeats: usize,
+    /// Everything after the periodic part (rebased, record-free).
+    pub epilogue: Circuit,
+    /// Every measurement record of the range (all rounds included), with
+    /// indices and start times rebased.
+    pub measurements: Vec<MeasurementRecord>,
+    /// Time subtracted from the template's absolute times at view time.
+    pub rebase_us: f64,
+}
+
+impl CompiledRounds {
+    /// Extracts the sub-range of `circuit` starting at op `start_op` as a
+    /// periodic circuit, re-based so the range starts at `t = 0`, with
+    /// measurement records carried over (indices renumbered from 0).
+    ///
+    /// The range must not begin inside a replicated span. A range containing
+    /// no span becomes an all-prologue `CompiledRounds` (`repeats == 0`);
+    /// ranges with more than one span are flattened first (correct, but
+    /// without the periodic memory savings).
+    pub fn extract(circuit: &Circuit, start_op: usize) -> CompiledRounds {
+        let spans: Vec<&ReplicatedSpan> =
+            circuit.spans().iter().filter(|s| s.op_end > start_op).collect();
+        debug_assert!(
+            spans.iter().all(|s| s.op_start >= start_op),
+            "extraction range must not begin inside a replicated span"
+        );
+        if spans.len() > 1 {
+            // Rare fallback (more than one periodic sequence in a single
+            // instruction): flatten, then extract the flat range. Spans
+            // *before* the range inflate the flattened index space, so the
+            // start index shifts by their replicated op counts.
+            let shift: usize = circuit
+                .spans()
+                .iter()
+                .filter(|s| s.op_end <= start_op)
+                .map(|s| s.extra * s.len())
+                .sum();
+            return CompiledRounds::extract(&circuit.materialize(), start_op + shift);
+        }
+
+        let ops = &circuit.ops()[start_op..];
+        let t0 = ops.iter().map(|o| o.start_us).fold(f64::INFINITY, f64::min);
+        let t0 = if t0.is_finite() { t0 } else { 0.0 };
+        // First measurement record of the range: records are emitted
+        // monotonically with ops, so everything from this index on belongs
+        // to the range.
+        let meas_base = ops
+            .iter()
+            .filter_map(|o| o.measurement)
+            .min()
+            .unwrap_or_else(|| circuit.measurements().len());
+        let rebase_op = |o: &TimedOp, shift_time: bool| {
+            let mut o = o.clone();
+            if shift_time {
+                o.start_us -= t0;
+            }
+            o.measurement = o.measurement.map(|m| m - meas_base);
+            o
+        };
+        let measurements = circuit.measurements()[meas_base..]
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.index -= meas_base;
+                r.start_us -= t0;
+                r
+            })
+            .collect();
+
+        match spans.first() {
+            None => CompiledRounds {
+                prologue: Circuit::from_ops(ops.iter().map(|o| rebase_op(o, true)).collect()),
+                template: RoundTemplate::default(),
+                repeats: 0,
+                epilogue: Circuit::new(),
+                measurements,
+                rebase_us: t0,
+            },
+            Some(span) => CompiledRounds {
+                prologue: Circuit::from_ops(
+                    circuit.ops()[start_op..span.op_start]
+                        .iter()
+                        .map(|o| rebase_op(o, true))
+                        .collect(),
+                ),
+                template: RoundTemplate {
+                    // Absolute times kept; `rebase_us` applies at view time.
+                    ops: circuit.ops()[span.op_start..span.op_end]
+                        .iter()
+                        .map(|o| rebase_op(o, false))
+                        .collect(),
+                    preds: span.preds.clone(),
+                    base_us: span.base_us,
+                    meas_per_round: span.meas_per_round,
+                },
+                repeats: span.extra + 1,
+                epilogue: Circuit::from_ops(
+                    circuit.ops()[span.op_end..].iter().map(|o| rebase_op(o, true)).collect(),
+                ),
+                measurements,
+                rebase_us: t0,
+            },
+        }
+    }
+
+    /// Total logical operations across every round occurrence.
+    pub fn total_ops(&self) -> usize {
+        self.prologue.len() + self.repeats * self.template.len() + self.epilogue.len()
+    }
+
+    /// Materializes the periodic circuit back to a flat [`Circuit`] with
+    /// identical logical content (ops, schedule, measurement records).
+    pub fn materialize(&self) -> Circuit {
+        let mut ops = Vec::with_capacity(self.total_ops());
+        self.for_each_op(&mut |v: OpView<'_>| {
+            let mut op = v.op.clone();
+            op.start_us = v.start_us;
+            op.measurement = v.measurement;
+            ops.push(op);
+        });
+        Circuit::from_parts(ops, self.measurements.clone())
+    }
+}
+
+impl OpStream for CompiledRounds {
+    fn for_each_op(&self, f: &mut dyn FnMut(OpView<'_>)) {
+        self.prologue.for_each_op(f);
+        if self.repeats > 0 {
+            // First occurrence: stored times, lazily rebased.
+            for op in &self.template.ops {
+                f(OpView {
+                    op,
+                    start_us: op.start_us - self.rebase_us,
+                    measurement: op.measurement,
+                });
+            }
+            let mut base =
+                self.template.ops.iter().map(TimedOp::end_us).fold(self.template.base_us, f64::max);
+            let (mut starts, mut ends) = (Vec::new(), Vec::new());
+            for r in 1..self.repeats {
+                base = replay_round(
+                    &self.template.ops,
+                    &self.template.preds,
+                    base,
+                    &mut starts,
+                    &mut ends,
+                );
+                let meas_shift = r * self.template.meas_per_round;
+                for (i, op) in self.template.ops.iter().enumerate() {
+                    f(OpView {
+                        op,
+                        start_us: starts[i] - self.rebase_us,
+                        measurement: op.measurement.map(|m| m + meas_shift),
+                    });
+                }
+            }
+        }
+        self.epilogue.for_each_op(f);
+    }
+
+    fn for_each_distinct_op(&self, f: &mut dyn FnMut(&TimedOp)) {
+        self.prologue.for_each_distinct_op(f);
+        if self.repeats > 0 {
+            for op in &self.template.ops {
+                f(op);
+            }
+        }
+        self.epilogue.for_each_distinct_op(f);
+    }
+
+    fn measurement_count(&self) -> usize {
+        self.measurements.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::NativeOp;
+    use tiscc_grid::{QSite, QubitId};
+
+    fn op_at(start: f64, dur: f64) -> TimedOp {
+        TimedOp {
+            op: NativeOp::XPi2,
+            sites: vec![QSite::new(0, 1)],
+            qubits: vec![QubitId(0)],
+            start_us: start,
+            duration_us: dur,
+            junction: None,
+            measurement: None,
+        }
+    }
+
+    #[test]
+    fn replay_round_follows_predecessor_chains() {
+        // Two chained ops then one barrier-aligned op.
+        let ops = vec![op_at(100.0, 10.0), op_at(110.0, 5.0), op_at(100.0, 7.0)];
+        let preds = vec![None, Some(0), None];
+        let (mut starts, mut ends) = (Vec::new(), Vec::new());
+        let next = replay_round(&ops, &preds, 200.0, &mut starts, &mut ends);
+        assert_eq!(starts, vec![200.0, 210.0, 200.0]);
+        assert_eq!(ends, vec![210.0, 215.0, 207.0]);
+        assert_eq!(next, 215.0);
+    }
+
+    #[test]
+    fn extract_multi_span_fallback_accounts_for_earlier_spans() {
+        // Three one-op "rounds", each replicated once: span A before the
+        // extraction range, spans B and C inside it. The multi-span
+        // fallback flattens, and must shift the start index past A's
+        // replica.
+        let mut c = Circuit::new();
+        let span_at = |c: &mut Circuit, start: f64| {
+            let idx = c.len();
+            c.push(op_at(start, 10.0));
+            c.push_span(ReplicatedSpan {
+                op_start: idx,
+                op_end: idx + 1,
+                meas_start: 0,
+                meas_per_round: 0,
+                extra: 1,
+                base_us: start,
+                end_makespan_us: start + 20.0,
+                preds: vec![None],
+            });
+        };
+        span_at(&mut c, 0.0);
+        span_at(&mut c, 20.0);
+        span_at(&mut c, 40.0);
+        assert_eq!(c.logical_len(), 6);
+
+        // Extract from physical op 1: spans B and C, 4 logical ops.
+        let rounds = CompiledRounds::extract(&c, 1);
+        assert_eq!(rounds.total_ops(), 4, "span A's replica must not leak into the range");
+        let flat = rounds.materialize();
+        // Re-based to t = 0 (range starts at span B's 20.0).
+        assert_eq!(flat.ops()[0].start_us, 0.0);
+        assert_eq!(flat.ops().len(), 4);
+    }
+
+    #[test]
+    fn extract_without_spans_is_all_prologue() {
+        let circuit = Circuit::from_ops(vec![op_at(50.0, 10.0), op_at(60.0, 10.0)]);
+        let rounds = CompiledRounds::extract(&circuit, 1);
+        assert_eq!(rounds.repeats, 0);
+        assert_eq!(rounds.prologue.len(), 1);
+        assert_eq!(rounds.total_ops(), 1);
+        // Re-based to t = 0.
+        assert_eq!(rounds.prologue.ops()[0].start_us, 0.0);
+        let flat = rounds.materialize();
+        assert_eq!(flat.len(), 1);
+    }
+}

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use tiscc_grid::{Layout, QSite, QubitId, SiteKind};
 
-use crate::circuit::Circuit;
+use crate::circuit::{Circuit, OpStream, OpView};
 use crate::ops::NativeOp;
 
 /// A violation found while replaying a circuit.
@@ -89,22 +89,48 @@ pub fn check_circuit(
     initial_positions: &[(QubitId, QSite)],
     circuit: &Circuit,
 ) -> Result<(), ValidityError> {
+    check_stream(layout, initial_positions, circuit)
+}
+
+/// Replays any [`OpStream`] — including periodic circuits, whose replicated
+/// rounds are streamed with their replayed schedules rather than
+/// materialized — with running accumulators: ion positions evolve in stream
+/// order for the movement/addressing checks, and per-site busy intervals
+/// are collected on the fly for the exclusivity checks.
+pub fn check_stream(
+    layout: &Layout,
+    initial_positions: &[(QubitId, QSite)],
+    stream: &(impl OpStream + ?Sized),
+) -> Result<(), ValidityError> {
     let mut pos: HashMap<QubitId, QSite> = initial_positions.iter().copied().collect();
     let mut occ: HashMap<QSite, QubitId> = initial_positions.iter().map(|&(q, s)| (s, q)).collect();
 
-    // --- stream-order checks (movement legality, gate addressing) ---
-    for op in circuit.ops() {
+    let mut stream_error: Option<ValidityError> = None;
+    let mut zone_intervals: HashMap<QSite, Vec<(f64, f64)>> = HashMap::new();
+    let mut junction_intervals: HashMap<QSite, Vec<(f64, f64)>> = HashMap::new();
+
+    stream.for_each_op(&mut |v: OpView<'_>| {
+        if stream_error.is_some() {
+            return;
+        }
+        let op = v.op;
+
+        // --- stream-order checks (movement legality, gate addressing) ---
         match op.op {
             NativeOp::Move | NativeOp::JunctionMove => {
                 let q = op.qubits[0];
                 let (from, to) = (op.sites[0], op.sites[1]);
-                let cur = *pos.get(&q).ok_or(ValidityError::UnknownQubit(q))?;
+                let Some(&cur) = pos.get(&q) else {
+                    stream_error = Some(ValidityError::UnknownQubit(q));
+                    return;
+                };
                 if cur != from {
-                    return Err(ValidityError::WrongSite {
+                    stream_error = Some(ValidityError::WrongSite {
                         qubit: q,
                         claimed: from,
                         actual: Some(cur),
                     });
+                    return;
                 }
                 let legal = if op.op == NativeOp::Move {
                     layout.neighbors(from).contains(&to)
@@ -120,11 +146,13 @@ pub fn check_circuit(
                     }
                 };
                 if !legal {
-                    return Err(ValidityError::IllegalStep(from, to));
+                    stream_error = Some(ValidityError::IllegalStep(from, to));
+                    return;
                 }
                 if let Some(&other) = occ.get(&to) {
                     if other != q {
-                        return Err(ValidityError::DestinationOccupied(to, other));
+                        stream_error = Some(ValidityError::DestinationOccupied(to, other));
+                        return;
                     }
                 }
                 occ.remove(&from);
@@ -134,32 +162,37 @@ pub fn check_circuit(
             _ => {
                 for (&q, &s) in op.qubits.iter().zip(op.sites.iter()) {
                     match pos.get(&q) {
-                        None => return Err(ValidityError::UnknownQubit(q)),
+                        None => {
+                            stream_error = Some(ValidityError::UnknownQubit(q));
+                            return;
+                        }
                         Some(&actual) if actual != s => {
-                            return Err(ValidityError::WrongSite {
+                            stream_error = Some(ValidityError::WrongSite {
                                 qubit: q,
                                 claimed: s,
                                 actual: Some(actual),
-                            })
+                            });
+                            return;
                         }
                         _ => {}
                     }
                 }
             }
         }
+
+        // --- interval accumulation for the temporal checks ---
+        for &s in &op.sites {
+            zone_intervals.entry(s).or_default().push((v.start_us, v.end_us()));
+        }
+        if let Some(j) = op.junction {
+            junction_intervals.entry(j).or_default().push((v.start_us, v.end_us()));
+        }
+    });
+    if let Some(err) = stream_error {
+        return Err(err);
     }
 
     // --- temporal checks (zone and junction exclusivity) ---
-    let mut zone_intervals: HashMap<QSite, Vec<(f64, f64)>> = HashMap::new();
-    let mut junction_intervals: HashMap<QSite, Vec<(f64, f64)>> = HashMap::new();
-    for op in circuit.ops() {
-        for &s in &op.sites {
-            zone_intervals.entry(s).or_default().push((op.start_us, op.end_us()));
-        }
-        if let Some(j) = op.junction {
-            junction_intervals.entry(j).or_default().push((op.start_us, op.end_us()));
-        }
-    }
     const EPS: f64 = 1e-9;
     for (site, mut intervals) in zone_intervals {
         intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());

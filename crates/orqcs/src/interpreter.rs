@@ -19,7 +19,7 @@ use std::collections::HashMap;
 use rand::Rng;
 
 use tiscc_grid::{QSite, QubitId};
-use tiscc_hw::{Circuit, NativeOp};
+use tiscc_hw::{Circuit, NativeOp, OpStream, OpView};
 use tiscc_math::{Pauli, PauliOp};
 
 use crate::gates::{clifford_1q, clifford_zz};
@@ -149,6 +149,10 @@ impl Interpreter {
     }
 
     /// Runs `circuit`, handling non-Clifford gates according to `policy`.
+    ///
+    /// The circuit is consumed as a logical op stream, so periodic
+    /// (round-templated) circuits are replayed occurrence by occurrence
+    /// without being materialized first.
     pub fn run_with_policy<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
@@ -163,47 +167,61 @@ impl Interpreter {
         let mut deterministic = vec![false; circuit.measurements().len()];
         let mut sample_weight = 1.0f64;
 
-        for op in circuit.ops() {
-            match op.op {
-                NativeOp::Move | NativeOp::JunctionMove => {
-                    let (from, to) = (op.sites[0], op.sites[1]);
-                    let idx = *occupant.get(&from).ok_or(SimError::NoIonAtSite(from))?;
-                    self.check_identity(idx, op.qubits[0], from)?;
-                    occupant.remove(&from);
-                    occupant.insert(to, idx);
-                }
-                NativeOp::PrepareZ => {
-                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
-                    tableau.reset_z(idx, rng);
-                }
-                NativeOp::MeasureZ => {
-                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
-                    let (bit, det) = tableau.measure_z(idx, rng);
-                    if let Some(m) = op.measurement {
-                        outcomes[m] = bit;
-                        deterministic[m] = det;
+        let mut error: Option<SimError> = None;
+        circuit.for_each_op(&mut |v: OpView<'_>| {
+            if error.is_some() {
+                return;
+            }
+            let op = v.op;
+            let mut step = || -> Result<(), SimError> {
+                match op.op {
+                    NativeOp::Move | NativeOp::JunctionMove => {
+                        let (from, to) = (op.sites[0], op.sites[1]);
+                        let idx = *occupant.get(&from).ok_or(SimError::NoIonAtSite(from))?;
+                        self.check_identity(idx, op.qubits[0], from)?;
+                        occupant.remove(&from);
+                        occupant.insert(to, idx);
                     }
-                }
-                NativeOp::ZZ => {
-                    let a = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
-                    let b = self.resolve(&occupant, op.sites[1], op.qubits[1])?;
-                    tableau.apply_2q(a, b, &clifford_zz());
-                }
-                NativeOp::ZPi8 | NativeOp::ZPi8Dag => {
-                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
-                    match policy {
-                        NonCliffordPolicy::Reject => return Err(SimError::NonClifford(op.op)),
-                        NonCliffordPolicy::Sample => {
-                            sample_weight *= sample_t_channel(op.op, idx, &mut tableau, rng);
+                    NativeOp::PrepareZ => {
+                        let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                        tableau.reset_z(idx, rng);
+                    }
+                    NativeOp::MeasureZ => {
+                        let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                        let (bit, det) = tableau.measure_z(idx, rng);
+                        if let Some(m) = v.measurement {
+                            outcomes[m] = bit;
+                            deterministic[m] = det;
                         }
                     }
+                    NativeOp::ZZ => {
+                        let a = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                        let b = self.resolve(&occupant, op.sites[1], op.qubits[1])?;
+                        tableau.apply_2q(a, b, &clifford_zz());
+                    }
+                    NativeOp::ZPi8 | NativeOp::ZPi8Dag => {
+                        let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                        match policy {
+                            NonCliffordPolicy::Reject => return Err(SimError::NonClifford(op.op)),
+                            NonCliffordPolicy::Sample => {
+                                sample_weight *= sample_t_channel(op.op, idx, &mut tableau, rng);
+                            }
+                        }
+                    }
+                    gate => {
+                        let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
+                        let action = clifford_1q(gate).ok_or(SimError::NonClifford(gate))?;
+                        tableau.apply_1q(idx, &action);
+                    }
                 }
-                gate => {
-                    let idx = self.resolve(&occupant, op.sites[0], op.qubits[0])?;
-                    let action = clifford_1q(gate).ok_or(SimError::NonClifford(gate))?;
-                    tableau.apply_1q(idx, &action);
-                }
+                Ok(())
+            };
+            if let Err(e) = step() {
+                error = Some(e);
             }
+        });
+        if let Some(e) = error {
+            return Err(e);
         }
 
         Ok(RunResult {

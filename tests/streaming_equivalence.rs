@@ -1,0 +1,207 @@
+//! Equivalence and scale tests for round-templated compilation.
+//!
+//! The template path (compile two representative syndrome-extraction rounds,
+//! replicate the rest analytically) must be *observationally identical* to
+//! the materialized path: same ops, same bit-exact schedule, same
+//! measurement records and labels, same resource reports, same validity
+//! verdicts. These tests pin that equivalence over randomized fixtures and
+//! every hardware profile (including `projected`, whose non-dyadic `Move`
+//! duration would expose any period-arithmetic shortcut), plus a d = 19
+//! single-instruction smoke test bounding the hot path's wall-clock cost.
+
+use std::time::Instant;
+
+use proptest::prelude::*;
+
+use tiscc::core::instruction::{apply_instruction, apply_two_tile_instruction, Instruction};
+use tiscc::estimator::verify::{Fiducial, SingleTile, TwoTiles};
+use tiscc::hw::validity::{check_circuit, check_stream};
+use tiscc::hw::{CompiledRounds, HardwareModel, HardwareSpec, ResourceReport};
+
+/// Compiles `instruction` end-to-end on a fresh fixture (input preparation
+/// included, mirroring the estimator front door) and returns the hardware
+/// model, the initial ion placement, and the op index where the
+/// instruction's own circuit begins.
+fn compile_fixture(
+    instruction: Instruction,
+    d: usize,
+    dt: usize,
+    spec: &HardwareSpec,
+    templated: bool,
+) -> (HardwareModel, Vec<(tiscc::grid::QubitId, tiscc::grid::QSite)>, usize) {
+    if instruction.tiles() == 2 {
+        let mut fixture = match instruction {
+            Instruction::MeasureZZ => {
+                TwoTiles::new_horizontal_with_spec(d, d, dt, spec.clone()).unwrap()
+            }
+            _ => TwoTiles::with_spec(d, d, dt, spec.clone()).unwrap(),
+        };
+        fixture.hw.set_round_templating(templated);
+        let snapshot = fixture.hw.grid().snapshot();
+        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper).unwrap();
+        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.lower).unwrap();
+        let before = fixture.hw.circuit().len();
+        apply_two_tile_instruction(
+            &mut fixture.hw,
+            instruction,
+            &mut fixture.upper,
+            &mut fixture.lower,
+        )
+        .unwrap();
+        (fixture.hw, snapshot, before)
+    } else {
+        let mut fixture = SingleTile::with_spec(d, d, dt, spec.clone()).unwrap();
+        fixture.hw.set_round_templating(templated);
+        let snapshot = fixture.hw.grid().snapshot();
+        let needs_input = !matches!(
+            instruction,
+            Instruction::PrepareZ
+                | Instruction::PrepareX
+                | Instruction::InjectY
+                | Instruction::InjectT
+        );
+        if needs_input {
+            Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
+        }
+        let before = fixture.hw.circuit().len();
+        apply_instruction(&mut fixture.hw, instruction, &mut fixture.patch).unwrap();
+        (fixture.hw, snapshot, before)
+    }
+}
+
+/// Asserts full observational equivalence between the templated and the
+/// materialized compilation of one configuration.
+fn assert_equivalent(instruction: Instruction, d: usize, dt: usize, spec: &HardwareSpec) {
+    let (reference, ref_snapshot, ref_before) = compile_fixture(instruction, d, dt, spec, false);
+    let (templated, snapshot, before) = compile_fixture(instruction, d, dt, spec, true);
+    assert_eq!(ref_before, before, "prologue length must not depend on templating");
+
+    // The periodic circuit flattens to the exact reference circuit:
+    // identical ops, bit-identical schedule, identical measurement wiring.
+    let flat = templated.circuit().materialize();
+    assert_eq!(flat.ops(), reference.circuit().ops(), "{instruction:?} d={d} dt={dt}");
+
+    // Measurement records: same count, indices, bit-identical times and
+    // identical rendered labels.
+    let ref_recs = reference.circuit().measurements();
+    let recs = templated.circuit().measurements();
+    assert_eq!(recs.len(), ref_recs.len());
+    for (a, b) in recs.iter().zip(ref_recs) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.qubit, b.qubit);
+        assert_eq!(a.site, b.site);
+        assert_eq!(a.start_us.to_bits(), b.start_us.to_bits());
+        assert_eq!(a.label.render(), b.label.render());
+    }
+
+    // Streaming resource reports agree exactly (f64 equality, not approx)
+    // on the instruction sub-range, records carried through extraction.
+    let rounds = CompiledRounds::extract(templated.circuit(), before);
+    let ref_rounds = CompiledRounds::extract(reference.circuit(), ref_before);
+    assert_eq!(ref_rounds.repeats, 0, "reference range must be fully materialized");
+    let layout = templated.grid().layout().clone();
+    let report = ResourceReport::from_stream_with_spec(&rounds, &layout, spec);
+    let ref_report = ResourceReport::from_stream_with_spec(&ref_rounds, &layout, spec);
+    assert_eq!(report, ref_report, "{instruction:?} d={d} dt={dt} profile={}", spec.name);
+    assert_eq!(rounds.total_ops(), ref_rounds.total_ops());
+    assert_eq!(rounds.measurements.len(), ref_rounds.measurements.len());
+
+    // The periodic sub-range flattens to the reference sub-range.
+    assert_eq!(rounds.materialize().ops(), ref_rounds.materialize().ops());
+
+    // Validity: the streaming checker accepts the periodic circuit exactly
+    // as the materialized checker accepts the reference.
+    check_circuit(&layout, &ref_snapshot, reference.circuit()).expect("reference is valid");
+    check_stream(&layout, &snapshot, templated.circuit()).expect("periodic stream is valid");
+    check_stream(&layout, &snapshot, &flat).expect("flattened circuit is valid");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomized fixtures: streaming/templated results are identical to
+    /// the materialized path for every instruction kind, distance, round
+    /// count and hardware profile.
+    #[test]
+    fn templated_compilation_is_observationally_identical(
+        instr_idx in 0usize..Instruction::all().len(),
+        d in 2usize..4,
+        dt in 1usize..6,
+        profile_idx in 0usize..3,
+    ) {
+        let instruction = Instruction::all()[instr_idx];
+        let spec = &HardwareSpec::presets()[profile_idx];
+        assert_equivalent(instruction, d, dt, spec);
+    }
+}
+
+/// Deterministic coverage of the three replicated-round sequences (idle,
+/// merge, extension) at a round count that guarantees replication, under
+/// the non-dyadic `projected` profile.
+#[test]
+fn replicated_sequences_match_materialized_per_kind() {
+    let projected = HardwareSpec::projected();
+    assert_equivalent(Instruction::Idle, 3, 5, &projected);
+    assert_equivalent(Instruction::MeasureXX, 2, 4, &projected);
+    assert_equivalent(Instruction::MeasureZZ, 2, 4, &projected);
+    assert_equivalent(Instruction::PrepareZ, 3, 4, &HardwareSpec::h1());
+}
+
+/// Patch extension replicates its rounds too (the Table 3 path).
+#[test]
+fn extension_rounds_replicate_equivalently() {
+    let build = |templated: bool| {
+        let mut fixture = TwoTiles::new(2, 2, 4).unwrap();
+        fixture.hw.set_round_templating(templated);
+        Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.upper).unwrap();
+        let (extended, rounds) = tiscc::core::surgery::extend_down(
+            &mut fixture.hw,
+            &mut fixture.upper,
+            &mut fixture.lower,
+        )
+        .unwrap();
+        assert!(extended.is_initialized());
+        (fixture.hw, rounds)
+    };
+    let (reference, ref_rounds) = build(false);
+    let (templated, rounds) = build(true);
+    assert!(templated.circuit().is_periodic(), "dt=4 extension must replicate");
+    assert_eq!(templated.circuit().materialize().ops(), reference.circuit().ops());
+    assert_eq!(rounds.len(), ref_rounds.len());
+    for (a, b) in rounds.iter().zip(&ref_rounds) {
+        assert_eq!(a.measurements, b.measurements, "round records must agree");
+    }
+}
+
+/// d = 19 single-instruction smoke test: the template path stays under a
+/// generous wall-clock budget even in debug builds, and materializes only
+/// a small fraction of the logical operations.
+#[test]
+fn d19_compile_stays_within_budget() {
+    let started = Instant::now();
+    let mut fixture = SingleTile::new(19, 19, 19).unwrap();
+    fixture.hw.set_round_templating(true);
+    Fiducial::Zero.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
+    let before = fixture.hw.circuit().len();
+    apply_instruction(&mut fixture.hw, Instruction::Idle, &mut fixture.patch).unwrap();
+    let elapsed = started.elapsed();
+
+    let rounds = CompiledRounds::extract(fixture.hw.circuit(), before);
+    // Round 0 (not barrier-aligned) is the prologue; rounds 1..19 are the
+    // template's 18 occurrences.
+    assert_eq!(rounds.repeats, 18, "rounds 1..19 are template occurrences");
+    let materialized_ops = rounds.prologue.len() + rounds.template.len() + rounds.epilogue.len();
+    assert!(
+        materialized_ops * 4 <= rounds.total_ops(),
+        "at dt=19 the template path materializes a small fraction of the ops \
+         ({materialized_ops} of {})",
+        rounds.total_ops()
+    );
+    assert_eq!(rounds.measurements.len(), 19 * (19 * 19 - 1), "one record per cell per round");
+    // Generous budget: the materialized path takes minutes in debug builds,
+    // the template path a few seconds.
+    assert!(
+        elapsed.as_secs() < 90,
+        "d=19 idle compile took {elapsed:?}; the round-template path has regressed"
+    );
+}

@@ -33,7 +33,8 @@ fn state_prep_is_unchanged_by_additional_rounds_of_error_correction() {
     let mut fixture = SingleTile::new(3, 3, 1).unwrap();
     Fiducial::PlusI.prepare(&mut fixture.hw, &mut fixture.patch).unwrap();
     for round in 0..3 {
-        fixture.patch.syndrome_round(&mut fixture.hw, &format!("extra {round}")).unwrap();
+        let label = tiscc::hw::RoundLabel::Idle(round);
+        fixture.patch.syndrome_round(&mut fixture.hw, label).unwrap();
     }
     let run = fixture.simulate(5);
     let bloch = fixture.logical_bloch(&run);
