@@ -6,7 +6,7 @@
 //! growth between the parameter points.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use tiscc_program::{examples, schedule, LogicalProgram, Placement};
+use tiscc_program::{examples, schedule, LayoutSpec, LogicalProgram, Placement};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_scheduling");
@@ -20,6 +20,22 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let placement = Placement::allocate(program);
                     schedule(program, &placement)
+                })
+            },
+        );
+    }
+    // The congestion-aware 2D path: BFS corridor routing per merge.
+    for width in [4usize, 16, 64] {
+        let program = examples::adder_t_layer(width);
+        let side = 2 * ((2 * width) as f64).sqrt().ceil() as usize;
+        let spec = LayoutSpec::checkerboard().with_grid(side, side);
+        group.bench_with_input(
+            BenchmarkId::new("adder_t_layer_checkerboard", program.len()),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let placement = Placement::allocate_with(program, &spec).expect("fits");
+                    schedule(program, &placement).expect("routes")
                 })
             },
         );

@@ -28,7 +28,7 @@ use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, Sweep
 use tiscc_estimator::tables;
 use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
 use tiscc_hw::HardwareSpec;
-use tiscc_program::{BudgetError, ErrorModel, LogicalProgram};
+use tiscc_program::{BudgetError, ErrorModel, LayoutSpec, LogicalProgram, Placement};
 
 const USAGE: &str = "usage: tiscc <subcommand> [args]
 
@@ -41,6 +41,9 @@ subcommands:
           [--dmax N]                     distance-search ceiling (default 49)
           [--p-phys X] [--p-th X]        per-step error model parameters
           [--prefactor X]
+          [--layout lane|row|checkerboard]  floorplan strategy (default lane)
+          [--grid HxW]                   tile-grid size, e.g. --grid 8x8
+          [--show-layout]                print the ASCII floorplan
   tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
          [--profile NAME]
   sweep [--dmax N] [--dt N|d]            batched resource sweep (CSV + JSON)
@@ -85,6 +88,10 @@ struct Args {
     flags: Vec<(String, String)>,
 }
 
+/// Flags that never take a value (so they never swallow a following
+/// positional argument).
+const BOOLEAN_FLAGS: &[&str] = &["show-layout"];
+
 impl Args {
     fn parse(raw: &[String]) -> Args {
         let mut positional = Vec::new();
@@ -94,6 +101,10 @@ impl Args {
             if let Some(name) = arg.strip_prefix("--") {
                 if let Some((name, value)) = name.split_once('=') {
                     flags.push((name.to_string(), value.to_string()));
+                    continue;
+                }
+                if BOOLEAN_FLAGS.contains(&name) {
+                    flags.push((name.to_string(), String::new()));
                     continue;
                 }
                 let value = it
@@ -240,10 +251,36 @@ fn cmd_compile(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Parses `--grid HxW` (e.g. `8x8`) into tile-grid dimensions.
+fn parse_grid(value: &str) -> Result<(usize, usize), CliError> {
+    let bad = || CliError::usage(format!("--grid expects ROWSxCOLS (e.g. 8x8), got {value:?}"));
+    let (rows, cols) = value.split_once(['x', 'X']).ok_or_else(bad)?;
+    let rows: usize = rows.trim().parse().map_err(|_| bad())?;
+    let cols: usize = cols.trim().parse().map_err(|_| bad())?;
+    if rows == 0 || cols == 0 {
+        return Err(bad());
+    }
+    Ok((rows, cols))
+}
+
+/// Resolves `--layout` and `--grid` into a floorplan spec.
+fn layout_spec(args: &Args) -> Result<LayoutSpec, CliError> {
+    let mut layout = match args.flag("layout") {
+        None => LayoutSpec::default(),
+        Some(name) => LayoutSpec::by_name(name).map_err(|e| CliError::usage(e.to_string()))?,
+    };
+    if let Some(grid) = args.flag("grid") {
+        let (rows, cols) = parse_grid(grid)?;
+        layout = layout.with_grid(rows, cols);
+    }
+    Ok(layout)
+}
+
 fn cmd_estimate(args: &Args) -> Result<(), CliError> {
     let Some(path) = args.positional.first() else {
         return Err(CliError::usage(
-            "usage: tiscc estimate <program.tql> [--budget X] [--profile NAME[,NAME...]]",
+            "usage: tiscc estimate <program.tql> [--budget X] [--profile NAME[,NAME...]] \
+             [--layout lane|row|checkerboard] [--grid HxW] [--show-layout]",
         ));
     };
     let text = std::fs::read_to_string(path)
@@ -260,20 +297,32 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
         p_threshold: args.flag_f64("p-th", ErrorModel::default().p_threshold)?,
         prefactor: args.flag_f64("prefactor", ErrorModel::default().prefactor)?,
     };
+    let layout = layout_spec(args)?;
     let spec = ProgramEstimateSpec {
         budget: args.flag_f64("budget", 1e-9)?,
         model,
         profiles: args.profile_list()?,
         d_max: args.flag_usize("dmax", 49)?,
+        layout,
     };
 
+    if args.flag("show-layout").is_some() {
+        // The floorplan is cheap: render it before any compilation so the
+        // user sees it even when the estimate itself fails.
+        let placement = Placement::allocate_with(&program, &spec.layout)
+            .map_err(|e| CliError::usage(e.to_string()))?;
+        print!("{}", placement.render_ascii(&program));
+    }
+
     // Malformed-but-parseable argument values (zero budget, a physical
-    // error rate at or above threshold) are bad arguments, not runtime
-    // failures: surface them as usage errors before any compilation.
+    // error rate at or above threshold, an undersized or unroutable tile
+    // grid) are bad arguments, not runtime failures: surface them as
+    // usage errors before any compilation.
     let estimate = estimate_program(&program, &spec, &Compiler::new()).map_err(|e| match e {
-        EstimateError::Budget(BudgetError::InvalidModel(_)) | EstimateError::Spec(_) => {
-            CliError::usage(e.to_string())
-        }
+        EstimateError::Budget(BudgetError::InvalidModel(_))
+        | EstimateError::Spec(_)
+        | EstimateError::Placement(_)
+        | EstimateError::Routing(_) => CliError::usage(e.to_string()),
         other => CliError::runtime(other.to_string()),
     })?;
     print!("{}", estimate.render());

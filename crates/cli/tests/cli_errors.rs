@@ -33,6 +33,55 @@ fn bad_arguments_exit_2_with_one_line_messages() {
     assert_usage_error(&["compile", "idle", "3", "x"], "dz expects a number");
 }
 
+/// Floorplan arguments have the same contract: unknown strategies,
+/// malformed grids and undersized grids all exit 2.
+#[test]
+fn bad_layout_arguments_exit_2() {
+    let program =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs/bell.tql");
+    let program = program.to_str().unwrap();
+    assert_usage_error(&["estimate", program, "--layout", "hexagonal"], "unknown layout");
+    assert_usage_error(&["estimate", program, "--grid", "8by8"], "--grid expects ROWSxCOLS");
+    assert_usage_error(&["estimate", program, "--grid", "0x8"], "--grid expects ROWSxCOLS");
+    assert_usage_error(
+        &["estimate", program, "--layout", "checkerboard", "--grid", "1x2"],
+        "use a larger --grid",
+    );
+    // A grid the program fits on but cannot route over (no ancilla row at
+    // all) is equally a floorplan-argument problem: exit 2.
+    assert_usage_error(&["estimate", program, "--layout", "row", "--grid", "1x2"], "unroutable");
+}
+
+/// `--show-layout` prints the floorplan before the estimate report, and
+/// the 2D layouts report their congestion columns.
+#[test]
+fn show_layout_prints_the_floorplan() {
+    let program =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../examples/programs/adder.tql");
+    let out = tiscc(&[
+        "estimate",
+        program.to_str().unwrap(),
+        "--budget",
+        "1e-3",
+        "--layout",
+        "checkerboard",
+        "--grid",
+        "8x8",
+        "--show-layout",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "floorplan: checkerboard layout on 8x8 tiles",
+        "a0",
+        "··",
+        "parallel_merges 4",
+        "routing_stalls 0",
+    ] {
+        assert!(stdout.contains(needle), "stdout missing {needle:?}: {stdout}");
+    }
+}
+
 /// Argument *values* that parse but are physically meaningless (a
 /// non-positive budget, an above-threshold physical error rate) are bad
 /// arguments too: exit 2, not a runtime failure.

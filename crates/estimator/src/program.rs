@@ -1,27 +1,32 @@
 //! The algorithm-level program estimator.
 //!
-//! [`estimate_program`] joins the `tiscc_program` layers (patch
-//! allocation, dependency scheduling, error-budget distance selection) to
-//! the per-instruction [`Compiler`] front door:
+//! [`estimate_program`] joins the `tiscc_program` layers (2D patch
+//! placement, congestion-aware routing, dependency scheduling,
+//! error-budget distance selection) to the per-instruction [`Compiler`]
+//! front door:
 //!
-//! 1. the program is validated, its qubits are placed by the
-//!    [`Placement`] allocator, and the instruction stream is packed into
-//!    parallel logical time steps by the ASAP scheduler;
+//! 1. the program is validated, its qubits are placed on a tile grid by
+//!    the [`Placement`] allocator under the spec's [`LayoutSpec`]
+//!    strategy, and the instruction stream is packed into parallel
+//!    logical time steps by the congestion-aware ASAP scheduler (merge
+//!    corridors are routed per step; conflicting corridors serialise and
+//!    are reported as `routing_stalls`);
 //! 2. the configurable [`ErrorModel`] selects the smallest code distance
 //!    whose total program error (patch-steps × per-step logical error)
 //!    meets the requested budget;
-//! 3. every distinct instruction kind of the program is compiled at the
-//!    selected distance under every requested hardware profile — fanned
-//!    out over rayon and memoized in the compiler's
-//!    [`CompileCache`](crate::sweep::CompileCache), so
+//! 3. every distinct instruction kind of the program — routed merges
+//!    included — is compiled at the selected distance under every
+//!    requested hardware profile, fanned out over rayon and memoized in
+//!    the compiler's [`CompileCache`](crate::sweep::CompileCache), so
 //!    repeated estimates (and overlapping programs) share compilations;
 //! 4. per-profile space–time totals are assembled: each parallel step
 //!    costs the longest of its member instructions, the machine footprint
 //!    comes from [`Placement::layout`], and qubit-rounds multiply the
 //!    trapping zones by the program's error-correction rounds.
 //!
-//! The `tiscc estimate <program.tql>` subcommand and the
-//! `program_estimate` example are thin wrappers around this module.
+//! The `tiscc estimate <program.tql>` subcommand (with `--layout`,
+//! `--grid` and `--show-layout`) and the `program_estimate` example are
+//! thin wrappers around this module.
 
 use std::collections::HashMap;
 
@@ -32,12 +37,16 @@ use tiscc_core::CoreError;
 use tiscc_hw::HardwareSpec;
 use tiscc_program::budget::BudgetError;
 use tiscc_program::ir::ProgramError;
-use tiscc_program::{schedule, ErrorModel, LogicalProgram, Placement, Schedule};
+use tiscc_program::{
+    schedule, ErrorModel, LayoutSpec, LogicalProgram, Placement, PlacementError, RoutingError,
+    Schedule,
+};
 
 use crate::compiler::{CompileRequest, Compiler};
 
 /// What to estimate: the error budget, the per-step error model, the
-/// hardware profiles to compare, and the distance-search ceiling.
+/// floorplan, the hardware profiles to compare, and the distance-search
+/// ceiling.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ProgramEstimateSpec {
     /// Target total logical error budget for the whole program.
@@ -48,17 +57,20 @@ pub struct ProgramEstimateSpec {
     pub profiles: Vec<HardwareSpec>,
     /// Largest code distance the selection searches.
     pub d_max: usize,
+    /// The floorplan: placement strategy and optional tile-grid size.
+    pub layout: LayoutSpec,
 }
 
 impl ProgramEstimateSpec {
-    /// A spec with the default error model, the default profile and a
-    /// `d_max` of 49.
+    /// A spec with the default error model, the default profile, the
+    /// default single-lane floorplan and a `d_max` of 49.
     pub fn new(budget: f64) -> Self {
         ProgramEstimateSpec {
             budget,
             model: ErrorModel::default(),
             profiles: vec![HardwareSpec::default()],
             d_max: 49,
+            layout: LayoutSpec::default(),
         }
     }
 
@@ -71,6 +83,12 @@ impl ProgramEstimateSpec {
     /// Replaces the error model.
     pub fn with_model(mut self, model: ErrorModel) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Replaces the floorplan.
+    pub fn with_layout(mut self, layout: LayoutSpec) -> Self {
+        self.layout = layout;
         self
     }
 }
@@ -112,14 +130,26 @@ pub struct ProgramEstimate {
     pub logical_qubits: usize,
     /// Instructions in the program.
     pub instructions: usize,
-    /// Tiles of the placement (data row + routing lane).
+    /// Tiles of the floorplan's grid (data and ancilla alike).
     pub tiles: usize,
+    /// The floorplan this estimate was produced under.
+    pub layout: LayoutSpec,
+    /// Tile-grid dimensions `(rows, cols)` of the floorplan.
+    pub grid: (usize, usize),
     /// Parallel steps after scheduling.
     pub depth: usize,
     /// Total logical time steps (Table 1 accounting, summed over steps).
     pub logical_time_steps: usize,
     /// Widest parallel step (instructions packed together).
     pub max_parallelism: usize,
+    /// Joint measurements that needed a routing corridor or lane segment.
+    pub routed_merges: usize,
+    /// Joint measurements that shared a step with another joint
+    /// measurement — the merge parallelism the floorplan delivered.
+    pub parallel_merges: usize,
+    /// Steps merges waited for a free corridor beyond their operand-ready
+    /// step — the congestion cost of the floorplan.
+    pub routing_stalls: usize,
     /// Patch-steps the error budget was spent over.
     pub patch_steps: u64,
     /// The requested error budget.
@@ -141,9 +171,18 @@ impl ProgramEstimate {
             self.depth, self.logical_time_steps, self.max_parallelism
         ));
         out.push_str(&format!(
-            "  placement: {} tile(s) (data + routing lane), {} patch-step(s), \
-             budget {:.1e}\n\n",
-            self.tiles, self.patch_steps, self.budget
+            "  placement: {} layout on a {}x{} tile grid ({} tile(s)), {} patch-step(s), \
+             budget {:.1e}\n",
+            self.layout.strategy.name(),
+            self.grid.0,
+            self.grid.1,
+            self.tiles,
+            self.patch_steps,
+            self.budget
+        ));
+        out.push_str(&format!(
+            "  routing: {} routed merge(s), parallel_merges {}, routing_stalls {}\n\n",
+            self.routed_merges, self.parallel_merges, self.routing_stalls
         ));
         out.push_str(&format!(
             "  {:<14} {:>4} {:>12} {:>12} {:>8} {:>12} {:>14}\n",
@@ -170,6 +209,10 @@ impl ProgramEstimate {
 pub enum EstimateError {
     /// The program failed validation.
     Program(ProgramError),
+    /// The program does not fit the requested floorplan.
+    Placement(PlacementError),
+    /// A merge could not be routed under the floorplan.
+    Routing(RoutingError),
     /// Distance selection failed (bad model or unsatisfiable budget).
     Budget(BudgetError),
     /// A per-instruction compilation failed.
@@ -182,6 +225,8 @@ impl std::fmt::Display for EstimateError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EstimateError::Program(e) => write!(f, "invalid program: {e}"),
+            EstimateError::Placement(e) => write!(f, "{e}"),
+            EstimateError::Routing(e) => write!(f, "{e}"),
             EstimateError::Budget(e) => write!(f, "{e}"),
             EstimateError::Compile(e) => write!(f, "compilation failed: {e}"),
             EstimateError::Spec(e) => write!(f, "invalid estimate spec: {e}"),
@@ -194,6 +239,18 @@ impl std::error::Error for EstimateError {}
 impl From<ProgramError> for EstimateError {
     fn from(e: ProgramError) -> Self {
         EstimateError::Program(e)
+    }
+}
+
+impl From<PlacementError> for EstimateError {
+    fn from(e: PlacementError) -> Self {
+        EstimateError::Placement(e)
+    }
+}
+
+impl From<RoutingError> for EstimateError {
+    fn from(e: RoutingError) -> Self {
+        EstimateError::Routing(e)
     }
 }
 
@@ -221,8 +278,8 @@ pub fn estimate_program(
         return Err(EstimateError::Spec("at least one hardware profile is required".into()));
     }
 
-    let placement = Placement::allocate(program);
-    let sched = schedule(program, &placement);
+    let placement = Placement::allocate_with(program, &spec.layout)?;
+    let sched = schedule(program, &placement)?;
     let patch_steps = sched.patch_steps(placement.total_tiles());
     let d = spec.model.select_distance(patch_steps, spec.budget, spec.d_max)?;
     let achieved_error = spec.model.program_error(d, patch_steps);
@@ -284,9 +341,14 @@ pub fn estimate_program(
         logical_qubits: program.qubit_count(),
         instructions: program.len(),
         tiles: placement.total_tiles(),
+        layout: spec.layout,
+        grid: (placement.tile_rows(), placement.tile_cols()),
         depth: sched.depth(),
         logical_time_steps: sched.logical_time_steps,
         max_parallelism: sched.max_parallelism(),
+        routed_merges: sched.routed_merges(),
+        parallel_merges: sched.parallel_merges,
+        routing_stalls: sched.routing_stalls,
         patch_steps,
         budget: spec.budget,
         rows,
@@ -331,6 +393,7 @@ mod tests {
         assert_eq!(est.logical_qubits, 3);
         assert_eq!(est.instructions, 9);
         assert_eq!(est.tiles, 6);
+        assert_eq!(est.grid, (2, 3));
         assert!(est.depth >= 3 && est.depth <= est.instructions);
         assert!(est.rows[0].achieved_error <= 1e-3);
         let row = &est.rows[0];
@@ -344,6 +407,8 @@ mod tests {
         let report = est.render();
         assert!(report.contains("teleport"));
         assert!(report.contains("h1"));
+        assert!(report.contains("lane layout"));
+        assert!(report.contains("routing_stalls 0"));
     }
 
     #[test]
@@ -374,6 +439,28 @@ mod tests {
     }
 
     #[test]
+    fn layouts_change_congestion_but_not_the_physics() {
+        let program = examples::ripple_adder();
+        let compiler = Compiler::new();
+        let row = fast_spec().with_layout(LayoutSpec::row_major().with_grid(8, 8));
+        let board = fast_spec().with_layout(LayoutSpec::checkerboard().with_grid(8, 8));
+        let row_est = estimate_program(&program, &row, &compiler).unwrap();
+        let board_est = estimate_program(&program, &board, &compiler).unwrap();
+        assert_eq!(row_est.tiles, 64);
+        assert_eq!(board_est.tiles, 64);
+        assert!(board_est.parallel_merges > 0);
+        assert!(
+            row_est.routing_stalls > board_est.routing_stalls,
+            "row {} vs checkerboard {}",
+            row_est.routing_stalls,
+            board_est.routing_stalls
+        );
+        assert!(board_est.logical_time_steps < row_est.logical_time_steps);
+        let report = board_est.render();
+        assert!(report.contains("checkerboard layout"));
+    }
+
+    #[test]
     fn invalid_programs_and_specs_are_rejected() {
         let mut bad = LogicalProgram::new("bad");
         let q = bad.add_qubit("q").unwrap();
@@ -395,6 +482,19 @@ mod tests {
         assert!(matches!(
             estimate_program(&program, &impossible, &compiler),
             Err(EstimateError::Budget(BudgetError::Unsatisfiable { .. }))
+        ));
+
+        // A grid too small for the program is a typed placement error…
+        let tiny = fast_spec().with_layout(LayoutSpec::checkerboard().with_grid(1, 2));
+        assert!(matches!(
+            estimate_program(&program, &tiny, &compiler),
+            Err(EstimateError::Placement(PlacementError::GridTooSmall { .. }))
+        ));
+        // …and a grid with no ancilla fabric is a typed routing error.
+        let unroutable = fast_spec().with_layout(LayoutSpec::row_major().with_grid(1, 2));
+        assert!(matches!(
+            estimate_program(&program, &unroutable, &compiler),
+            Err(EstimateError::Routing(_))
         ));
     }
 }

@@ -14,7 +14,7 @@
 //! * [`path`] — shuttle/junction-hop routing between zones.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod grid;
 pub mod layout;
@@ -23,5 +23,5 @@ pub mod site;
 
 pub use grid::{GridError, GridManager, QubitId};
 pub use layout::{Layout, ZONE_WIDTH_M};
-pub use path::{route, route_avoiding, MoveStep};
+pub use path::{route, route_avoiding, shortest_tile_path, MoveStep};
 pub use site::{QSite, SiteKind};

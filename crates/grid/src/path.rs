@@ -1,4 +1,5 @@
-//! Routing of ion movements between trapping zones.
+//! Routing of ion movements between trapping zones, and the shared
+//! tile-grid breadth-first search used by patch-level corridor routing.
 //!
 //! A route is a sequence of [`MoveStep`]s, each either a shuttle between two
 //! adjacent trapping zones on the same straight segment, or a hop through a
@@ -8,9 +9,15 @@
 //! Routing uses Dijkstra's algorithm weighted by the nominal duration of each
 //! step so that compiled circuits prefer fast straight-line shuttles over
 //! slow junction crossings.
+//!
+//! Above the zone level, the program estimator routes lattice-surgery merge
+//! *corridors* over a coarse grid of surface-code tiles. The search behind
+//! that — an unweighted multi-source BFS over an abstract `rows × cols`
+//! grid with a caller-supplied passability predicate — lives here as
+//! [`shortest_tile_path`], so both layers share one routing substrate.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use crate::layout::Layout;
 use crate::site::{QSite, SiteKind};
@@ -147,6 +154,75 @@ pub fn route_avoiding(
     Some(steps)
 }
 
+/// Shortest path over an abstract `rows × cols` tile grid by multi-source
+/// breadth-first search.
+///
+/// The path starts at one of `sources`, ends at the first tile satisfying
+/// `is_goal`, steps only between orthogonally adjacent tiles, and visits
+/// only tiles for which `passable` returns `true` (sources that are not
+/// passable are ignored; a goal tile must itself be passable to be
+/// reached). Returns the visited tiles in order, sources included — or
+/// `None` when no goal is reachable.
+///
+/// The search is deterministic: sources seed the queue in the order given
+/// and neighbours expand up, left, right, down, so equal-length paths
+/// resolve the same way on every run (golden tests rely on this).
+///
+/// ```
+/// use tiscc_grid::path::shortest_tile_path;
+///
+/// // A 2 × 4 grid with tile (0, 1) blocked: the path detours via row 1.
+/// let path = shortest_tile_path(
+///     2,
+///     4,
+///     &[(0, 0)],
+///     &|t| t == (0, 3),
+///     &|t| t != (0, 1),
+/// )
+/// .unwrap();
+/// assert_eq!(path.first(), Some(&(0, 0)));
+/// assert_eq!(path.last(), Some(&(0, 3)));
+/// assert!(!path.contains(&(0, 1)));
+/// ```
+pub fn shortest_tile_path(
+    rows: usize,
+    cols: usize,
+    sources: &[(usize, usize)],
+    is_goal: &dyn Fn((usize, usize)) -> bool,
+    passable: &dyn Fn((usize, usize)) -> bool,
+) -> Option<Vec<(usize, usize)>> {
+    let in_bounds = |(r, c): (usize, usize)| r < rows && c < cols;
+    let mut prev: HashMap<(usize, usize), (usize, usize)> = HashMap::new();
+    let mut seen: HashSet<(usize, usize)> = HashSet::new();
+    let mut queue: VecDeque<(usize, usize)> = VecDeque::new();
+    for &s in sources {
+        if in_bounds(s) && passable(s) && seen.insert(s) {
+            queue.push_back(s);
+        }
+    }
+    while let Some(tile) = queue.pop_front() {
+        if is_goal(tile) {
+            let mut path = vec![tile];
+            let mut cur = tile;
+            while let Some(&p) = prev.get(&cur) {
+                path.push(p);
+                cur = p;
+            }
+            path.reverse();
+            return Some(path);
+        }
+        let (r, c) = tile;
+        let neighbors = [(r.wrapping_sub(1), c), (r, c.wrapping_sub(1)), (r, c + 1), (r + 1, c)];
+        for next in neighbors {
+            if in_bounds(next) && passable(next) && seen.insert(next) {
+                prev.insert(next, tile);
+                queue.push_back(next);
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +293,35 @@ mod tests {
     fn trivial_route_is_empty() {
         let l = Layout::new(1, 1);
         assert_eq!(route(&l, QSite::new(0, 1), QSite::new(0, 1)).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn tile_path_finds_shortest_and_respects_blocks() {
+        // Unobstructed: straight line along row 0.
+        let p = shortest_tile_path(3, 5, &[(0, 0)], &|t| t == (0, 4), &|_| true).unwrap();
+        assert_eq!(p.len(), 5);
+        // A full column wall forces a detour or fails.
+        let wall = |t: (usize, usize)| t.1 != 2;
+        assert!(shortest_tile_path(3, 5, &[(0, 0)], &|t| t == (0, 4), &wall).is_none());
+        let gap = |t: (usize, usize)| t != (0, 2) && t != (1, 2);
+        let p = shortest_tile_path(3, 5, &[(0, 0)], &|t| t == (0, 4), &gap).unwrap();
+        assert!(p.contains(&(2, 2)), "must pass through the gap: {p:?}");
+        for w in p.windows(2) {
+            let dr = w[0].0.abs_diff(w[1].0);
+            let dc = w[0].1.abs_diff(w[1].1);
+            assert_eq!(dr + dc, 1, "steps are orthogonal: {w:?}");
+        }
+    }
+
+    #[test]
+    fn tile_path_handles_multiple_sources_and_impassable_sources() {
+        // The nearer source wins.
+        let p = shortest_tile_path(1, 6, &[(0, 0), (0, 4)], &|t| t == (0, 5), &|_| true).unwrap();
+        assert_eq!(p, vec![(0, 4), (0, 5)]);
+        // Impassable sources are ignored entirely.
+        assert!(shortest_tile_path(1, 6, &[(0, 0)], &|t| t == (0, 5), &|t| t != (0, 0)).is_none());
+        // A source that is itself a goal yields a single-tile path.
+        let p = shortest_tile_path(2, 2, &[(1, 1)], &|t| t == (1, 1), &|_| true).unwrap();
+        assert_eq!(p, vec![(1, 1)]);
     }
 }

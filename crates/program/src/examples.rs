@@ -77,10 +77,58 @@ pub fn adder_t_layer(width: usize) -> LogicalProgram {
     p
 }
 
+/// A 2-bit ripple-carry adder skeleton at the lattice-surgery level: the
+/// `a` and `b` registers are cross-merged (the outer `a0·b1` surgery
+/// nests over the inner `a1·b0` one), carries propagate into the `c`
+/// ancillas through a second pair of nested XX merges, the ancillas are
+/// read out and the Pauli frame is corrected.
+///
+/// The nesting is deliberate: on a dense single data row the outer
+/// merge's corridor encloses the inner operands' only ancilla access, so
+/// the row layout stalls where the checkerboard routes both merges
+/// disjointly — the canonical congestion workload for comparing
+/// [`crate::LayoutSpec`] strategies.
+pub fn ripple_adder() -> LogicalProgram {
+    let mut p = LogicalProgram::new("adder");
+    let a0 = p.add_qubit("a0").expect("fresh program");
+    let a1 = p.add_qubit("a1").expect("fresh program");
+    let b0 = p.add_qubit("b0").expect("fresh program");
+    let b1 = p.add_qubit("b1").expect("fresh program");
+    let c0 = p.add_qubit("c0").expect("fresh program");
+    let c1 = p.add_qubit("c1").expect("fresh program");
+    p.prepare_z(a0).expect("valid");
+    p.prepare_z(a1).expect("valid");
+    p.prepare_x(b0).expect("valid");
+    p.prepare_x(b1).expect("valid");
+    p.prepare_z(c0).expect("valid");
+    p.prepare_z(c1).expect("valid");
+    // Sum layer: nested cross-register ZZ surgeries (outer first).
+    p.measure_zz(a0, b1).expect("valid");
+    p.measure_zz(a1, b0).expect("valid");
+    // Carry layer: nested XX surgeries into the carry ancillas.
+    p.measure_xx(a0, c1).expect("valid");
+    p.measure_xx(a1, c0).expect("valid");
+    // Read the b register and the carries out; correct the frame.
+    p.measure_x(b0).expect("valid");
+    p.measure_x(b1).expect("valid");
+    p.measure_z(c0).expect("valid");
+    p.measure_z(c1).expect("valid");
+    p.pauli_x(a0).expect("valid");
+    p.pauli_z(a1).expect("valid");
+    p.measure_z(a0).expect("valid");
+    p.measure_z(a1).expect("valid");
+    p
+}
+
 /// Every canonical program, paired with the `examples/programs/` file stem
 /// it is bundled as.
 pub fn all() -> Vec<(&'static str, LogicalProgram)> {
-    vec![("bell", bell_pair()), ("teleport", teleportation()), ("adder_t_layer", adder_t_layer(4))]
+    vec![
+        ("bell", bell_pair()),
+        ("teleport", teleportation()),
+        ("adder_t_layer", adder_t_layer(4)),
+        ("adder", ripple_adder()),
+    ]
 }
 
 #[cfg(test)]

@@ -15,32 +15,40 @@
 //! * [`examples`] — canonical programs (Bell-pair preparation, logical
 //!   state teleportation, the T-layer of a small ripple-carry adder) used
 //!   by the documentation, the CLI smoke tests and the benchmarks,
-//! * [`alloc`] — the patch allocator: assigns every logical qubit a tile
-//!   on a data row backed by an ancilla routing lane, and maps the
-//!   resulting tile grid onto the [`tiscc_grid::Layout`] substrate,
-//! * [`schedule`](mod@schedule) — the dependency-aware ASAP list
-//!   scheduler: packs
-//!   instructions that touch disjoint tiles (and disjoint routing-lane
-//!   segments) into the same parallel logical time step,
+//! * [`layout2d`] — 2D patch placement: assigns every logical qubit a
+//!   tile on an H×W tile grid under a [`LayoutSpec`] strategy (the legacy
+//!   single-lane row, row-major data rows over ancilla lanes, or an
+//!   interleaved data/ancilla checkerboard), and maps the resulting tile
+//!   grid onto the [`tiscc_grid::Layout`] substrate,
+//! * [`route`] — congestion-aware corridor routing: BFS over the ancilla
+//!   fabric finds the merge corridor of each joint measurement, with
+//!   per-timestep [`Reservations`] so disjoint corridors execute in
+//!   parallel and conflicting ones serialise,
+//! * [`schedule`](mod@schedule) — the dependency- and congestion-aware
+//!   ASAP list scheduler: packs instructions that touch disjoint tiles
+//!   (and disjoint corridors) into the same parallel logical time step,
+//!   reporting `routing_stalls` and `parallel_merges` per schedule,
 //! * [`budget`] — the configurable per-step logical error model and
 //!   error-budget distance selection.
 //!
 //! The driver that joins these layers to the per-instruction compiler
 //! lives in `tiscc_estimator::program`; the `tiscc estimate` subcommand
-//! exposes it on the command line.
+//! exposes it on the command line (`--layout`, `--grid`, `--show-layout`).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
-pub mod alloc;
 pub mod budget;
 pub mod examples;
 pub mod ir;
+pub mod layout2d;
 pub mod parse;
+pub mod route;
 pub mod schedule;
 
-pub use alloc::Placement;
 pub use budget::{BudgetError, ErrorModel};
 pub use ir::{LogicalProgram, ProgramError, ProgramInstruction, QubitRef};
+pub use layout2d::{LayoutSpec, LayoutStrategy, Placement, PlacementError, Tile};
 pub use parse::ParseError;
+pub use route::{find_corridor, Reservations, RoutingError};
 pub use schedule::{schedule, Schedule, ScheduleStep};

@@ -1,24 +1,42 @@
-//! Dependency-aware ASAP list scheduling of logical programs.
+//! Dependency- and congestion-aware ASAP list scheduling of logical
+//! programs.
 //!
 //! Instructions are placed into *parallel logical time steps*: walking the
 //! program in order, each instruction starts at the earliest step at which
-//! every tile of its [`Placement::footprint`] is free (ASAP list
-//! scheduling). Two instructions whose footprints are disjoint can share a
-//! step; instructions touching the same data tile — or merges whose
-//! routing-lane spans overlap — are serialised. Because a qubit's data
-//! tile is part of every footprint that names it, program order between
-//! instructions on the same qubit is preserved automatically.
+//! every resource it needs is free. Two instructions whose resources are
+//! disjoint can share a step; instructions touching the same data tile are
+//! serialised. Because a qubit's data tile is part of every footprint that
+//! names it, program order between instructions on the same qubit is
+//! preserved automatically.
+//!
+//! What "resources" means depends on the placement strategy:
+//!
+//! * **Single-lane** floorplans use the static
+//!   [`Placement::footprint`] — operand data tiles plus, for routed
+//!   merges, the shared-lane tiles spanning the operand columns. This is
+//!   the original scheduler, preserved bit-for-bit.
+//! * **2D** floorplans ([`RowMajor`]/[`Checkerboard`]) route each merge
+//!   through an ancilla corridor found by [`crate::route`]: at the merge's
+//!   ready step the scheduler searches for a corridor avoiding tiles
+//!   already reserved in that step ([`Reservations`]); if none is free the
+//!   merge *stalls* to the next step (counted in
+//!   [`Schedule::routing_stalls`]), and if no corridor exists even on an
+//!   idle grid the program is unroutable ([`RoutingError`]).
 //!
 //! A step's duration in *logical time steps* is the maximum over its
 //! members (paper Table 1 accounting): a step holding only zero-step
 //! instructions (Pauli frame updates, destructive measurements,
 //! injections) contributes no error-correction rounds, while any step
 //! holding a preparation, idle or merge costs one round of `dt` cycles.
+//!
+//! [`RowMajor`]: crate::layout2d::LayoutStrategy::RowMajor
+//! [`Checkerboard`]: crate::layout2d::LayoutStrategy::Checkerboard
 
 use std::collections::HashMap;
 
-use crate::alloc::{Placement, Tile};
 use crate::ir::LogicalProgram;
+use crate::layout2d::{LayoutStrategy, Placement, Tile};
+use crate::route::{corridor_avoiding, Reservations, RoutingError};
 
 /// One parallel step of a schedule.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +54,17 @@ pub struct Schedule {
     pub steps: Vec<ScheduleStep>,
     /// Total logical time steps: the sum over steps.
     pub logical_time_steps: usize,
+    /// Steps merges spent waiting for a free corridor (or lane segment)
+    /// beyond their operand-ready step — the congestion cost of the
+    /// floorplan.
+    pub routing_stalls: usize,
+    /// Joint measurements that executed in a step shared with at least one
+    /// other joint measurement — the parallelism the floorplan delivered.
+    pub parallel_merges: usize,
+    /// Per-instruction routing: the ancilla corridor (or single-lane
+    /// segment) each joint measurement occupied during its step; `None`
+    /// for single-qubit instructions and direct boundary merges.
+    pub corridors: Vec<Option<Vec<Tile>>>,
 }
 
 impl Schedule {
@@ -61,17 +90,72 @@ impl Schedule {
     pub fn max_parallelism(&self) -> usize {
         self.steps.iter().map(|s| s.instructions.len()).max().unwrap_or(0)
     }
+
+    /// Joint measurements that needed a routing corridor or lane segment.
+    pub fn routed_merges(&self) -> usize {
+        self.corridors.iter().filter(|c| c.is_some()).count()
+    }
 }
 
-/// Schedules `program` against `placement` with ASAP list scheduling and
-/// per-tile conflict detection.
-pub fn schedule(program: &LogicalProgram, placement: &Placement) -> Schedule {
+/// Schedules `program` against `placement` with ASAP list scheduling,
+/// per-tile conflict detection and — on 2D floorplans — congestion-aware
+/// corridor routing. Fails with a [`RoutingError`] when a merge cannot be
+/// routed under the floorplan at all.
+pub fn schedule(program: &LogicalProgram, placement: &Placement) -> Result<Schedule, RoutingError> {
+    let mut sched = match placement.strategy() {
+        LayoutStrategy::SingleLane => schedule_single_lane(program, placement),
+        LayoutStrategy::RowMajor | LayoutStrategy::Checkerboard => {
+            schedule_routed(program, placement)?
+        }
+    };
+    sched.logical_time_steps = sched.steps.iter().map(|s| s.logical_time_steps).sum();
+    sched.parallel_merges = parallel_merges(program, &sched.steps);
+    Ok(sched)
+}
+
+/// Joint measurements sharing a step with at least one other joint
+/// measurement, summed over steps.
+fn parallel_merges(program: &LogicalProgram, steps: &[ScheduleStep]) -> usize {
+    steps
+        .iter()
+        .map(|step| {
+            let merges = step
+                .instructions
+                .iter()
+                .filter(|&&i| program.instructions()[i].qubits.len() == 2)
+                .count();
+            if merges >= 2 {
+                merges
+            } else {
+                0
+            }
+        })
+        .sum()
+}
+
+/// The original footprint scheduler, preserved bit-for-bit for the
+/// single-lane floorplan: an instruction starts at the earliest step at
+/// which every tile of its static footprint is free.
+fn schedule_single_lane(program: &LogicalProgram, placement: &Placement) -> Schedule {
     let mut next_free: HashMap<Tile, usize> = HashMap::new();
     let mut steps: Vec<ScheduleStep> = Vec::new();
+    let mut corridors: Vec<Option<Vec<Tile>>> = Vec::with_capacity(program.len());
+    let mut routing_stalls = 0usize;
     for (idx, pi) in program.instructions().iter().enumerate() {
         let footprint = placement.footprint(pi);
         let start =
             footprint.iter().map(|t| next_free.get(t).copied().unwrap_or(0)).max().unwrap_or(0);
+        // The congestion metric: how much later the lane let the merge run
+        // than its operands alone would have.
+        let ready = pi
+            .qubits
+            .iter()
+            .map(|&q| next_free.get(&placement.data_tile(q)).copied().unwrap_or(0))
+            .max()
+            .unwrap_or(0);
+        routing_stalls += start - ready;
+        let lane = placement.lane_span(pi);
+        corridors.push(if lane.is_empty() { None } else { Some(lane) });
         if start == steps.len() {
             steps.push(ScheduleStep { instructions: Vec::new(), logical_time_steps: 0 });
         }
@@ -82,19 +166,84 @@ pub fn schedule(program: &LogicalProgram, placement: &Placement) -> Schedule {
             next_free.insert(t, start + 1);
         }
     }
-    let logical_time_steps = steps.iter().map(|s| s.logical_time_steps).sum();
-    Schedule { steps, logical_time_steps }
+    Schedule { steps, logical_time_steps: 0, routing_stalls, parallel_merges: 0, corridors }
+}
+
+/// The congestion-aware scheduler for 2D floorplans: merges claim a BFS
+/// corridor of ancilla tiles for the duration of their step, reserved in
+/// a per-step [`Reservations`] table so disjoint corridors share a step
+/// and conflicting ones serialise.
+fn schedule_routed(
+    program: &LogicalProgram,
+    placement: &Placement,
+) -> Result<Schedule, RoutingError> {
+    let mut next_free: HashMap<Tile, usize> = HashMap::new();
+    let mut reserved = Reservations::new();
+    let mut steps: Vec<ScheduleStep> = Vec::new();
+    let mut corridors: Vec<Option<Vec<Tile>>> = Vec::with_capacity(program.len());
+    let mut routing_stalls = 0usize;
+    for (idx, pi) in program.instructions().iter().enumerate() {
+        let data: Vec<Tile> = pi.qubits.iter().map(|&q| placement.data_tile(q)).collect();
+        let ready = data.iter().map(|t| next_free.get(t).copied().unwrap_or(0)).max().unwrap_or(0);
+        let (start, corridor) = if pi.qubits.len() == 2 {
+            let (a, b) = (pi.qubits[0], pi.qubits[1]);
+            let mut s = ready;
+            loop {
+                let path = corridor_avoiding(placement, a, b, &|t| !reserved.is_free(s, t));
+                match path {
+                    Some(path) => break (s, Some(path)),
+                    // A step with no reservations is an idle grid: failing
+                    // there means no corridor exists under this floorplan.
+                    None if reserved.reserved_at(s) == 0 => {
+                        return Err(RoutingError {
+                            instruction: Some(pi.instruction),
+                            a: program.qubit_name(a).to_string(),
+                            a_tile: placement.data_tile(a),
+                            b: program.qubit_name(b).to_string(),
+                            b_tile: placement.data_tile(b),
+                            line: pi.line,
+                        });
+                    }
+                    None => {
+                        routing_stalls += 1;
+                        s += 1;
+                    }
+                }
+            }
+        } else {
+            (ready, None)
+        };
+        if start == steps.len() {
+            steps.push(ScheduleStep { instructions: Vec::new(), logical_time_steps: 0 });
+        }
+        let step = &mut steps[start];
+        step.instructions.push(idx);
+        step.logical_time_steps = step.logical_time_steps.max(pi.instruction.logical_time_steps());
+        // Only corridor tiles need reserving: operand data tiles host
+        // patches, which corridor passability already excludes, and the
+        // `reserved_at == 0` unroutability check above relies on steps
+        // without merges staying empty.
+        if let Some(corridor) = &corridor {
+            reserved.reserve(start, corridor.iter().copied());
+        }
+        for t in data {
+            next_free.insert(t, start + 1);
+        }
+        corridors.push(corridor);
+    }
+    Ok(Schedule { steps, logical_time_steps: 0, routing_stalls, parallel_merges: 0, corridors })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::examples;
+    use crate::layout2d::LayoutSpec;
     use tiscc_core::instruction::Instruction;
 
     fn scheduled(program: &LogicalProgram) -> (Placement, Schedule) {
         let placement = Placement::allocate(program);
-        let sched = schedule(program, &placement);
+        let sched = schedule(program, &placement).expect("single-lane programs always route");
         (placement, sched)
     }
 
@@ -112,6 +261,7 @@ mod tests {
         assert_eq!(sched.steps[0].instructions, vec![0, 1, 2, 3]);
         assert_eq!(sched.logical_time_steps, 1);
         assert_eq!(sched.max_parallelism(), 4);
+        assert_eq!(sched.routing_stalls, 0);
     }
 
     /// Instructions on the same qubit keep program order (the data tile is
@@ -148,6 +298,31 @@ mod tests {
         assert_eq!(sched.depth(), 3);
         assert_eq!(sched.steps[1].instructions, vec![4, 5]);
         assert_eq!(sched.steps[2].instructions, vec![6]);
+        assert_eq!(sched.parallel_merges, 2, "the two disjoint-span merges share a step");
+        // The overlapping merge was delayed by its *operands* (both busy in
+        // step 1), not by the lane — so no routing stall is charged.
+        assert_eq!(sched.routing_stalls, 0);
+        assert_eq!(sched.routed_merges(), 3);
+        assert_eq!(sched.corridors[4], Some(vec![(1, 0), (1, 1)]));
+    }
+
+    /// A merge whose operands are ready but whose lane segment is claimed
+    /// by another merge is charged a routing stall on the single lane too.
+    #[test]
+    fn single_lane_charges_stalls_for_lane_contention() {
+        let mut p = LogicalProgram::new("nested-lane");
+        let qs: Vec<_> = (0..4).map(|i| p.add_qubit(format!("q{i}")).unwrap()).collect();
+        for &q in &qs {
+            p.prepare_z(q).unwrap();
+        }
+        // The outer q0–q3 merge claims lane columns 0..=3; the inner
+        // q1–q2 merge's operands are free but its lane span is not.
+        p.measure_xx(qs[0], qs[3]).unwrap();
+        p.measure_xx(qs[1], qs[2]).unwrap();
+        let (_, sched) = scheduled(&p);
+        assert_eq!(sched.depth(), 3);
+        assert_eq!(sched.routing_stalls, 1, "the inner merge waited one step on the lane");
+        assert_eq!(sched.parallel_merges, 0);
     }
 
     /// Direct horizontal ZZ merges on disjoint column pairs all pack into
@@ -170,6 +345,9 @@ mod tests {
         assert_eq!(sched.depth(), 3);
         // prep/inject step (1) + merge step (1) + read-out/correction step (0).
         assert_eq!(sched.logical_time_steps, 2);
+        // Direct merges use no corridor, but still count as parallel.
+        assert_eq!(sched.parallel_merges, 4);
+        assert_eq!(sched.routed_merges(), 0);
     }
 
     #[test]
@@ -184,12 +362,66 @@ mod tests {
     #[test]
     fn schedule_covers_every_instruction_exactly_once() {
         for (_, p) in examples::all() {
-            let (_, sched) = scheduled(&p);
-            let mut seen: Vec<usize> =
-                sched.steps.iter().flat_map(|s| s.instructions.clone()).collect();
-            seen.sort_unstable();
-            let expect: Vec<usize> = (0..p.len()).collect();
-            assert_eq!(seen, expect, "{}", p.name());
+            for spec in [
+                LayoutSpec::single_lane(),
+                LayoutSpec::row_major().with_grid(8, 8),
+                LayoutSpec::checkerboard().with_grid(8, 8),
+            ] {
+                let placement = Placement::allocate_with(&p, &spec).unwrap();
+                let sched = schedule(&p, &placement).unwrap();
+                let mut seen: Vec<usize> =
+                    sched.steps.iter().flat_map(|s| s.instructions.clone()).collect();
+                seen.sort_unstable();
+                let expect: Vec<usize> = (0..p.len()).collect();
+                assert_eq!(seen, expect, "{} under {spec:?}", p.name());
+                assert_eq!(sched.corridors.len(), p.len());
+            }
         }
+    }
+
+    /// Nested merges (a long-range one over an inner pair) serialise on a
+    /// dense data row — the long corridor claims the inner operands' only
+    /// lane access — while the checkerboard routes them disjointly.
+    #[test]
+    fn checkerboard_parallelises_what_the_row_layout_serialises() {
+        let mut p = LogicalProgram::new("nested");
+        let qs: Vec<_> = (0..4).map(|i| p.add_qubit(format!("q{i}")).unwrap()).collect();
+        for &q in &qs {
+            p.prepare_z(q).unwrap();
+        }
+        // Nested merges: the outer q0–q3 first, then the inner q1–q2.
+        p.measure_zz(qs[0], qs[3]).unwrap();
+        p.measure_zz(qs[1], qs[2]).unwrap();
+
+        let row = Placement::allocate_with(&p, &LayoutSpec::row_major().with_grid(8, 8)).unwrap();
+        let row_sched = schedule(&p, &row).unwrap();
+        // On the dense data row q1's only free neighbour is the lane tile
+        // under it, which the q0–q3 corridor claims → one stall.
+        assert_eq!(row_sched.routing_stalls, 1, "{:?}", row_sched.corridors);
+        assert_eq!(row_sched.parallel_merges, 0);
+
+        let board =
+            Placement::allocate_with(&p, &LayoutSpec::checkerboard().with_grid(8, 8)).unwrap();
+        let board_sched = schedule(&p, &board).unwrap();
+        assert_eq!(board_sched.routing_stalls, 0, "{:?}", board_sched.corridors);
+        assert_eq!(board_sched.parallel_merges, 2);
+        assert!(board_sched.logical_time_steps < row_sched.logical_time_steps);
+    }
+
+    /// An unroutable merge is a typed error, not a hang or a panic.
+    #[test]
+    fn unroutable_merges_surface_routing_errors() {
+        let mut p = LogicalProgram::new("tight");
+        let a = p.add_qubit("a").unwrap();
+        let b = p.add_qubit("b").unwrap();
+        p.prepare_z(a).unwrap();
+        p.prepare_z(b).unwrap();
+        p.measure_zz(a, b).unwrap();
+        // A 1×2 row grid leaves no ancilla tiles at all.
+        let place = Placement::allocate_with(&p, &LayoutSpec::row_major().with_grid(1, 2)).unwrap();
+        let err = schedule(&p, &place).unwrap_err();
+        assert_eq!(err.a, "a");
+        assert_eq!(err.b, "b");
+        assert!(err.to_string().contains("unroutable"));
     }
 }

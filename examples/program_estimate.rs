@@ -1,20 +1,21 @@
 //! Algorithm-level program estimation: the bundled teleportation program
 //! scheduled, distance-selected against an error budget, and costed under
 //! two hardware profiles — the `tiscc estimate` subcommand as a library
-//! call.
+//! call — followed by a 2D floorplan comparison (row vs checkerboard) on
+//! the ripple-carry adder skeleton.
 //!
 //! Run with `cargo run --release --example program_estimate`.
 
 use tiscc::estimator::{estimate_program, Compiler, ProgramEstimateSpec};
 use tiscc::hw::HardwareSpec;
-use tiscc::program::{examples, schedule, Placement};
+use tiscc::program::{examples, schedule, LayoutSpec, Placement};
 
 fn main() {
     let program = examples::teleportation();
 
     // The allocator and scheduler can be inspected standalone.
     let placement = Placement::allocate(&program);
-    let sched = schedule(&program, &placement);
+    let sched = schedule(&program, &placement).expect("single-lane programs always route");
     println!(
         "'{}': {} instructions over {} qubits pack into {} parallel steps",
         program.name(),
@@ -46,4 +47,25 @@ fn main() {
     let estimate = estimate_program(&program, &spec, &Compiler::new()).expect("estimate");
     println!();
     print!("{}", estimate.render());
+
+    // 2D floorplans: the same adder skeleton under the row layout and the
+    // checkerboard, congestion made visible.
+    let adder = examples::ripple_adder();
+    let compiler = Compiler::new();
+    for layout in
+        [LayoutSpec::row_major().with_grid(8, 8), LayoutSpec::checkerboard().with_grid(8, 8)]
+    {
+        let placement = Placement::allocate_with(&adder, &layout).expect("fits an 8x8 grid");
+        println!();
+        print!("{}", placement.render_ascii(&adder));
+        let spec = ProgramEstimateSpec::new(1e-4).with_layout(layout);
+        let estimate = estimate_program(&adder, &spec, &compiler).expect("estimate");
+        println!(
+            "  {} layout: {} logical step(s), {} parallel merge(s), {} routing stall(s)",
+            layout.strategy.name(),
+            estimate.logical_time_steps,
+            estimate.parallel_merges,
+            estimate.routing_stalls
+        );
+    }
 }

@@ -13,8 +13,10 @@
 //!   lattice surgery, the Table 1/3 instruction sets),
 //! * [`orqcs`] — the quasi-Clifford simulator used for verification,
 //! * [`program`] — algorithm-level logical programs: the `.tql` IR and
-//!   parser, the patch allocator with routing lanes, the dependency-aware
-//!   ASAP scheduler and the error-budget distance selection,
+//!   parser, 2D patch placement (single-lane, row-major and checkerboard
+//!   floorplans), congestion-aware merge-corridor routing, the
+//!   dependency-aware ASAP scheduler and the error-budget distance
+//!   selection,
 //! * [`estimator`] — the unified [`estimator::Compiler`] front door,
 //!   table/figure regeneration, the program-level estimator
 //!   ([`estimator::program`]) and the verification harness.

@@ -39,7 +39,7 @@ fn bundled_tql_files_match_canonical_programs() {
 fn scheduler_packs_independent_instructions_into_one_step() {
     let program = examples::adder_t_layer(4);
     let placement = Placement::allocate(&program);
-    let sched = schedule(&program, &placement);
+    let sched = schedule(&program, &placement).unwrap();
     // 4 preparations + 4 magic-state injections on 8 disjoint tiles: one
     // step. 4 direct ZZ merges on disjoint adjacent pairs: one step.
     assert_eq!(sched.steps[0].instructions.len(), 8);
@@ -53,7 +53,28 @@ fn scheduler_packs_independent_instructions_into_one_step() {
         serial.idle(q).unwrap();
     }
     let sp = Placement::allocate(&serial);
-    assert_eq!(schedule(&serial, &sp).depth(), 6);
+    assert_eq!(schedule(&serial, &sp).unwrap().depth(), 6);
+}
+
+/// The default single-lane floorplan reproduces the original allocator's
+/// schedule exactly, so the d = 19 teleport acceptance estimate is
+/// unchanged: same tile grid, same patch-steps, same selected distance.
+#[test]
+fn default_layout_keeps_the_teleport_budget_estimate_pinned() {
+    let program = LogicalProgram::parse("teleport", &bundled("teleport")).unwrap();
+    let placement = Placement::allocate(&program);
+    assert_eq!((placement.tile_rows(), placement.tile_cols()), (2, 3));
+    assert_eq!(placement.total_tiles(), 6);
+    let sched = schedule(&program, &placement).unwrap();
+    assert_eq!(sched.depth(), 4);
+    assert_eq!(sched.logical_time_steps, 3);
+    assert_eq!(sched.max_parallelism(), 3);
+    assert_eq!(sched.routing_stalls, 0);
+    assert_eq!(sched.patch_steps(placement.total_tiles()), 18);
+    // The 1e-9 budget still selects d = 19 over those 18 patch-steps
+    // (pinning the full acceptance command without compiling at d = 19).
+    let d = ErrorModel::default().select_distance(18, 1e-9, 49).unwrap();
+    assert_eq!(d, 19);
 }
 
 /// An end-to-end estimate over the bundled teleportation program under

@@ -1,0 +1,168 @@
+//! Integration tests for 2D placement and congestion-aware routing:
+//! golden `routing_stalls`/`parallel_merges` values for the canonical
+//! programs on both 2D layouts, and a property test that any two placed
+//! patches either get a corridor or a typed `RoutingError`.
+
+use proptest::prelude::*;
+
+use tiscc::program::route::find_corridor;
+use tiscc::program::{examples, schedule, LayoutSpec, LogicalProgram, Placement, QubitRef, Tile};
+
+/// Golden congestion numbers for the adder T-layer on an 8×8 grid: the
+/// interleaved `d t` declaration order gives every teleportation its own
+/// disjoint corridor under both 2D layouts, so all four merges run in
+/// parallel with no stalls.
+#[test]
+fn adder_t_layer_golden_congestion_on_both_layouts() {
+    let program = examples::adder_t_layer(4);
+    for (spec, expect_corridor_len) in [
+        (LayoutSpec::row_major().with_grid(8, 8), 2),
+        (LayoutSpec::checkerboard().with_grid(8, 8), 1),
+    ] {
+        let placement = Placement::allocate_with(&program, &spec).unwrap();
+        let sched = schedule(&program, &placement).unwrap();
+        assert_eq!(sched.routing_stalls, 0, "{spec:?}");
+        assert_eq!(sched.parallel_merges, 4, "{spec:?}");
+        assert_eq!(sched.routed_merges(), 4, "{spec:?}");
+        assert_eq!(sched.depth(), 3, "{spec:?}");
+        assert_eq!(sched.logical_time_steps, 2, "{spec:?}");
+        for corridor in sched.corridors.iter().flatten() {
+            assert_eq!(corridor.len(), expect_corridor_len, "{spec:?}");
+        }
+    }
+}
+
+/// Golden congestion numbers for the ripple-carry adder skeleton — the
+/// acceptance workload: the nested merges stall once on the dense row
+/// layout and route disjointly on the checkerboard.
+#[test]
+fn ripple_adder_golden_congestion_on_both_layouts() {
+    let program = examples::ripple_adder();
+
+    let row = Placement::allocate_with(&program, &LayoutSpec::row_major().with_grid(8, 8)).unwrap();
+    let row_sched = schedule(&program, &row).unwrap();
+    assert_eq!(row_sched.routing_stalls, 1);
+    assert_eq!(row_sched.parallel_merges, 2);
+    assert_eq!(row_sched.logical_time_steps, 4);
+    assert_eq!(row_sched.depth(), 6);
+
+    let board =
+        Placement::allocate_with(&program, &LayoutSpec::checkerboard().with_grid(8, 8)).unwrap();
+    let board_sched = schedule(&program, &board).unwrap();
+    assert_eq!(board_sched.routing_stalls, 0);
+    assert_eq!(board_sched.parallel_merges, 4);
+    assert_eq!(board_sched.logical_time_steps, 3);
+    assert_eq!(board_sched.depth(), 5);
+}
+
+/// The default layout is untouched by the 2D machinery: the bundled
+/// programs schedule with no stalls charged to their single lane and the
+/// legacy step structure.
+#[test]
+fn bundled_programs_keep_single_lane_behaviour() {
+    for (stem, program) in examples::all() {
+        let placement = Placement::allocate(&program);
+        let sched = schedule(&program, &placement).unwrap();
+        assert_eq!(sched.instruction_count(), program.len(), "{stem}");
+        assert_eq!(placement.tile_rows(), 2, "{stem}");
+        assert_eq!(placement.tile_cols(), program.qubit_count().max(1), "{stem}");
+    }
+}
+
+fn qubit_chain(n: usize) -> LogicalProgram {
+    let mut p = LogicalProgram::new("chain");
+    for i in 0..n {
+        p.add_qubit(format!("q{i}")).unwrap();
+    }
+    p
+}
+
+fn is_adjacent(a: Tile, b: Tile) -> bool {
+    a.0.abs_diff(b.0) + a.1.abs_diff(b.1) == 1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any two placed patches on any solvable grid either get a corridor
+    /// — connected, free, touching both operands — or a typed
+    /// `RoutingError`; the router never panics, hangs or fabricates an
+    /// invalid path.
+    #[test]
+    fn any_pair_routes_or_errors_typed(
+        rows in 1usize..7,
+        cols in 2usize..9,
+        strategy in 0usize..2,
+        qubits in 2usize..10,
+        pair in (0usize..10, 0usize..10),
+    ) {
+        let spec = if strategy == 0 {
+            LayoutSpec::row_major().with_grid(rows, cols)
+        } else {
+            LayoutSpec::checkerboard().with_grid(rows, cols)
+        };
+        let program = qubit_chain(qubits);
+        // Too small a grid is a typed placement error, not a routing
+        // concern; only solvable (placeable) grids are probed further.
+        let placement = Placement::allocate_with(&program, &spec).ok();
+        let a = QubitRef(pair.0 % qubits);
+        let b = QubitRef(pair.1 % qubits);
+        if let Some(placement) = placement.filter(|_| a != b) {
+            match find_corridor(&placement, &program, a, b) {
+                Ok(corridor) => {
+                    prop_assert!(!corridor.is_empty());
+                    prop_assert!(is_adjacent(corridor[0], placement.data_tile(a)));
+                    prop_assert!(is_adjacent(*corridor.last().unwrap(), placement.data_tile(b)));
+                    for w in corridor.windows(2) {
+                        prop_assert!(
+                            is_adjacent(w[0], w[1]),
+                            "corridor not connected: {corridor:?}"
+                        );
+                    }
+                    for &t in &corridor {
+                        prop_assert!(placement.in_bounds(t));
+                        prop_assert!(!placement.is_occupied(t), "corridor crosses a patch: {t:?}");
+                    }
+                }
+                Err(e) => {
+                    // The typed error names both endpoints.
+                    prop_assert_eq!(e.a_tile, placement.data_tile(a));
+                    prop_assert_eq!(e.b_tile, placement.data_tile(b));
+                    prop_assert_eq!(&e.a, program.qubit_name(a));
+                    prop_assert_eq!(&e.b, program.qubit_name(b));
+                }
+            }
+        }
+    }
+
+    /// Scheduling any merge-heavy random program on a sufficiently large
+    /// checkerboard always succeeds, covers every instruction exactly
+    /// once, and reports consistent congestion counters.
+    #[test]
+    fn checkerboard_schedules_random_merge_programs(
+        qubits in 2usize..8,
+        merges in proptest::collection::vec((0usize..8, 0usize..8), 1..12),
+    ) {
+        let mut p = LogicalProgram::new("random-merges");
+        let qs: Vec<_> = (0..qubits).map(|i| p.add_qubit(format!("q{i}")).unwrap()).collect();
+        for &q in &qs {
+            p.prepare_z(q).unwrap();
+        }
+        for (a, b) in merges {
+            let (a, b) = (a % qubits, b % qubits);
+            if a != b {
+                p.measure_zz(qs[a], qs[b]).unwrap();
+            }
+        }
+        let spec = LayoutSpec::checkerboard().with_grid(8, 8);
+        let placement = Placement::allocate_with(&p, &spec).unwrap();
+        let sched = schedule(&p, &placement).unwrap();
+        prop_assert_eq!(sched.instruction_count(), p.len());
+        let mut seen: Vec<usize> =
+            sched.steps.iter().flat_map(|s| s.instructions.clone()).collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..p.len()).collect::<Vec<_>>());
+        prop_assert!(sched.routed_merges() <= p.len());
+        prop_assert!(sched.parallel_merges <= sched.routed_merges());
+    }
+}
