@@ -11,9 +11,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use tiscc_core::instruction::Instruction;
-use tiscc_estimator::compiler::{CompileRequest, Compiler};
+use tiscc_estimator::compiler::{AnalyticArtifact, CompileRequest, Compiler};
 use tiscc_estimator::verify::{Fiducial, SingleTile};
-use tiscc_hw::ResourceReport;
+use tiscc_hw::{HardwareSpec, ResourceReport};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_rounds");
@@ -51,6 +51,27 @@ fn bench(c: &mut Criterion) {
     let spec = tiscc_hw::HardwareSpec::h1();
     group.bench_function("stream_report/idle/d9", |b| {
         b.iter(|| ResourceReport::from_stream_with_spec(&artifact.rounds, &layout, &spec))
+    });
+
+    // The analytic estimate mode. Capture is one physical compile at
+    // dt = ANALYTIC_DT_CAP (so its cost tracks `templated/*` at small dt);
+    // derive replays the captured round arithmetically for a target dt
+    // without touching the scheduler or router, so it is linear in dt with
+    // a much smaller constant than compiling. `derive/idle/d9` uses the
+    // same dt = d = 9 as `templated/idle/d9` to make the two directly
+    // comparable.
+    group.bench_function("analytic/capture/idle/d5", |b| {
+        b.iter(|| {
+            AnalyticArtifact::capture(Instruction::Idle, 5, 5, HardwareSpec::h1())
+                .unwrap()
+                .expect("idle captures analytically")
+        })
+    });
+    let captured = AnalyticArtifact::capture(Instruction::Idle, 9, 9, HardwareSpec::h1())
+        .unwrap()
+        .expect("idle captures analytically");
+    group.bench_function("analytic/derive/idle/d9", |b| {
+        b.iter(|| captured.derive(9).expect("dt=9 is derivable"))
     });
     group.finish();
 }

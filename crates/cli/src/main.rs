@@ -22,7 +22,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use tiscc_core::instruction::Instruction;
-use tiscc_estimator::compiler::{CompileRequest, Compiler};
+use tiscc_estimator::compiler::{CompileRequest, Compiler, EstimateMode};
 use tiscc_estimator::program::{estimate_program, EstimateError, ProgramEstimateSpec};
 use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
 use tiscc_estimator::tables;
@@ -44,10 +44,12 @@ subcommands:
           [--layout lane|row|checkerboard]  floorplan strategy (default lane)
           [--grid HxW]                   tile-grid size, e.g. --grid 8x8
           [--show-layout]                print the ASCII floorplan
+          [--mode compiled|analytic]     estimation strategy (default compiled)
   tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
          [--profile NAME]
   sweep [--dmax N] [--dt N|d]            batched resource sweep (CSV + JSON)
         [--profile NAME[,NAME...]]       sweep the grid once per profile
+        [--mode compiled|analytic]       estimation strategy (default compiled)
         [--out F.csv] [--json F.json]    write artifacts (default: CSV to stdout)
   profiles                               list hardware profiles and parameters
   verify [--seed N]                      run the verification harness
@@ -159,6 +161,15 @@ impl Args {
         match self.flag("profile") {
             None => Ok(vec![HardwareSpec::default()]),
             Some(names) => names.split(',').map(resolve_profile).collect(),
+        }
+    }
+
+    /// Resolves `--mode` to an estimate mode (default: compiled, which
+    /// keeps existing invocations byte-identical).
+    fn estimate_mode(&self) -> Result<EstimateMode, CliError> {
+        match self.flag("mode") {
+            None => Ok(EstimateMode::default()),
+            Some(v) => v.parse().map_err(CliError::usage),
         }
     }
 }
@@ -304,6 +315,7 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
         profiles: args.profile_list()?,
         d_max: args.flag_usize("dmax", 49)?,
         layout,
+        mode: args.estimate_mode()?,
     };
 
     if args.flag("show-layout").is_some() {
@@ -365,7 +377,7 @@ fn cmd_profiles() -> Result<(), CliError> {
 fn cmd_sweep(args: &Args) -> Result<(), CliError> {
     let dmax = args.flag_usize("dmax", 5)?.max(2);
     let profiles = args.profile_list()?;
-    let mut spec = SweepSpec::paper(dmax).with_profiles(profiles);
+    let mut spec = SweepSpec::paper(dmax).with_profiles(profiles).with_mode(args.estimate_mode()?);
     if let Some(dt) = args.flag("dt") {
         if dt != "d" {
             let dt = dt.parse::<usize>().map_err(|_| {
@@ -454,15 +466,52 @@ struct BenchEntry {
 
 /// Parses a `Duration` debug rendering (`"153ns"`, `"12.5µs"`, `"1.2ms"`,
 /// `"3.4s"`) into nanoseconds.
+///
+/// The unit conversion shifts the decimal point in the digit string rather
+/// than multiplying floats: `1e6` scaling turns `2.063274ms` into
+/// 2063273.9999999998 because neither 2.063274 nor the product is exactly
+/// representable, and that noise then gets committed to
+/// `BENCH_BASELINE.json`. `Duration`'s debug output never prints more
+/// fractional digits than the unit has (9 for `s`, 6 for `ms`, 3 for `µs`,
+/// 0 for `ns`), so the shift always lands on an exact integer nanosecond
+/// count.
 fn parse_duration_ns(text: &str) -> Option<f64> {
     let text = text.trim();
     // Order matters: try the longest suffixes first ("ms" before "s").
-    for (suffix, scale) in [("ns", 1.0), ("µs", 1e3), ("us", 1e3), ("ms", 1e6), ("s", 1e9)] {
+    for (suffix, power) in [("ns", 0usize), ("µs", 3), ("us", 3), ("ms", 6), ("s", 9)] {
         if let Some(value) = text.strip_suffix(suffix) {
-            return value.trim().parse::<f64>().ok().map(|v| v * scale);
+            return parse_decimal_shifted(value.trim(), power);
         }
     }
     None
+}
+
+/// Parses a non-negative decimal literal times `10^power`, exactly.
+fn parse_decimal_shifted(value: &str, power: usize) -> Option<f64> {
+    let (int_part, frac_part) = value.split_once('.').unwrap_or((value, ""));
+    if int_part.is_empty() && frac_part.is_empty() {
+        return None;
+    }
+    let all_digits = |s: &str| s.bytes().all(|b| b.is_ascii_digit());
+    if !all_digits(int_part) || !all_digits(frac_part) {
+        return None;
+    }
+    let mut digits = String::from(int_part);
+    if frac_part.len() <= power {
+        // The usual case: the shift absorbs every fractional digit.
+        digits.push_str(frac_part);
+        digits.push_str(&"0".repeat(power - frac_part.len()));
+        digits.parse::<u64>().ok().map(|n| n as f64)
+    } else {
+        // More fractional digits than the shift absorbs (does not occur in
+        // `Duration` output, but keep the parser total): split into an
+        // exact integer head and a small fractional tail.
+        let (head, tail) = frac_part.split_at(power);
+        digits.push_str(head);
+        let int = digits.parse::<u64>().ok()?;
+        let frac = tail.parse::<u64>().ok()?;
+        Some(int as f64 + frac as f64 / 10f64.powi(tail.len() as i32))
+    }
 }
 
 /// Parses the benchmark-harness output format
@@ -694,6 +743,26 @@ mod bench_report_tests {
         assert_eq!(parse_duration_ns("1.2ms"), Some(1_200_000.0));
         assert_eq!(parse_duration_ns("3.5s"), Some(3_500_000_000.0));
         assert_eq!(parse_duration_ns("nonsense"), None);
+        assert_eq!(parse_duration_ns("1.e3ms"), None);
+        assert_eq!(parse_duration_ns(".s"), None);
+    }
+
+    #[test]
+    fn unit_scaling_is_exact_to_the_nanosecond() {
+        // The float-multiply version returned 2063273.9999999998 here, and
+        // that noise round-tripped into the committed baseline.
+        assert_eq!(parse_duration_ns("2.063274ms"), Some(2_063_274.0));
+        assert_eq!(parse_duration_ns("4.499999999s"), Some(4_499_999_999.0));
+        assert_eq!(parse_duration_ns("0.001µs"), Some(1.0));
+        // Every exact parse serializes as a plain integer.
+        let json = render_bench_json(&[BenchEntry {
+            id: "x".into(),
+            median_ns: parse_duration_ns("2.063274ms").unwrap(),
+        }]);
+        assert!(json.contains("\"median_ns\": 2063274 "), "got: {json}");
+        assert_eq!(parse_bench_json(&json).unwrap()[0].median_ns, 2_063_274.0);
+        // Excess fractional digits still parse (totality, not exactness).
+        assert_eq!(parse_duration_ns("1.5ns"), Some(1.5));
     }
 
     #[test]

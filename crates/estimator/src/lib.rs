@@ -33,6 +33,8 @@ pub mod sweep;
 pub mod tables;
 pub mod verify;
 
-pub use compiler::{CompileArtifact, CompileRequest, Compiler};
+pub use compiler::{
+    AnalyticArtifact, CompileArtifact, CompileRequest, Compiler, EstimateMode, ANALYTIC_DT_CAP,
+};
 pub use program::{estimate_program, ProgramEstimate, ProgramEstimateSpec};
 pub use sweep::{run_sweep, CompileCache, SweepResult, SweepSpec};

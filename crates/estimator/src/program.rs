@@ -42,7 +42,7 @@ use tiscc_program::{
     Schedule,
 };
 
-use crate::compiler::{CompileRequest, Compiler};
+use crate::compiler::{CompileRequest, Compiler, EstimateMode};
 
 /// What to estimate: the error budget, the per-step error model, the
 /// floorplan, the hardware profiles to compare, and the distance-search
@@ -59,6 +59,9 @@ pub struct ProgramEstimateSpec {
     pub d_max: usize,
     /// The floorplan: placement strategy and optional tile-grid size.
     pub layout: LayoutSpec,
+    /// How per-instruction resources are obtained (compiled schedules or
+    /// closed-form analytic derivation).
+    pub mode: EstimateMode,
 }
 
 impl ProgramEstimateSpec {
@@ -71,12 +74,19 @@ impl ProgramEstimateSpec {
             profiles: vec![HardwareSpec::default()],
             d_max: 49,
             layout: LayoutSpec::default(),
+            mode: EstimateMode::default(),
         }
     }
 
     /// Replaces the hardware-profile axis.
     pub fn with_profiles(mut self, profiles: Vec<HardwareSpec>) -> Self {
         self.profiles = profiles;
+        self
+    }
+
+    /// Replaces the estimate mode.
+    pub fn with_mode(mut self, mode: EstimateMode) -> Self {
+        self.mode = mode;
         self
     }
 
@@ -119,6 +129,8 @@ pub struct ProfileEstimate {
     /// Zone-rounds: trapping zones × error-correction rounds
     /// (logical time steps × `dt = d`).
     pub qubit_rounds: u64,
+    /// How this row's per-instruction resources were obtained.
+    pub estimate_mode: EstimateMode,
 }
 
 /// A program-level space–time resource estimate.
@@ -184,13 +196,21 @@ impl ProgramEstimate {
             "  routing: {} routed merge(s), parallel_merges {}, routing_stalls {}\n\n",
             self.routed_merges, self.parallel_merges, self.routing_stalls
         ));
+        // The mode column appears only when some row was not produced by
+        // the default compiled pipeline, so default-mode reports are
+        // byte-identical to releases that predate estimate modes.
+        let show_mode = self.rows.iter().any(|r| r.estimate_mode != EstimateMode::Compiled);
         out.push_str(&format!(
-            "  {:<14} {:>4} {:>12} {:>12} {:>8} {:>12} {:>14}\n",
+            "  {:<14} {:>4} {:>12} {:>12} {:>8} {:>12} {:>14}",
             "profile", "d", "error", "duration", "zones", "area", "qubit-rounds"
         ));
+        if show_mode {
+            out.push_str(&format!(" {:>9}", "mode"));
+        }
+        out.push('\n');
         for row in &self.rows {
             out.push_str(&format!(
-                "  {:<14} {:>4} {:>12.3e} {:>11.4}s {:>8} {:>9.3e}m^2 {:>14}\n",
+                "  {:<14} {:>4} {:>12.3e} {:>11.4}s {:>8} {:>9.3e}m^2 {:>14}",
                 row.profile,
                 row.distance,
                 row.achieved_error,
@@ -199,6 +219,10 @@ impl ProgramEstimate {
                 row.area_m2,
                 row.qubit_rounds
             ));
+            if show_mode {
+                out.push_str(&format!(" {:>9}", row.estimate_mode.name()));
+            }
+            out.push('\n');
         }
         out
     }
@@ -307,7 +331,7 @@ pub fn estimate_program(
     let compiled: Result<Vec<_>, CoreError> = requests
         .into_par_iter()
         .map(|(pi, request)| {
-            compiler.compile_row(&request).map(|row| ((pi, request.instruction), row))
+            compiler.estimate_row(&request, spec.mode).map(|row| ((pi, request.instruction), row))
         })
         .collect();
     let times: HashMap<(usize, Instruction), f64> =
@@ -332,6 +356,7 @@ pub fn estimate_program(
                 trapping_zones: zones,
                 area_m2,
                 qubit_rounds: zones as u64 * sched.logical_time_steps as u64 * d as u64,
+                estimate_mode: spec.mode,
             }
         })
         .collect();

@@ -23,5 +23,5 @@ pub mod site;
 
 pub use grid::{GridError, GridManager, QubitId};
 pub use layout::{Layout, ZONE_WIDTH_M};
-pub use path::{route, route_avoiding, shortest_tile_path, MoveStep};
+pub use path::{route, route_avoiding, route_avoiding_with, shortest_tile_path, MoveStep};
 pub use site::{QSite, SiteKind};

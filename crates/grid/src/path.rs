@@ -102,13 +102,29 @@ pub fn route_avoiding(
     to: QSite,
     blocked: &HashSet<QSite>,
 ) -> Option<Vec<MoveStep>> {
+    route_avoiding_with(layout, from, to, &|site| blocked.contains(&site))
+}
+
+/// [`route_avoiding`] with a caller-supplied blocking predicate instead of a
+/// materialized set. The hardware scheduler routes thousands of short hops
+/// per syndrome round; querying its occupancy map directly through this
+/// predicate avoids snapshotting every ion position into a fresh `HashSet`
+/// per route, which dominated compile time at large code distances. The
+/// search order (and therefore every returned route) is identical to
+/// [`route_avoiding`] with the equivalent set.
+pub fn route_avoiding_with(
+    layout: &Layout,
+    from: QSite,
+    to: QSite,
+    blocked: &dyn Fn(QSite) -> bool,
+) -> Option<Vec<MoveStep>> {
     if !layout.is_trapping_zone(from) || !layout.is_trapping_zone(to) {
         return None;
     }
     if from == to {
         return Some(Vec::new());
     }
-    if blocked.contains(&to) {
+    if blocked(to) {
         return None;
     }
 
@@ -127,7 +143,7 @@ pub fn route_avoiding(
         }
         for step in steps_from(layout, site) {
             let next = step.to();
-            if next != to && blocked.contains(&next) {
+            if next != to && blocked(next) {
                 continue;
             }
             let nd = d + step.relative_cost();

@@ -12,7 +12,7 @@
 
 use std::collections::HashMap;
 
-use tiscc_grid::{route_avoiding, GridError, GridManager, MoveStep, QSite, QubitId, SiteKind};
+use tiscc_grid::{route_avoiding_with, GridError, GridManager, MoveStep, QSite, QubitId, SiteKind};
 
 use crate::circuit::{Circuit, MeasurementRecord, TimedOp};
 use crate::label::Label;
@@ -91,6 +91,7 @@ pub struct HardwareModel {
     spec: HardwareSpec,
     templating: bool,
     capture: Option<CaptureState>,
+    round_fallbacks: usize,
 }
 
 impl HardwareModel {
@@ -113,7 +114,18 @@ impl HardwareModel {
             spec,
             templating: false,
             capture: None,
+            round_fallbacks: 0,
         }
+    }
+
+    /// How many round captures could not be proven replicable and fell back
+    /// to materializing every round (see
+    /// [`HardwareModel::replicate_captured_round`]). A non-zero count means
+    /// the compiled circuit may contain syndrome rounds that left no
+    /// [`ReplicatedSpan`], so round structure cannot be inferred from the
+    /// spans alone — analytic consumers must treat the circuit as opaque.
+    pub fn round_fallbacks(&self) -> usize {
+        self.round_fallbacks
     }
 
     /// Enables (or disables) round templating: when on, round-compiling
@@ -304,6 +316,7 @@ impl HardwareModel {
         let cap = self.capture.take()?;
         let op_end = self.circuit.len();
         if cap.poisoned || op_end == cap.op_start || self.grid.snapshot() != cap.snapshot {
+            self.round_fallbacks += 1;
             return None;
         }
         let meas_per_round = self.circuit.measurements().len() - cap.meas_start;
@@ -506,10 +519,11 @@ impl HardwareModel {
         if from == dest {
             return Ok(());
         }
-        let blocked: std::collections::HashSet<QSite> =
-            self.grid.snapshot().into_iter().filter(|&(q, _)| q != qubit).map(|(_, s)| s).collect();
-        let steps = route_avoiding(self.grid.layout(), from, dest, &blocked)
-            .ok_or(HwError::NoRoute(from, dest))?;
+        let grid = &self.grid;
+        let steps = route_avoiding_with(grid.layout(), from, dest, &|site| {
+            grid.qubit_at(site).is_some_and(|q| q != qubit)
+        })
+        .ok_or(HwError::NoRoute(from, dest))?;
         self.move_along(qubit, &steps)
     }
 

@@ -6,14 +6,20 @@
 //! sub-threshold scaling ansatz
 //!
 //! ```text
-//! p_L(d) = A · (p / p_th) ^ ⌊(d + 1) / 2⌋
+//! p_L(d) = A · (p / p_th) ^ ⌈d / 2⌉
 //! ```
 //!
 //! with physical error rate `p`, threshold `p_th` and prefactor `A`
-//! (Fowler et al.; the Azure QRE uses the same shape). Distance selection
-//! walks `d` upward and returns the smallest distance whose total program
-//! error meets the budget — monotone in the budget by construction, which
-//! the property tests pin down.
+//! (Fowler et al.; the Azure QRE uses the same shape; `⌈d/2⌉` is the
+//! number of physical faults a distance-`d` code cannot correct, also
+//! written `⌊(d+1)/2⌋`). The ansatz is only meaningful at **odd**
+//! distances: an even `d` adds a qubit row over `d − 1` but corrects no
+//! additional fault, so its exponent — and hence its predicted `p_L` —
+//! collapses onto `d − 1`'s. Distance selection therefore walks odd `d`
+//! upward from 3 and returns the smallest odd distance whose total
+//! program error meets the budget — monotone in the budget by
+//! construction, which the property tests pin down. Even distances are
+//! rejected with a typed error by [`ErrorModel::checked_logical_error_per_patch_step`].
 
 use std::fmt;
 
@@ -56,10 +62,32 @@ impl ErrorModel {
     }
 
     /// Logical error probability of one patch over one logical time step
-    /// at code distance `d`.
+    /// at code distance `d`: `A · (p / p_th) ^ ⌈d/2⌉`.
+    ///
+    /// This raw accessor evaluates the ansatz formula at any `d` (sweep
+    /// grids deliberately include even distances to chart the scaling);
+    /// consumers selecting an operating distance should go through
+    /// [`Self::checked_logical_error_per_patch_step`], which rejects the
+    /// distances the ansatz does not model.
     pub fn logical_error_per_patch_step(&self, d: usize) -> f64 {
         let exponent = d.div_ceil(2) as i32;
         self.prefactor * (self.p_physical / self.p_threshold).powi(exponent)
+    }
+
+    /// [`Self::logical_error_per_patch_step`] restricted to the distances
+    /// the ansatz actually models: odd `d ≥ 3`. An even `d` corrects no
+    /// more faults than `d − 1` (its exponent collapses onto `d − 1`'s),
+    /// so accepting it would silently overstate the code's protection.
+    pub fn checked_logical_error_per_patch_step(&self, d: usize) -> Result<f64, BudgetError> {
+        if d.is_multiple_of(2) {
+            return Err(BudgetError::EvenDistance { d });
+        }
+        if d < 3 {
+            return Err(BudgetError::InvalidModel(format!(
+                "code distance must be at least 3, got {d}"
+            )));
+        }
+        Ok(self.logical_error_per_patch_step(d))
     }
 
     /// Total program logical error over `patch_steps` patch-steps at
@@ -68,8 +96,11 @@ impl ErrorModel {
         (patch_steps as f64 * self.logical_error_per_patch_step(d)).min(1.0)
     }
 
-    /// The smallest code distance `d ≥ 2` whose total program error over
-    /// `patch_steps` patch-steps meets `budget`, searching up to `d_max`.
+    /// The smallest **odd** code distance `d ≥ 3` whose total program
+    /// error over `patch_steps` patch-steps meets `budget`, searching up
+    /// to `d_max` (an even `d_max` caps the search at `d_max − 1`, since
+    /// even distances are not modeled — see
+    /// [`Self::checked_logical_error_per_patch_step`]).
     pub fn select_distance(
         &self,
         patch_steps: u64,
@@ -82,15 +113,16 @@ impl ErrorModel {
                 "error budget must be positive, got {budget}"
             )));
         }
-        for d in 2..=d_max.max(2) {
+        let d_top = if d_max.is_multiple_of(2) { d_max.saturating_sub(1) } else { d_max }.max(3);
+        for d in (3..=d_top).step_by(2) {
             if self.program_error(d, patch_steps) <= budget {
                 return Ok(d);
             }
         }
         Err(BudgetError::Unsatisfiable {
             budget,
-            d_max,
-            error_at_d_max: self.program_error(d_max.max(2), patch_steps),
+            d_max: d_top,
+            error_at_d_max: self.program_error(d_top, patch_steps),
         })
     }
 }
@@ -100,6 +132,13 @@ impl ErrorModel {
 pub enum BudgetError {
     /// The error model (or budget) is not physically meaningful.
     InvalidModel(String),
+    /// An even code distance was requested; the scaling ansatz only
+    /// models odd distances (an even `d` corrects no more faults than
+    /// `d − 1`).
+    EvenDistance {
+        /// The rejected (even) distance.
+        d: usize,
+    },
     /// No distance up to `d_max` meets the budget.
     Unsatisfiable {
         /// The requested budget.
@@ -115,6 +154,13 @@ impl fmt::Display for BudgetError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BudgetError::InvalidModel(msg) => write!(f, "invalid error model: {msg}"),
+            BudgetError::EvenDistance { d } => write!(
+                f,
+                "code distance d={d} is even; the scaling ansatz only models odd \
+                 distances (use d={} or d={})",
+                d.saturating_sub(1).max(3),
+                d + 1
+            ),
             BudgetError::Unsatisfiable { budget, d_max, error_at_d_max } => write!(
                 f,
                 "no distance up to d={d_max} meets the budget {budget:e} \
@@ -134,9 +180,9 @@ mod tests {
     fn logical_error_decreases_with_distance() {
         let m = ErrorModel::default();
         let mut last = f64::INFINITY;
-        for d in 2..=25 {
-            let p = m.logical_error_per_patch_step(d);
-            assert!(p <= last, "p_L must be non-increasing in d");
+        for d in (3..=25).step_by(2) {
+            let p = m.checked_logical_error_per_patch_step(d).unwrap();
+            assert!(p < last, "p_L must be strictly decreasing in odd d");
             assert!(p > 0.0);
             last = p;
         }
@@ -145,11 +191,32 @@ mod tests {
     }
 
     #[test]
-    fn select_distance_returns_the_smallest_satisfying_distance() {
+    fn even_and_degenerate_distances_are_rejected() {
+        let m = ErrorModel::default();
+        assert_eq!(
+            m.checked_logical_error_per_patch_step(4),
+            Err(BudgetError::EvenDistance { d: 4 })
+        );
+        let msg = m.checked_logical_error_per_patch_step(20).unwrap_err().to_string();
+        assert!(msg.contains("d=20") && msg.contains("d=19") && msg.contains("d=21"), "{msg}");
+        assert!(matches!(
+            m.checked_logical_error_per_patch_step(1),
+            Err(BudgetError::InvalidModel(_))
+        ));
+        // The even distance would otherwise silently claim d-1's protection.
+        assert_eq!(m.logical_error_per_patch_step(4), m.logical_error_per_patch_step(3));
+    }
+
+    #[test]
+    fn select_distance_returns_the_smallest_satisfying_odd_distance() {
         let m = ErrorModel::default();
         let d = m.select_distance(100, 1e-9, 35).unwrap();
+        assert_eq!(d % 2, 1, "selected distances are odd");
         assert!(m.program_error(d, 100) <= 1e-9);
-        assert!(m.program_error(d - 1, 100) > 1e-9, "d is minimal");
+        assert!(m.program_error(d - 2, 100) > 1e-9, "d is minimal among odd distances");
+        // An even d_max caps the search at d_max - 1.
+        let err = m.select_distance(u64::MAX, 1e-30, 20).unwrap_err();
+        assert!(matches!(err, BudgetError::Unsatisfiable { d_max: 19, .. }), "{err}");
     }
 
     #[test]
@@ -181,6 +248,6 @@ mod tests {
     #[test]
     fn zero_patch_steps_select_the_smallest_distance() {
         let m = ErrorModel::default();
-        assert_eq!(m.select_distance(0, 1e-15, 25).unwrap(), 2);
+        assert_eq!(m.select_distance(0, 1e-15, 25).unwrap(), 3);
     }
 }

@@ -78,11 +78,46 @@ pub fn mnemonic(instruction: Instruction) -> &'static str {
     }
 }
 
+/// Splits `.tql` text into source lines, recognizing `\n`, `\r\n` and a
+/// lone `\r` as terminators. `str::lines` treats a bare `\r` (classic-Mac
+/// or mixed-origin files) as an ordinary character, which silently merges
+/// the two source lines around it — turning, e.g., `qubit a\rprep_z a`
+/// into one bogus declaration line and shifting every later error's line
+/// number. Like `str::lines`, a trailing terminator does not produce a
+/// final empty line.
+fn source_lines(text: &str) -> SourceLines<'_> {
+    SourceLines { rest: text }
+}
+
+struct SourceLines<'a> {
+    rest: &'a str,
+}
+
+impl<'a> Iterator for SourceLines<'a> {
+    type Item = &'a str;
+
+    fn next(&mut self) -> Option<&'a str> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        match self.rest.find(['\n', '\r']) {
+            None => Some(std::mem::take(&mut self.rest)),
+            Some(i) => {
+                let line = &self.rest[..i];
+                let sep = if self.rest[i..].starts_with("\r\n") { 2 } else { 1 };
+                self.rest = &self.rest[i + sep..];
+                Some(line)
+            }
+        }
+    }
+}
+
 impl LogicalProgram {
-    /// Parses `.tql` text into a validated program named `name`.
+    /// Parses `.tql` text into a validated program named `name`. Lines may
+    /// end in `\n`, `\r\n` or `\r`; the final line needs no terminator.
     pub fn parse(name: impl Into<String>, text: &str) -> Result<LogicalProgram, ParseError> {
         let mut program = LogicalProgram::new(name);
-        for (idx, raw) in text.lines().enumerate() {
+        for (idx, raw) in source_lines(text).enumerate() {
             let lineno = idx + 1;
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
@@ -227,6 +262,45 @@ merge_zz a b  # joint ZZ
             LogicalProgram::parse("p", "qubit a\nprep_z a\n\nh a\nmeas_z a\nh a\n").unwrap_err();
         assert_eq!(err.line, 6);
         assert!(err.message.contains("not live"));
+    }
+
+    #[test]
+    fn line_endings_do_not_change_the_parse() {
+        let lf = LogicalProgram::parse("bell", BELL).unwrap();
+        for (name, text) in [
+            ("crlf", BELL.replace('\n', "\r\n")),
+            ("cr", BELL.replace('\n', "\r")),
+            ("no trailing newline", BELL.trim_end().to_string()),
+            (
+                "mixed",
+                "# Bell pair\r\nqubit a b\rprep_x a\nprep_z b\r\nmerge_zz a b  # joint ZZ"
+                    .to_string(),
+            ),
+        ] {
+            let p = LogicalProgram::parse("bell", &text).unwrap();
+            assert_eq!(p.qubit_count(), lf.qubit_count(), "{name}");
+            assert_eq!(p.len(), lf.len(), "{name}");
+            assert_eq!(p.instructions()[2].line, Some(5), "{name}");
+        }
+    }
+
+    #[test]
+    fn a_lone_cr_separates_lines_instead_of_merging_them() {
+        // `str::lines` would glue these into one line, mis-parsing it as
+        // `qubit a prep_z a` (a duplicate-qubit declaration).
+        let p = LogicalProgram::parse("p", "qubit a\rprep_z a\rmeas_z a").unwrap();
+        assert_eq!(p.qubit_count(), 1);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.instructions()[1].line, Some(3));
+
+        // Errors after a lone CR report the true source line.
+        let err = LogicalProgram::parse("p", "qubit a\rfrobnicate a\n").unwrap_err();
+        assert_eq!(err.line, 2);
+
+        // CRLF comments don't swallow the following line either.
+        let err = LogicalProgram::parse("p", "qubit a # names\r\nprep_z b\r\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.message.contains("unknown qubit 'b'"));
     }
 
     #[test]

@@ -115,9 +115,12 @@ proptest! {
         prop_assert!(d_tight >= d_loose, "tighter budget selected a smaller distance");
         prop_assert!(model.program_error(d_loose, patch_steps) <= loose);
         prop_assert!(model.program_error(d_tight, patch_steps) <= tight);
-        // Minimality: one distance less misses the budget (d=2 is the floor).
-        if d_loose > 2 {
-            prop_assert!(model.program_error(d_loose - 1, patch_steps) > loose);
+        prop_assert_eq!(d_loose % 2, 1, "selection only returns odd distances");
+        prop_assert_eq!(d_tight % 2, 1, "selection only returns odd distances");
+        // Minimality: the next odd distance down misses the budget (d=3 is
+        // the floor; even distances are not modeled by the ansatz).
+        if d_loose > 3 {
+            prop_assert!(model.program_error(d_loose - 2, patch_steps) > loose);
         }
     }
 

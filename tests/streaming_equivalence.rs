@@ -14,9 +14,12 @@ use std::time::Instant;
 use proptest::prelude::*;
 
 use tiscc::core::instruction::{apply_instruction, apply_two_tile_instruction, Instruction};
+use tiscc::estimator::program::{estimate_program, ProgramEstimateSpec};
 use tiscc::estimator::verify::{Fiducial, SingleTile, TwoTiles};
+use tiscc::estimator::{CompileRequest, Compiler, EstimateMode};
 use tiscc::hw::validity::{check_circuit, check_stream};
 use tiscc::hw::{CompiledRounds, HardwareModel, HardwareSpec, ResourceReport};
+use tiscc::program::{LayoutSpec, LogicalProgram};
 
 /// Compiles `instruction` end-to-end on a fresh fixture (input preparation
 /// included, mirroring the estimator front door) and returns the hardware
@@ -170,6 +173,131 @@ fn extension_rounds_replicate_equivalently() {
     assert_eq!(rounds.len(), ref_rounds.len());
     for (a, b) in rounds.iter().zip(&ref_rounds) {
         assert_eq!(a.measurements, b.measurements, "round records must agree");
+    }
+}
+
+/// Distance (in representable doubles) between two same-sign finite
+/// floats; 0 iff bit-identical.
+fn ulp_diff(a: f64, b: f64) -> u64 {
+    (a.to_bits() as i64 - b.to_bits() as i64).unsigned_abs()
+}
+
+/// The analytic estimate mode agrees with the compiled mode on every
+/// profile, instruction arity, distance and round count: bit-for-bit on
+/// the dyadic-duration profiles (`h1`, `slow_junction`), and to ≤ 1 ulp on
+/// the float-summed durations of `projected` (whose non-dyadic gate times
+/// can tie-break epilogue timing differently; the space-time volume is a
+/// product of two such values, so it gets 2).
+#[test]
+fn analytic_rows_match_compiled_rows_on_every_profile() {
+    let compiler = Compiler::new();
+    for spec in HardwareSpec::presets() {
+        let dyadic = spec.name != "projected";
+        for instruction in [Instruction::Idle, Instruction::PrepareZ, Instruction::MeasureZZ] {
+            for d in [2usize, 3] {
+                // dt = 1 exercises the out-of-range fallback to compiled.
+                for dt in [1usize, 2, 3, 5] {
+                    let request =
+                        CompileRequest::new(instruction, d, d, dt).with_spec(spec.clone());
+                    let compiled = compiler.estimate_row(&request, EstimateMode::Compiled).unwrap();
+                    let analytic = compiler.estimate_row(&request, EstimateMode::Analytic).unwrap();
+                    let ctx = format!("{instruction:?} d={d} dt={dt} profile={}", spec.name);
+                    if dyadic {
+                        assert_eq!(analytic, compiled, "{ctx}");
+                        continue;
+                    }
+                    assert_eq!(
+                        (&analytic.name, analytic.dx, analytic.dz, &analytic.profile),
+                        (&compiled.name, compiled.dx, compiled.dz, &compiled.profile),
+                        "{ctx}"
+                    );
+                    assert_eq!(analytic.logical_time_steps, compiled.logical_time_steps, "{ctx}");
+                    assert_eq!(analytic.tiles, compiled.tiles, "{ctx}");
+                    let (a, c) = (&analytic.resources, &compiled.resources);
+                    assert_eq!(a.op_counts, c.op_counts, "{ctx}");
+                    assert_eq!(a.total_ops, c.total_ops, "{ctx}");
+                    assert_eq!(a.measurements, c.measurements, "{ctx}");
+                    assert_eq!(a.trapping_zones, c.trapping_zones, "{ctx}");
+                    assert_eq!(a.junctions, c.junctions, "{ctx}");
+                    assert_eq!(a.area_m2.to_bits(), c.area_m2.to_bits(), "{ctx}");
+                    for (x, y, tol, what) in [
+                        (a.execution_time_s, c.execution_time_s, 1, "execution_time_s"),
+                        (a.zone_seconds, c.zone_seconds, 2, "zone_seconds"),
+                        (a.active_zone_seconds, c.active_zone_seconds, 1, "active_zone_seconds"),
+                        (a.spacetime_volume_s_m2, c.spacetime_volume_s_m2, 2, "volume"),
+                    ] {
+                        assert!(
+                            ulp_diff(x, y) <= tol,
+                            "{what} differs by more than {tol} ulp ({x:?} vs {y:?}) {ctx}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Whole-program estimates agree between the modes on both 2D floorplans,
+/// with the same ulp discipline as the per-instruction comparison. The
+/// analytic rows must also say they are analytic.
+#[test]
+fn analytic_program_estimates_match_compiled_across_layouts() {
+    let text = std::fs::read_to_string("examples/programs/teleport.tql").unwrap();
+    let program = LogicalProgram::parse("teleport", &text).unwrap();
+    let compiler = Compiler::new();
+    for layout in ["lane", "checkerboard"] {
+        let spec = ProgramEstimateSpec {
+            layout: LayoutSpec::by_name(layout).unwrap(),
+            ..ProgramEstimateSpec::new(1e-3)
+                .with_profiles(vec![HardwareSpec::h1(), HardwareSpec::projected()])
+        };
+        let compiled = estimate_program(&program, &spec, &compiler).unwrap();
+        let analytic = estimate_program(
+            &program,
+            &ProgramEstimateSpec { mode: EstimateMode::Analytic, ..spec },
+            &compiler,
+        )
+        .unwrap();
+        assert_eq!(compiled.rows.len(), analytic.rows.len());
+        for (c, a) in compiled.rows.iter().zip(&analytic.rows) {
+            let ctx = format!("layout={layout} profile={}", c.profile);
+            assert_eq!(a.estimate_mode, EstimateMode::Analytic, "{ctx}");
+            assert_eq!(c.estimate_mode, EstimateMode::Compiled, "{ctx}");
+            assert_eq!(a.profile, c.profile, "{ctx}");
+            assert_eq!(a.distance, c.distance, "{ctx}");
+            assert_eq!(a.achieved_error.to_bits(), c.achieved_error.to_bits(), "{ctx}");
+            assert_eq!(a.trapping_zones, c.trapping_zones, "{ctx}");
+            assert_eq!(a.qubit_rounds, c.qubit_rounds, "{ctx}");
+            assert_eq!(a.area_m2.to_bits(), c.area_m2.to_bits(), "{ctx}");
+            let tol = if c.profile == "projected" { 1 } else { 0 };
+            assert!(
+                ulp_diff(a.duration_s, c.duration_s) <= tol,
+                "duration {:?} vs {:?} exceeds {tol} ulp {ctx}",
+                a.duration_s,
+                c.duration_s
+            );
+        }
+    }
+}
+
+/// Budget monotonicity holds in analytic mode: tightening the budget never
+/// shrinks the selected (odd) distance, and every estimate meets the
+/// budget it was asked for.
+#[test]
+fn analytic_mode_respects_budget_monotonicity() {
+    let program =
+        LogicalProgram::parse("bell", "qubit a b\nprep_x a\nprep_z b\nmerge_zz a b\n").unwrap();
+    let compiler = Compiler::new();
+    let mut last_distance = 0usize;
+    for budget in [1e-2, 1e-3, 1e-4] {
+        let spec = ProgramEstimateSpec::new(budget).with_mode(EstimateMode::Analytic);
+        let estimate = estimate_program(&program, &spec, &compiler).unwrap();
+        let row = &estimate.rows[0];
+        assert_eq!(row.estimate_mode, EstimateMode::Analytic);
+        assert_eq!(row.distance % 2, 1, "selected distances are odd");
+        assert!(row.achieved_error <= budget, "budget {budget:e} missed");
+        assert!(row.distance >= last_distance, "tighter budget shrank the distance");
+        last_distance = row.distance;
     }
 }
 
