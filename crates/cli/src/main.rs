@@ -3,6 +3,10 @@
 //! ```text
 //! tiscc compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
 //! tiscc estimate <program.tql>                 estimate a whole logical program
+//! tiscc frontier <program.tql>                 Pareto-frontier search over the
+//!                                              layout x distance x profile space
+//! tiscc serve --stdin-json                     answer JSON estimate/frontier
+//!                                              requests on stdin
 //! tiscc tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
 //! tiscc sweep [--dmax N] [--dt N|d] [--out F]  batched resource sweep (CSV + JSON)
 //! tiscc profiles                               list hardware profiles and parameters
@@ -27,6 +31,10 @@ use tiscc_estimator::program::{estimate_program, EstimateError, ProgramEstimateS
 use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
 use tiscc_estimator::tables;
 use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
+use tiscc_frontier::{
+    frontier_to_csv, handle_line, matrix_from_csv, matrix_to_csv, parse_layout_entry,
+    report_to_json, run_frontier, split_list, DiskCache, FrontierError, FrontierSpec, ServeState,
+};
 use tiscc_hw::HardwareSpec;
 use tiscc_program::{BudgetError, ErrorModel, LayoutSpec, LogicalProgram, Placement};
 
@@ -45,6 +53,23 @@ subcommands:
           [--grid HxW]                   tile-grid size, e.g. --grid 8x8
           [--show-layout]                print the ASCII floorplan
           [--mode compiled|analytic]     estimation strategy (default compiled)
+  frontier <program.tql>                 Pareto-frontier search: evaluate every
+                                         layout x odd distance x profile cell,
+                                         print the non-dominated set as CSV
+          [--layouts L[@RxC][,...]]      floorplans to cross (default lane)
+          [--grids RxC[,...]]            grids applied to auto-sized layouts
+          [--dmin N] [--dmax N]          code-distance range (default 3..13)
+          [--profile NAME[,NAME...]]     hardware profiles (default h1)
+          [--mode compiled|analytic]     estimation strategy (default compiled)
+          [--p-phys X] [--p-th X]        per-step error model parameters
+          [--prefactor X]
+          [--cache-dir DIR]              persistent compile cache (reused and
+                                         extended across runs)
+          [--out F.csv] [--json F.json]  write the full matrix as artifacts
+  serve --stdin-json                     answer newline-delimited JSON requests
+                                         ({\"cmd\":\"ping\"|\"estimate\"|\"frontier\"})
+                                         on stdin until EOF
+          [--cache-dir DIR]              persistent compile cache
   tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
          [--profile NAME]
   sweep [--dmax N] [--dt N|d]            batched resource sweep (CSV + JSON)
@@ -92,7 +117,7 @@ struct Args {
 
 /// Flags that never take a value (so they never swallow a following
 /// positional argument).
-const BOOLEAN_FLAGS: &[&str] = &["show-layout"];
+const BOOLEAN_FLAGS: &[&str] = &["show-layout", "stdin-json"];
 
 impl Args {
     fn parse(raw: &[String]) -> Args {
@@ -156,11 +181,17 @@ impl Args {
     }
 
     /// Resolves `--profile` to a comma-separated list of profiles
-    /// (default: just h1).
+    /// (default: just h1). Entries are trimmed and deduplicated — a
+    /// repeated name never doubles the work or the report — and an
+    /// effectively empty list (`--profile ","`) is a usage error.
     fn profile_list(&self) -> Result<Vec<HardwareSpec>, CliError> {
         match self.flag("profile") {
             None => Ok(vec![HardwareSpec::default()]),
-            Some(names) => names.split(',').map(resolve_profile).collect(),
+            Some(names) => split_list("profile", names)
+                .map_err(CliError::usage)?
+                .iter()
+                .map(|name| resolve_profile(name))
+                .collect(),
         }
     }
 
@@ -202,6 +233,8 @@ fn run(raw: &[String]) -> Result<(), CliError> {
     match subcommand.as_str() {
         "compile" => cmd_compile(&args),
         "estimate" => cmd_estimate(&args),
+        "frontier" => cmd_frontier(&args),
+        "serve" => cmd_serve(&args),
         "tables" => cmd_tables(&args),
         "sweep" => cmd_sweep(&args),
         "profiles" => cmd_profiles(),
@@ -262,9 +295,10 @@ fn cmd_compile(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-/// Parses `--grid HxW` (e.g. `8x8`) into tile-grid dimensions.
-fn parse_grid(value: &str) -> Result<(usize, usize), CliError> {
-    let bad = || CliError::usage(format!("--grid expects ROWSxCOLS (e.g. 8x8), got {value:?}"));
+/// Parses a `HxW` grid value (e.g. `8x8`) into tile-grid dimensions;
+/// `flag` names the offending flag in the error message.
+fn parse_grid(flag: &str, value: &str) -> Result<(usize, usize), CliError> {
+    let bad = || CliError::usage(format!("{flag} expects ROWSxCOLS (e.g. 8x8), got {value:?}"));
     let (rows, cols) = value.split_once(['x', 'X']).ok_or_else(bad)?;
     let rows: usize = rows.trim().parse().map_err(|_| bad())?;
     let cols: usize = cols.trim().parse().map_err(|_| bad())?;
@@ -281,10 +315,32 @@ fn layout_spec(args: &Args) -> Result<LayoutSpec, CliError> {
         Some(name) => LayoutSpec::by_name(name).map_err(|e| CliError::usage(e.to_string()))?,
     };
     if let Some(grid) = args.flag("grid") {
-        let (rows, cols) = parse_grid(grid)?;
+        let (rows, cols) = parse_grid("--grid", grid)?;
         layout = layout.with_grid(rows, cols);
     }
     Ok(layout)
+}
+
+/// Reads and parses a `.tql` program file; unreadable or unparseable
+/// files are usage errors naming the path.
+fn load_program(path: &str) -> Result<LogicalProgram, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+    let stem = PathBuf::from(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "program".to_string());
+    LogicalProgram::parse(stem, &text).map_err(|e| CliError::usage(format!("{path}:{e}")))
+}
+
+/// Resolves the `--p-phys`, `--p-th` and `--prefactor` flags into an
+/// error model (defaults unchanged where a flag is absent).
+fn error_model(args: &Args) -> Result<ErrorModel, CliError> {
+    Ok(ErrorModel {
+        p_physical: args.flag_f64("p-phys", ErrorModel::default().p_physical)?,
+        p_threshold: args.flag_f64("p-th", ErrorModel::default().p_threshold)?,
+        prefactor: args.flag_f64("prefactor", ErrorModel::default().prefactor)?,
+    })
 }
 
 fn cmd_estimate(args: &Args) -> Result<(), CliError> {
@@ -294,20 +350,9 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
              [--layout lane|row|checkerboard] [--grid HxW] [--show-layout]",
         ));
     };
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
-    let stem = PathBuf::from(path)
-        .file_stem()
-        .map(|s| s.to_string_lossy().into_owned())
-        .unwrap_or_else(|| "program".to_string());
-    let program =
-        LogicalProgram::parse(stem, &text).map_err(|e| CliError::usage(format!("{path}:{e}")))?;
+    let program = load_program(path)?;
 
-    let model = ErrorModel {
-        p_physical: args.flag_f64("p-phys", ErrorModel::default().p_physical)?,
-        p_threshold: args.flag_f64("p-th", ErrorModel::default().p_threshold)?,
-        prefactor: args.flag_f64("prefactor", ErrorModel::default().prefactor)?,
-    };
+    let model = error_model(args)?;
     let layout = layout_spec(args)?;
     let spec = ProgramEstimateSpec {
         budget: args.flag_f64("budget", 1e-9)?,
@@ -339,6 +384,151 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
     })?;
     print!("{}", estimate.render());
     Ok(())
+}
+
+/// Maps a frontier-engine failure onto the CLI exit-code convention:
+/// malformed inputs (empty axes, bad models, unplaceable programs) are
+/// usage errors, compile/cache failures are runtime errors.
+fn frontier_cli_error(e: FrontierError) -> CliError {
+    match e {
+        FrontierError::Compile(_) | FrontierError::Cache(_) => CliError::runtime(e.to_string()),
+        other => CliError::usage(other.to_string()),
+    }
+}
+
+/// Opens the persistent compile cache named by `--cache-dir`, if any.
+fn open_cache(args: &Args) -> Result<Option<DiskCache>, CliError> {
+    match args.flag("cache-dir") {
+        None => Ok(None),
+        Some("") => Err(CliError::usage("--cache-dir expects a directory path")),
+        Some(dir) => DiskCache::open(std::path::Path::new(dir))
+            .map(Some)
+            .map_err(|e| CliError::runtime(e.to_string())),
+    }
+}
+
+/// Resolves `--layouts` and `--grids` into the floorplan axis: each
+/// layout entry (`name` or `name@RxC`) that carries no explicit grid is
+/// crossed with every `--grids` entry; explicitly-gridded entries pass
+/// through unchanged. Duplicate entries in either list are dropped.
+fn frontier_layouts(args: &Args) -> Result<Vec<LayoutSpec>, CliError> {
+    let entries =
+        split_list("layouts", args.flag("layouts").unwrap_or("lane")).map_err(CliError::usage)?;
+    let grids: Vec<(usize, usize)> = match args.flag("grids") {
+        None => Vec::new(),
+        Some(raw) => split_list("grids", raw)
+            .map_err(CliError::usage)?
+            .iter()
+            .map(|g| parse_grid("--grids", g))
+            .collect::<Result<_, _>>()?,
+    };
+    let mut layouts = Vec::new();
+    for entry in &entries {
+        let layout = parse_layout_entry(entry).map_err(CliError::usage)?;
+        if layout.grid.is_some() || grids.is_empty() {
+            layouts.push(layout);
+        } else {
+            for &(rows, cols) in &grids {
+                layouts.push(layout.with_grid(rows, cols));
+            }
+        }
+    }
+    Ok(layouts)
+}
+
+fn cmd_frontier(args: &Args) -> Result<(), CliError> {
+    let Some(path) = args.positional.first() else {
+        return Err(CliError::usage(
+            "usage: tiscc frontier <program.tql> [--layouts L[@RxC][,...]] [--grids RxC[,...]] \
+             [--dmin N] [--dmax N] [--profile NAME[,NAME...]] [--mode compiled|analytic] \
+             [--cache-dir DIR] [--out F.csv] [--json F.json]",
+        ));
+    };
+    let program = load_program(path)?;
+    let spec = FrontierSpec {
+        layouts: frontier_layouts(args)?,
+        d_min: args.flag_usize("dmin", 3)?,
+        d_max: args.flag_usize("dmax", 13)?,
+        profiles: args.profile_list()?,
+        mode: args.estimate_mode()?,
+        model: error_model(args)?,
+    };
+    let disk = open_cache(args)?;
+
+    let compiler = Compiler::new();
+    let started = std::time::Instant::now();
+    let report =
+        run_frontier(&program, &spec, &compiler, disk.as_ref()).map_err(frontier_cli_error)?;
+    eprint!("{}", report.render_stats());
+    eprintln!("  elapsed: {:.3}s", started.elapsed().as_secs_f64());
+    if let Some(cache) = &disk {
+        eprintln!(
+            "  persistent cache: {} entr{} at {} ({} corrupt skipped)",
+            cache.len(),
+            if cache.len() == 1 { "y" } else { "ies" },
+            cache.dir().display(),
+            cache.corrupt_entries()
+        );
+    }
+
+    if let Some(out) = args.flag("out") {
+        let csv = matrix_to_csv(&report);
+        std::fs::write(out, &csv)
+            .map_err(|e| CliError::runtime(format!("cannot write {out}: {e}")))?;
+        // Self-check: the artifact we just wrote must re-parse bit-exactly.
+        let text = std::fs::read_to_string(out)
+            .map_err(|e| CliError::runtime(format!("cannot re-read {out}: {e}")))?;
+        let parsed = matrix_from_csv(&text)
+            .map_err(|e| CliError::runtime(format!("written CSV failed to re-parse: {e}")))?;
+        if parsed != report.points {
+            return Err(CliError::runtime("written CSV did not round-trip the matrix exactly"));
+        }
+        eprintln!("wrote {out}");
+    }
+    if let Some(json) = args.flag("json") {
+        std::fs::write(json, report_to_json(&report))
+            .map_err(|e| CliError::runtime(format!("cannot write {json}: {e}")))?;
+        eprintln!("wrote {json}");
+    }
+    print!("{}", frontier_to_csv(&report));
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), CliError> {
+    if args.flag("stdin-json").is_none() {
+        return Err(CliError::usage(
+            "usage: tiscc serve --stdin-json [--cache-dir DIR] (newline-delimited JSON \
+             requests on stdin, one JSON response per line on stdout, until EOF)",
+        ));
+    }
+    let state = ServeState { compiler: Compiler::new(), disk: open_cache(args)? };
+    eprintln!(
+        "tiscc serve: reading JSON requests from stdin{}",
+        match &state.disk {
+            Some(cache) => format!(" (persistent cache: {})", cache.dir().display()),
+            None => String::new(),
+        }
+    );
+    let stdin = std::io::stdin();
+    let mut input = String::new();
+    loop {
+        input.clear();
+        use std::io::BufRead;
+        let n = stdin
+            .lock()
+            .read_line(&mut input)
+            .map_err(|e| CliError::runtime(format!("stdin read failed: {e}")))?;
+        if n == 0 {
+            return Ok(());
+        }
+        let line = input.trim();
+        if line.is_empty() {
+            continue;
+        }
+        println!("{}", handle_line(line, &state));
+        use std::io::Write;
+        let _ = std::io::stdout().flush();
+    }
 }
 
 type TableJob =

@@ -12,6 +12,7 @@
 //! requests differing only in their spec.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use tiscc_core::instruction::{
@@ -417,6 +418,7 @@ impl OpStream for DerivedStream<'_> {
 pub struct Compiler {
     cache: CompileCache,
     analytic: Mutex<HashMap<SweepKey, Option<Arc<AnalyticArtifact>>>>,
+    captures: AtomicUsize,
 }
 
 impl Compiler {
@@ -429,6 +431,15 @@ impl Compiler {
     /// call on this compiler).
     pub fn cache(&self) -> &CompileCache {
         &self.cache
+    }
+
+    /// How many physical analytic captures ([`AnalyticArtifact::capture`]
+    /// compiles) this compiler has performed. A batch engine fed entirely
+    /// from a warm persistent cache reports zero — the counter is the
+    /// observable that distinguishes "served from cache" from "recomputed
+    /// and happened to match".
+    pub fn analytic_captures(&self) -> usize {
+        self.captures.load(Ordering::Relaxed)
     }
 
     /// Compiles a request end-to-end, returning the full artifact. The
@@ -488,6 +499,7 @@ impl Compiler {
         if let Some(hit) = self.analytic.lock().expect("analytic cache poisoned").get(&key) {
             return Ok(hit.clone());
         }
+        self.captures.fetch_add(1, Ordering::Relaxed);
         let captured = AnalyticArtifact::capture(
             request.instruction,
             request.dx,
@@ -662,6 +674,7 @@ mod tests {
         // traffic beyond (possibly) fallback dts — for Idle, none.
         assert_eq!(compiler.cache().len(), 0, "analytic rows never populate the compiled cache");
         assert_eq!(compiler.analytic.lock().unwrap().len(), 1);
+        assert_eq!(compiler.analytic_captures(), 1, "one physical capture serves every dt");
     }
 
     #[test]

@@ -7,7 +7,7 @@ use rayon::prelude::*;
 use tiscc_core::derived::DerivedInstruction;
 use tiscc_core::instruction::Instruction;
 use tiscc_core::CoreError;
-use tiscc_hw::{HardwareSpec, NativeOp, ResourceReport};
+use tiscc_hw::{HardwareSpec, NativeOp, RecordError, ResourceReport};
 
 use crate::compiler::{instruction_rounds, CompileRequest};
 use crate::verify::{Fiducial, SingleTile, TwoTiles};
@@ -73,6 +73,74 @@ impl ResourceRow {
             self.profile,
         )
     }
+
+    /// Serializes the full row — identity fields plus the complete
+    /// [`ResourceReport`] — as an exact `key=value` record. Unlike
+    /// [`ResourceRow::csv`] (which carries the scalar columns only), the
+    /// record preserves every field bit-for-bit, so a row revived by
+    /// [`ResourceRow::from_record`] is `==` to the original. This is the
+    /// entry format of the persistent on-disk compile cache.
+    pub fn to_record(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("name={}\n", self.name));
+        out.push_str(&format!("dx={}\n", self.dx));
+        out.push_str(&format!("dz={}\n", self.dz));
+        out.push_str(&format!("tiles={}\n", self.tiles));
+        out.push_str(&format!("logical_time_steps={}\n", self.logical_time_steps));
+        out.push_str(&format!("profile={}\n", self.profile));
+        out.push_str(&self.resources.to_record());
+        out
+    }
+
+    /// Parses a record produced by [`ResourceRow::to_record`]. Any
+    /// malformation — truncation, missing or duplicate fields, unknown op
+    /// names — is a [`RecordError`]; persistent-cache consumers recompute
+    /// such entries rather than trusting them.
+    pub fn from_record(text: &str) -> Result<ResourceRow, RecordError> {
+        let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(bad_record(format!("line {line:?} is not key=value")));
+            };
+            if fields.insert(key, value).is_some() {
+                return Err(bad_record(format!("duplicate field {key:?}")));
+            }
+        }
+        fn text_field(
+            fields: &std::collections::HashMap<&str, &str>,
+            key: &str,
+        ) -> Result<String, RecordError> {
+            fields
+                .get(key)
+                .map(|v| v.to_string())
+                .ok_or_else(|| bad_record(format!("missing field {key:?}")))
+        }
+        fn num_field(
+            fields: &std::collections::HashMap<&str, &str>,
+            key: &str,
+        ) -> Result<usize, RecordError> {
+            let raw = text_field(fields, key)?;
+            raw.parse().map_err(|_| bad_record(format!("field {key:?} ({raw:?}) is malformed")))
+        }
+        Ok(ResourceRow {
+            name: text_field(&fields, "name")?,
+            dx: num_field(&fields, "dx")?,
+            dz: num_field(&fields, "dz")?,
+            tiles: num_field(&fields, "tiles")?,
+            logical_time_steps: num_field(&fields, "logical_time_steps")?,
+            profile: text_field(&fields, "profile")?,
+            resources: ResourceReport::from_record(text)?,
+        })
+    }
+}
+
+/// Builds a [`RecordError`] with the given message (the error type lives in
+/// `tiscc-hw` next to [`ResourceReport::from_record`]).
+fn bad_record(message: String) -> RecordError {
+    RecordError { message }
 }
 
 /// CSV header matching [`ResourceRow::csv`].
@@ -439,5 +507,18 @@ mod tests {
         let csv = render_csv(&rows);
         assert!(csv.starts_with("operation,"));
         assert_eq!(csv.lines().count(), rows.len() + 1);
+    }
+
+    #[test]
+    fn row_records_round_trip_exactly() {
+        let rows = table1_rows(&[2], 1).unwrap();
+        for row in &rows {
+            let revived = ResourceRow::from_record(&row.to_record()).unwrap();
+            assert_eq!(&revived, row, "{} record round trip", row.name);
+        }
+        // Truncated and garbled records are typed errors, not rows.
+        let record = rows[0].to_record();
+        assert!(ResourceRow::from_record(&record[..record.len() / 3]).is_err());
+        assert!(ResourceRow::from_record(&record.replace("dx=", "dx=?")).is_err());
     }
 }

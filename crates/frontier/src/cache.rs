@@ -1,0 +1,332 @@
+//! A persistent on-disk compile cache.
+//!
+//! Rows produced by the estimator are stored one-per-file under a
+//! versioned directory:
+//!
+//! ```text
+//! <root>/v1/<instruction>-dx3-dz3-dt3-<fingerprint>-analytic.entry
+//! ```
+//!
+//! Each entry holds a two-line header (format version, the entry's own
+//! file stem) followed by the [`ResourceRow`] record. Every field a row
+//! carries round-trips **bit-for-bit** through the record renderer, so a
+//! warm run reproduces a cold run exactly.
+//!
+//! The cache is corruption-tolerant by construction: an entry is used only
+//! if the whole file parses, its header stem matches its file name, and
+//! the decoded row agrees with the distances encoded in the stem.
+//! Anything else is counted as corrupt, ignored, and recomputed — a bad
+//! byte can cost time, never correctness. Bumping
+//! [`CACHE_FORMAT_VERSION`] changes the directory name, so old-format
+//! entries are invisible to new binaries rather than misread.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tiscc_estimator::compiler::EstimateMode;
+use tiscc_estimator::sweep::SweepKey;
+use tiscc_estimator::tables::ResourceRow;
+
+use crate::spec::FrontierError;
+
+/// Version of the on-disk entry format. Bump on any change to the entry
+/// layout; each version lives in its own `v<N>/` subdirectory, so a
+/// mismatched cache directory is simply empty, never misinterpreted.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// A persistent, versioned, corruption-tolerant store of estimator rows
+/// keyed by `(`[`SweepKey`]`, `[`EstimateMode`]`)`.
+#[derive(Debug)]
+pub struct DiskCache {
+    dir: PathBuf,
+    entries: Mutex<HashMap<String, ResourceRow>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+    corrupt: usize,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache under `root` at the current
+    /// [`CACHE_FORMAT_VERSION`], loading every intact entry into memory.
+    pub fn open(root: &Path) -> Result<DiskCache, FrontierError> {
+        DiskCache::open_versioned(root, CACHE_FORMAT_VERSION)
+    }
+
+    /// [`DiskCache::open`] pinned to an explicit format version. Exposed
+    /// so tests can demonstrate that a version bump orphans old entries.
+    pub fn open_versioned(root: &Path, version: u32) -> Result<DiskCache, FrontierError> {
+        let dir = root.join(format!("v{version}"));
+        fs::create_dir_all(&dir)
+            .map_err(|e| FrontierError::Cache(format!("cannot create {}: {e}", dir.display())))?;
+        let mut entries = HashMap::new();
+        let mut corrupt = 0usize;
+        let listing = fs::read_dir(&dir)
+            .map_err(|e| FrontierError::Cache(format!("cannot list {}: {e}", dir.display())))?;
+        for dirent in listing {
+            let path = match dirent {
+                Ok(d) => d.path(),
+                Err(_) => {
+                    corrupt += 1;
+                    continue;
+                }
+            };
+            if path.extension().and_then(|e| e.to_str()) != Some("entry") {
+                continue;
+            }
+            let stem = match path.file_stem().and_then(|s| s.to_str()) {
+                Some(s) => s.to_string(),
+                None => {
+                    corrupt += 1;
+                    continue;
+                }
+            };
+            match fs::read_to_string(&path).ok().and_then(|t| decode_entry(&stem, &t, version)) {
+                Some(row) => {
+                    entries.insert(stem, row);
+                }
+                None => corrupt += 1,
+            }
+        }
+        Ok(DiskCache {
+            dir,
+            entries: Mutex::new(entries),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+            corrupt,
+        })
+    }
+
+    /// The versioned directory entries live in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of intact entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// True when the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Entries that failed to decode during [`DiskCache::open`] and were
+    /// set aside for recomputation.
+    pub fn corrupt_entries(&self) -> usize {
+        self.corrupt
+    }
+
+    /// Lookups served from disk-loaded entries so far.
+    pub fn hits(&self) -> usize {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found no intact entry so far.
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the stored row for `(key, mode)`, if an intact entry
+    /// exists.
+    pub fn get(&self, key: &SweepKey, mode: EstimateMode) -> Option<ResourceRow> {
+        let row = self.entries.lock().unwrap().get(&entry_stem(key, mode)).cloned();
+        match &row {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        row
+    }
+
+    /// Persists a freshly computed row. The entry is written to a
+    /// temporary file and atomically renamed into place, so readers never
+    /// observe a half-written entry even if the process dies mid-write.
+    pub fn insert(
+        &self,
+        key: &SweepKey,
+        mode: EstimateMode,
+        row: &ResourceRow,
+    ) -> Result<(), FrontierError> {
+        let stem = entry_stem(key, mode);
+        let text = encode_entry(&stem, row);
+        let tmp = self.dir.join(format!("{stem}.tmp"));
+        let dest = self.dir.join(format!("{stem}.entry"));
+        fs::write(&tmp, &text)
+            .map_err(|e| FrontierError::Cache(format!("cannot write {}: {e}", tmp.display())))?;
+        fs::rename(&tmp, &dest)
+            .map_err(|e| FrontierError::Cache(format!("cannot rename {}: {e}", dest.display())))?;
+        self.entries.lock().unwrap().insert(stem, row.clone());
+        Ok(())
+    }
+}
+
+/// The file stem an entry for `(key, mode)` is stored under. Built only
+/// from filename-safe pieces: instruction ids are `snake_case`, the
+/// fingerprint is fixed-width hex, and the mode tag is a lowercase word.
+fn entry_stem(key: &SweepKey, mode: EstimateMode) -> String {
+    format!(
+        "{}-dx{}-dz{}-dt{}-{}-{}",
+        key.instruction.id(),
+        key.dx,
+        key.dz,
+        key.dt,
+        key.spec,
+        mode.name()
+    )
+}
+
+fn encode_entry(stem: &str, row: &ResourceRow) -> String {
+    format!("tiscc-frontier-cache v{CACHE_FORMAT_VERSION}\nstem={stem}\n{}", row.to_record())
+}
+
+/// Decodes an entry file, returning `None` unless every check passes:
+/// the version header matches, the recorded stem matches the file name
+/// (catching renamed or cross-copied entries), the row record parses, and
+/// the row's distances agree with the stem.
+fn decode_entry(stem: &str, text: &str, version: u32) -> Option<ResourceRow> {
+    let (header, rest) = text.split_once('\n')?;
+    if header != format!("tiscc-frontier-cache v{version}") {
+        return None;
+    }
+    let (stem_line, record) = rest.split_once('\n')?;
+    if stem_line.strip_prefix("stem=")? != stem {
+        return None;
+    }
+    let row = ResourceRow::from_record(record).ok()?;
+    if !stem.contains(&format!("-dx{}-dz{}-", row.dx, row.dz)) {
+        return None;
+    }
+    Some(row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiscc_core::Instruction;
+    use tiscc_estimator::compiler::{CompileRequest, Compiler};
+    use tiscc_hw::HardwareSpec;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let id = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir()
+            .join(format!("tiscc-frontier-cache-{tag}-{}-{id}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_row() -> (SweepKey, ResourceRow) {
+        let spec = HardwareSpec::h1();
+        let request = CompileRequest::new(Instruction::PrepareZ, 3, 3, 3).with_spec(spec);
+        let compiler = Compiler::default();
+        let row = compiler.estimate_row(&request, EstimateMode::Compiled).unwrap();
+        (request.key(), row)
+    }
+
+    #[test]
+    fn entries_survive_reopen_bit_for_bit() {
+        let root = scratch_dir("reopen");
+        let (key, row) = sample_row();
+        let cache = DiskCache::open(&root).unwrap();
+        assert!(cache.get(&key, EstimateMode::Compiled).is_none());
+        assert_eq!(cache.misses(), 1);
+        cache.insert(&key, EstimateMode::Compiled, &row).unwrap();
+
+        let warm = DiskCache::open(&root).unwrap();
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm.corrupt_entries(), 0);
+        let loaded = warm.get(&key, EstimateMode::Compiled).unwrap();
+        assert_eq!(warm.hits(), 1);
+        assert_eq!(loaded, row);
+        assert_eq!(
+            loaded.resources.execution_time_s.to_bits(),
+            row.resources.execution_time_s.to_bits(),
+            "durations must round-trip bit-for-bit, not just approximately"
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn modes_are_cached_separately() {
+        let root = scratch_dir("modes");
+        let (key, row) = sample_row();
+        let cache = DiskCache::open(&root).unwrap();
+        cache.insert(&key, EstimateMode::Analytic, &row).unwrap();
+        assert!(cache.get(&key, EstimateMode::Compiled).is_none());
+        assert!(cache.get(&key, EstimateMode::Analytic).is_some());
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn version_mismatch_orphans_entries() {
+        let root = scratch_dir("version");
+        let (key, row) = sample_row();
+        let cache = DiskCache::open(&root).unwrap();
+        cache.insert(&key, EstimateMode::Compiled, &row).unwrap();
+        drop(cache);
+
+        let next = DiskCache::open_versioned(&root, CACHE_FORMAT_VERSION + 1).unwrap();
+        assert!(next.is_empty(), "a new format version must not see old entries");
+        assert!(next.get(&key, EstimateMode::Compiled).is_none());
+        // The old version's entries are untouched on disk.
+        let old = DiskCache::open(&root).unwrap();
+        assert_eq!(old.len(), 1);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_are_counted_and_skipped() {
+        let root = scratch_dir("corrupt");
+        let (key, row) = sample_row();
+        let cache = DiskCache::open(&root).unwrap();
+        cache.insert(&key, EstimateMode::Compiled, &row).unwrap();
+        let dir = cache.dir().to_path_buf();
+        drop(cache);
+
+        // Truncate the real entry mid-record and add one file of garbage.
+        let entry = fs::read_dir(&dir)
+            .unwrap()
+            .map(|d| d.unwrap().path())
+            .find(|p| p.extension().and_then(|e| e.to_str()) == Some("entry"));
+        let entry = entry.unwrap();
+        let text = fs::read_to_string(&entry).unwrap();
+        fs::write(&entry, &text[..text.len() / 2]).unwrap();
+        fs::write(dir.join("garbage.entry"), "not a cache entry at all\n").unwrap();
+
+        let reopened = DiskCache::open(&root).unwrap();
+        assert_eq!(reopened.corrupt_entries(), 2);
+        assert!(reopened.is_empty());
+        assert!(reopened.get(&key, EstimateMode::Compiled).is_none(), "bad entries never served");
+
+        // Recomputing and re-inserting heals the cache in place.
+        reopened.insert(&key, EstimateMode::Compiled, &row).unwrap();
+        let healed = DiskCache::open(&root).unwrap();
+        assert_eq!(healed.corrupt_entries(), 1, "only the pure-garbage file remains corrupt");
+        assert_eq!(healed.get(&key, EstimateMode::Compiled).unwrap(), row);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn renamed_entries_are_rejected() {
+        let root = scratch_dir("renamed");
+        let (key, row) = sample_row();
+        let cache = DiskCache::open(&root).unwrap();
+        cache.insert(&key, EstimateMode::Compiled, &row).unwrap();
+        let dir = cache.dir().to_path_buf();
+        drop(cache);
+
+        // Copy the intact entry under a different instruction's stem: the
+        // stem header check must refuse to serve it as that instruction.
+        let src = dir.join(format!("{}.entry", entry_stem(&key, EstimateMode::Compiled)));
+        let forged_stem = entry_stem(&key, EstimateMode::Compiled).replace("prepare_z", "idle");
+        fs::copy(&src, dir.join(format!("{forged_stem}.entry"))).unwrap();
+
+        let reopened = DiskCache::open(&root).unwrap();
+        assert_eq!(reopened.corrupt_entries(), 1);
+        assert_eq!(reopened.len(), 1, "the genuine entry still loads");
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

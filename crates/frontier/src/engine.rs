@@ -1,0 +1,417 @@
+//! The batch estimation engine: expands a [`FrontierSpec`] into its
+//! (layout × distance × profile) job matrix, resolves every
+//! per-instruction compile through the persistent [`DiskCache`] and the
+//! in-process [`Compiler`] memo, and assembles one [`FrontierPoint`] per
+//! matrix cell with Pareto flags over the (machine size, wall clock)
+//! plane.
+//!
+//! The expensive axis of the matrix is compilation, and compilation is
+//! **layout-independent**: a program's distinct instruction kinds at a
+//! given `(d, profile)` cost the same on every floorplan. The engine
+//! therefore compiles `kinds × distances × profiles` rows exactly once
+//! (disk first, then rayon over whatever is missing) and reuses them
+//! across all layouts; per-layout work is just placement, scheduling and
+//! arithmetic.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+
+use tiscc_core::instruction::Instruction;
+use tiscc_estimator::compiler::{CompileRequest, Compiler};
+use tiscc_estimator::sweep::SweepKey;
+use tiscc_program::{schedule, LayoutSpec, LogicalProgram, Placement, Schedule};
+
+use crate::cache::DiskCache;
+use crate::pareto::pareto_flags;
+use crate::spec::{FrontierError, FrontierSpec, NormalizedSpec};
+
+/// One cell of the job matrix: a (layout, distance, profile)
+/// configuration and the space–time resources the program costs there.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontierPoint {
+    /// The floorplan of this configuration.
+    pub layout: LayoutSpec,
+    /// Resolved tile-grid dimensions `(rows, cols)`.
+    pub grid: (usize, usize),
+    /// Code distance (`dx = dz = dt = d`).
+    pub d: usize,
+    /// Hardware profile name.
+    pub profile: String,
+    /// Machine size: trapping zones of the machine hosting the placement
+    /// (each zone holds the physical qubits of one site).
+    pub physical_qubits: usize,
+    /// Wall-clock program duration in seconds.
+    pub duration_s: f64,
+    /// Zone-rounds: trapping zones × logical time steps × `d`.
+    pub qubit_rounds: u64,
+    /// Achieved total program error at distance `d`.
+    pub error: f64,
+    /// Physical machine area in square metres.
+    pub area_m2: f64,
+    /// True iff no other matrix point dominates this one on the
+    /// `(physical_qubits, duration_s)` plane.
+    pub on_frontier: bool,
+}
+
+/// Where the per-instruction rows behind a frontier run came from, plus
+/// matrix bookkeeping. These numbers are the observable proof of cache
+/// behaviour: a fully warm run reports `computed == 0` and
+/// `analytic_captures == 0`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FrontierStats {
+    /// Distinct compile jobs the matrix needed (kinds × distances ×
+    /// profiles).
+    pub jobs: usize,
+    /// Jobs served by intact persistent-cache entries.
+    pub disk_hits: usize,
+    /// Jobs computed fresh this run (and persisted, when a cache is
+    /// attached).
+    pub computed: usize,
+    /// Corrupt persistent entries found when the cache was opened.
+    pub corrupt_entries: usize,
+    /// Fresh analytic captures performed this run (0 on a warm run).
+    pub analytic_captures: usize,
+    /// Duplicate layout/profile entries dropped by spec normalization.
+    pub duplicates_dropped: usize,
+}
+
+/// The result of a frontier run: the full job matrix (layout-major, then
+/// distance, then profile) with Pareto flags, and the run's cache
+/// provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FrontierReport {
+    /// The program's name.
+    pub program: String,
+    /// Declared logical qubits.
+    pub logical_qubits: usize,
+    /// Instructions in the program.
+    pub instructions: usize,
+    /// How per-instruction resources were obtained.
+    pub mode: tiscc_estimator::compiler::EstimateMode,
+    /// Every evaluated configuration, in deterministic matrix order.
+    pub points: Vec<FrontierPoint>,
+    /// Cache provenance and matrix bookkeeping.
+    pub stats: FrontierStats,
+}
+
+impl FrontierReport {
+    /// The Pareto-optimal subset of [`FrontierReport::points`], in matrix
+    /// order (exact (qubits, duration) ties all survive).
+    pub fn frontier(&self) -> Vec<&FrontierPoint> {
+        self.points.iter().filter(|p| p.on_frontier).collect()
+    }
+
+    /// Renders the run's provenance as an aligned text report. The
+    /// `computed` and `analytic capture` lines are the warm-start
+    /// witnesses CI greps for.
+    pub fn render_stats(&self) -> String {
+        let s = &self.stats;
+        let mut out = format!(
+            "frontier: {} matrix point(s), {} on the Pareto frontier ({} mode)\n",
+            self.points.len(),
+            self.frontier().len(),
+            self.mode.name()
+        );
+        out.push_str(&format!(
+            "  compile jobs: {} total, {} from persistent cache, {} computed\n",
+            s.jobs, s.disk_hits, s.computed
+        ));
+        out.push_str(&format!(
+            "  analytic captures this run: {}\n  corrupt cache entries skipped: {}\n",
+            s.analytic_captures, s.corrupt_entries
+        ));
+        if s.duplicates_dropped > 0 {
+            out.push_str(&format!("  duplicate spec entries dropped: {}\n", s.duplicates_dropped));
+        }
+        out
+    }
+}
+
+/// A placed-and-scheduled floorplan, reused across every (distance,
+/// profile) cell of its sub-matrix.
+struct PlacedLayout {
+    spec: LayoutSpec,
+    placement: Placement,
+    sched: Schedule,
+    patch_steps: u64,
+}
+
+/// Runs the frontier search: evaluates `program` at every configuration
+/// of `spec`, resolving per-instruction compiles disk-first through
+/// `disk` (when attached), then through `compiler`'s in-process memo.
+/// Freshly computed rows are persisted back to `disk`.
+pub fn run_frontier(
+    program: &LogicalProgram,
+    spec: &FrontierSpec,
+    compiler: &Compiler,
+    disk: Option<&DiskCache>,
+) -> Result<FrontierReport, FrontierError> {
+    let norm = spec.normalize()?;
+    program.validate().map_err(|e| FrontierError::Program(e.to_string()))?;
+
+    // Place and schedule each floorplan once; both are distance- and
+    // profile-independent.
+    let mut layouts = Vec::with_capacity(norm.layouts.len());
+    for &layout in &norm.layouts {
+        let placement = Placement::allocate_with(program, &layout)
+            .map_err(|e| FrontierError::Placement(e.to_string()))?;
+        let sched =
+            schedule(program, &placement).map_err(|e| FrontierError::Placement(e.to_string()))?;
+        let patch_steps = sched.patch_steps(placement.total_tiles());
+        layouts.push(PlacedLayout { spec: layout, placement, sched, patch_steps });
+    }
+
+    let kinds = distinct_kinds(program);
+    let (times, stats) = resolve_rows(&kinds, &norm, spec, compiler, disk)?;
+
+    // Assemble the matrix in deterministic layout-major order.
+    let mut points = Vec::with_capacity(norm.matrix_len());
+    for placed in &layouts {
+        let grid = (placed.placement.tile_rows(), placed.placement.tile_cols());
+        for &d in &norm.distances {
+            let machine = placed.placement.layout(d);
+            let zones = machine.trapping_zone_count();
+            let area_m2 = machine.area_m2();
+            let error = spec.model.program_error(d, placed.patch_steps);
+            let qubit_rounds = zones as u64 * placed.sched.logical_time_steps as u64 * d as u64;
+            for profile in &norm.profiles {
+                let fp = profile.fingerprint();
+                let duration_s = duration_s(program, &placed.sched, |kind| {
+                    times[&SweepKey { instruction: kind, dx: d, dz: d, dt: d, spec: fp }]
+                });
+                points.push(FrontierPoint {
+                    layout: placed.spec,
+                    grid,
+                    d,
+                    profile: profile.name.clone(),
+                    physical_qubits: zones,
+                    duration_s,
+                    qubit_rounds,
+                    error,
+                    area_m2,
+                    on_frontier: false,
+                });
+            }
+        }
+    }
+
+    let axes: Vec<(usize, f64)> =
+        points.iter().map(|p| (p.physical_qubits, p.duration_s)).collect();
+    for (point, flag) in points.iter_mut().zip(pareto_flags(&axes)) {
+        point.on_frontier = flag;
+    }
+
+    Ok(FrontierReport {
+        program: program.name().to_string(),
+        logical_qubits: program.qubit_count(),
+        instructions: program.len(),
+        mode: spec.mode,
+        points,
+        stats: FrontierStats { duplicates_dropped: norm.duplicates_dropped, ..stats },
+    })
+}
+
+/// The program's distinct instruction kinds, in first-appearance order.
+fn distinct_kinds(program: &LogicalProgram) -> Vec<Instruction> {
+    let mut kinds: Vec<Instruction> = Vec::new();
+    for pi in program.instructions() {
+        if !kinds.contains(&pi.instruction) {
+            kinds.push(pi.instruction);
+        }
+    }
+    kinds
+}
+
+/// Resolves every compile job of the matrix — disk cache first, then a
+/// rayon fan-out over whatever is missing — and returns the
+/// per-instruction execution times keyed by [`SweepKey`].
+fn resolve_rows(
+    kinds: &[Instruction],
+    norm: &NormalizedSpec,
+    spec: &FrontierSpec,
+    compiler: &Compiler,
+    disk: Option<&DiskCache>,
+) -> Result<(HashMap<SweepKey, f64>, FrontierStats), FrontierError> {
+    let requests: Vec<CompileRequest> = norm
+        .profiles
+        .iter()
+        .flat_map(|profile| {
+            norm.distances.iter().flat_map(move |&d| {
+                kinds
+                    .iter()
+                    .map(move |&kind| CompileRequest::new(kind, d, d, d).with_spec(profile.clone()))
+            })
+        })
+        .collect();
+
+    let mut stats = FrontierStats {
+        jobs: requests.len(),
+        corrupt_entries: disk.map_or(0, |c| c.corrupt_entries()),
+        ..FrontierStats::default()
+    };
+
+    let mut times: HashMap<SweepKey, f64> = HashMap::with_capacity(requests.len());
+    let mut missing: Vec<CompileRequest> = Vec::new();
+    for request in requests {
+        let key = request.key();
+        match disk.and_then(|cache| cache.get(&key, spec.mode)) {
+            Some(row) => {
+                times.insert(key, row.resources.execution_time_s);
+            }
+            None => missing.push(request),
+        }
+    }
+    stats.disk_hits = stats.jobs - missing.len();
+    stats.computed = missing.len();
+
+    let captures_before = compiler.analytic_captures();
+    let computed: Result<Vec<_>, _> = missing
+        .into_par_iter()
+        .map(|request| {
+            compiler
+                .estimate_row(&request, spec.mode)
+                .map(|row| (request.key(), row))
+                .map_err(|e| FrontierError::Compile(e.to_string()))
+        })
+        .collect();
+    for (key, row) in computed? {
+        if let Some(cache) = disk {
+            cache.insert(&key, spec.mode, &row)?;
+        }
+        times.insert(key, row.resources.execution_time_s);
+    }
+    stats.analytic_captures = compiler.analytic_captures() - captures_before;
+    Ok((times, stats))
+}
+
+/// Wall-clock duration of a scheduled program: each parallel step costs
+/// its longest member instruction; the program costs the sum over steps.
+fn duration_s(
+    program: &LogicalProgram,
+    sched: &Schedule,
+    time_of: impl Fn(Instruction) -> f64,
+) -> f64 {
+    sched
+        .steps
+        .iter()
+        .map(|step| {
+            step.instructions
+                .iter()
+                .map(|&i| time_of(program.instructions()[i].instruction))
+                .fold(0.0, f64::max)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tiscc_estimator::compiler::EstimateMode;
+    use tiscc_hw::HardwareSpec;
+    use tiscc_program::examples;
+
+    fn small_spec() -> FrontierSpec {
+        FrontierSpec::new(
+            vec![LayoutSpec::default(), LayoutSpec::checkerboard().with_grid(4, 4)],
+            vec![HardwareSpec::h1(), HardwareSpec::projected()],
+        )
+        .with_distances(3, 5)
+        .with_mode(EstimateMode::Analytic)
+    }
+
+    #[test]
+    fn matrix_covers_every_configuration_in_order() {
+        let program = examples::bell_pair();
+        let compiler = Compiler::new();
+        let report = run_frontier(&program, &small_spec(), &compiler, None).unwrap();
+        assert_eq!(report.points.len(), 2 * 2 * 2);
+        // Layout-major, then distance, then profile.
+        assert_eq!(report.points[0].layout, LayoutSpec::default());
+        assert_eq!((report.points[0].d, report.points[0].profile.as_str()), (3, "h1"));
+        assert_eq!((report.points[1].d, report.points[1].profile.as_str()), (3, "projected"));
+        assert_eq!(report.points[2].d, 5);
+        assert_eq!(report.points[4].layout, LayoutSpec::checkerboard().with_grid(4, 4));
+        let frontier = report.frontier();
+        assert!(!frontier.is_empty(), "some point is always non-dominated");
+        assert!(frontier.iter().all(|p| p.on_frontier));
+    }
+
+    #[test]
+    fn higher_distance_costs_more_and_errs_less() {
+        let program = examples::bell_pair();
+        let compiler = Compiler::new();
+        let spec = FrontierSpec::new(vec![LayoutSpec::default()], vec![HardwareSpec::h1()])
+            .with_distances(3, 7)
+            .with_mode(EstimateMode::Analytic);
+        let report = run_frontier(&program, &spec, &compiler, None).unwrap();
+        let [p3, p5, p7] = &report.points[..] else { panic!("expected 3 points") };
+        assert!(p3.duration_s < p5.duration_s && p5.duration_s < p7.duration_s);
+        assert!(p3.error > p5.error && p5.error > p7.error);
+        assert!(p3.physical_qubits <= p5.physical_qubits);
+        assert!(p3.qubit_rounds < p7.qubit_rounds);
+    }
+
+    #[test]
+    fn frontier_agrees_with_estimate_program() {
+        // A frontier point must reproduce `estimate_program` exactly for
+        // the same configuration — same placement, schedule and compiled
+        // rows, so bit-identical duration and footprint.
+        use crate::spec::FrontierSpec;
+        use tiscc_estimator::program::{estimate_program, ProgramEstimateSpec};
+
+        let program = examples::teleportation();
+        let compiler = Compiler::new();
+        let layout = LayoutSpec::row_major().with_grid(6, 6);
+        let frontier_spec = FrontierSpec::new(vec![layout], vec![HardwareSpec::h1()])
+            .with_distances(5, 5)
+            .with_mode(EstimateMode::Compiled);
+        let report = run_frontier(&program, &frontier_spec, &compiler, None).unwrap();
+        let point = &report.points[0];
+
+        // Budget chosen so `estimate_program` selects d = 5 as well.
+        let est_spec = ProgramEstimateSpec {
+            layout,
+            budget: point.error * 1.0000001,
+            ..ProgramEstimateSpec::new(1.0)
+        };
+        let est = estimate_program(&program, &est_spec, &compiler).unwrap();
+        let row = &est.rows[0];
+        assert_eq!(row.distance, 5);
+        assert_eq!(point.physical_qubits, row.trapping_zones);
+        assert_eq!(point.duration_s.to_bits(), row.duration_s.to_bits());
+        assert_eq!(point.qubit_rounds, row.qubit_rounds);
+        assert_eq!(point.area_m2.to_bits(), row.area_m2.to_bits());
+        assert_eq!(point.error.to_bits(), row.achieved_error.to_bits());
+    }
+
+    #[test]
+    fn compile_jobs_are_layout_independent() {
+        let program = examples::ripple_adder();
+        let compiler = Compiler::new();
+        let one = FrontierSpec::new(vec![LayoutSpec::default()], vec![HardwareSpec::h1()])
+            .with_distances(3, 3)
+            .with_mode(EstimateMode::Analytic);
+        let two = FrontierSpec::new(
+            vec![LayoutSpec::default(), LayoutSpec::checkerboard().with_grid(8, 8)],
+            vec![HardwareSpec::h1()],
+        )
+        .with_distances(3, 3)
+        .with_mode(EstimateMode::Analytic);
+        let r1 = run_frontier(&program, &one, &compiler, None).unwrap();
+        let r2 = run_frontier(&program, &two, &compiler, None).unwrap();
+        assert_eq!(r1.stats.jobs, r2.stats.jobs, "adding layouts must not add compile jobs");
+    }
+
+    #[test]
+    fn stats_report_renders_the_witness_lines() {
+        let program = examples::bell_pair();
+        let compiler = Compiler::new();
+        let report = run_frontier(&program, &small_spec(), &compiler, None).unwrap();
+        let text = report.render_stats();
+        assert!(text.contains("from persistent cache"), "{text}");
+        assert!(text.contains("analytic captures this run:"), "{text}");
+        assert!(report.stats.computed > 0);
+        assert_eq!(report.stats.disk_hits, 0, "no disk cache was attached");
+    }
+}

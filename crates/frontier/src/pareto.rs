@@ -1,0 +1,114 @@
+//! Dominated-point elimination over the (machine size, wall clock) plane.
+//!
+//! A point `a` **dominates** `b` when `a` is no worse on both axes and
+//! strictly better on at least one:
+//!
+//! ```text
+//! a.qubits <= b.qubits  AND  a.duration <= b.duration
+//!            AND  (a.qubits < b.qubits OR a.duration < b.duration)
+//! ```
+//!
+//! The Pareto frontier is the subset no other point dominates. Exact
+//! two-axis ties are mutually non-dominating, so *all* tied copies stay on
+//! the frontier — callers that want one representative per (qubits,
+//! duration) cell must dedupe themselves.
+
+/// Returns one flag per input point: `true` iff no other point dominates
+/// it on the `(qubits, duration)` plane.
+///
+/// Ordering of the input is preserved (the flags are positional). The scan
+/// sorts an index permutation and sweeps it, so the cost is `O(n log n)`
+/// time and `O(n)` extra space, not the naive all-pairs `O(n²)`.
+///
+/// Non-finite durations (`NaN`, `±inf`) never make the frontier and never
+/// dominate anything: they are unconditionally flagged `false` and skipped
+/// by the sweep.
+pub fn pareto_flags(points: &[(usize, f64)]) -> Vec<bool> {
+    let mut flags = vec![false; points.len()];
+    let mut order: Vec<usize> = (0..points.len()).filter(|&i| points[i].1.is_finite()).collect();
+    // Sort by qubits ascending, then duration ascending. After this sort a
+    // point can only be dominated by a predecessor, so one forward sweep
+    // tracking the best (smallest) duration seen at strictly smaller qubit
+    // counts decides every flag.
+    order.sort_by(|&a, &b| points[a].0.cmp(&points[b].0).then(points[a].1.total_cmp(&points[b].1)));
+    let mut best_prev = f64::INFINITY; // best duration at strictly smaller qubit counts
+    let mut i = 0;
+    while i < order.len() {
+        // Process one qubit-count group at a time so equal-qubit points
+        // are judged against *previous* groups, not each other's qubits.
+        let q = points[order[i]].0;
+        let mut j = i;
+        while j < order.len() && points[order[j]].0 == q {
+            j += 1;
+        }
+        // Within the group the sort put durations ascending, so the group
+        // minimum (`head`) dominates every slower same-qubit point, and an
+        // earlier group (strictly fewer qubits) dominates anything it
+        // matched-or-beat on duration. Survivors tie the head exactly AND
+        // beat every smaller machine's duration.
+        let head = points[order[i]].1;
+        for &idx in &order[i..j] {
+            let t = points[idx].1;
+            flags[idx] = t == head && head < best_prev;
+        }
+        best_prev = best_prev.min(head);
+        i = j;
+    }
+    flags
+}
+
+/// Reference all-pairs dominance check, `O(n²)`. Used by the property
+/// tests as an oracle for [`pareto_flags`]; exposed so external tooling can
+/// audit frontiers too.
+pub fn pareto_flags_bruteforce(points: &[(usize, f64)]) -> Vec<bool> {
+    points
+        .iter()
+        .map(|&(bq, bt)| {
+            bt.is_finite()
+                && !points
+                    .iter()
+                    .any(|&(aq, at)| at.is_finite() && aq <= bq && at <= bt && (aq < bq || at < bt))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frontier_keeps_only_nondominated_points() {
+        let points = [(10, 5.0), (12, 4.0), (12, 6.0), (20, 1.0), (10, 5.0), (11, 5.0), (30, 0.5)];
+        let flags = pareto_flags(&points);
+        // (12, 6.0) is dominated by (10, 5.0); (11, 5.0) is dominated by
+        // (10, 5.0); both exact (10, 5.0) ties survive.
+        assert_eq!(flags, vec![true, true, false, true, true, false, true]);
+        assert_eq!(flags, pareto_flags_bruteforce(&points));
+    }
+
+    #[test]
+    fn single_point_and_empty_sets() {
+        assert_eq!(pareto_flags(&[]), Vec::<bool>::new());
+        assert_eq!(pareto_flags(&[(7, 3.25)]), vec![true]);
+    }
+
+    #[test]
+    fn nonfinite_durations_never_reach_the_frontier() {
+        let points = [(10, f64::NAN), (10, f64::INFINITY), (99, 1.0)];
+        assert_eq!(pareto_flags(&points), vec![false, false, true]);
+        assert_eq!(pareto_flags(&points), pareto_flags_bruteforce(&points));
+    }
+
+    #[test]
+    fn equal_qubit_groups_keep_only_their_fastest() {
+        let points = [(5, 2.0), (5, 1.0), (5, 1.0), (5, 3.0)];
+        assert_eq!(pareto_flags(&points), vec![false, true, true, false]);
+    }
+
+    #[test]
+    fn tied_duration_across_groups_favours_fewer_qubits() {
+        // (6, 1.0) is dominated by (5, 1.0): same duration, more qubits.
+        let points = [(5, 1.0), (6, 1.0)];
+        assert_eq!(pareto_flags(&points), vec![true, false]);
+    }
+}

@@ -1,0 +1,545 @@
+//! The `tiscc serve --stdin-json` protocol: newline-delimited JSON
+//! requests answered by newline-delimited JSON responses, estimating
+//! against one warm in-process [`Compiler`] (and, optionally, one
+//! persistent [`DiskCache`]) for the life of the process.
+//!
+//! Requests are **flat** JSON objects — every value is a string, number,
+//! boolean or null; lists (layouts, profiles) travel as comma-separated
+//! strings, exactly like their CLI flags:
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"estimate","program":"adder.tql","budget":1e-9,"profiles":"h1"}
+//! {"cmd":"frontier","program":"adder.tql","layouts":"row,checkerboard",
+//!  "dmin":3,"dmax":13,"profiles":"h1,projected","mode":"analytic"}
+//! ```
+//!
+//! Every response is one line: `{"ok":true,...}` on success,
+//! `{"ok":false,"error":"..."}` on failure. A malformed line never kills
+//! the server — it yields an error response and the loop continues.
+
+use std::path::PathBuf;
+
+use tiscc_estimator::compiler::{Compiler, EstimateMode};
+use tiscc_estimator::program::{estimate_program, ProgramEstimateSpec};
+use tiscc_hw::HardwareSpec;
+use tiscc_program::{ErrorModel, LayoutSpec, LogicalProgram};
+
+use crate::cache::DiskCache;
+use crate::emit::{json_f64, json_string};
+use crate::engine::run_frontier;
+use crate::spec::FrontierSpec;
+
+/// The state a serve loop holds across requests: the warm compiler memo
+/// and the optional persistent cache.
+pub struct ServeState {
+    /// The shared compiler; its memo makes repeated requests cheap.
+    pub compiler: Compiler,
+    /// The persistent cache, when the server was started with a cache dir.
+    pub disk: Option<DiskCache>,
+}
+
+impl ServeState {
+    /// A fresh server state with no persistent cache.
+    pub fn new(disk: Option<DiskCache>) -> ServeState {
+        ServeState { compiler: Compiler::new(), disk }
+    }
+}
+
+/// Handles one request line, returning exactly one JSON response line
+/// (without a trailing newline). Never panics on malformed input.
+pub fn handle_line(line: &str, state: &ServeState) -> String {
+    match handle(line, state) {
+        Ok(body) => body,
+        Err(message) => format!("{{\"ok\":false,\"error\":{}}}", json_string(&message)),
+    }
+}
+
+fn handle(line: &str, state: &ServeState) -> Result<String, String> {
+    let fields = parse_flat_json(line)?;
+    let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
+    let cmd = match get("cmd") {
+        Some(JsonValue::Str(s)) => s.as_str(),
+        Some(_) => return Err("\"cmd\" must be a string".to_string()),
+        None => return Err("request is missing \"cmd\"".to_string()),
+    };
+    match cmd {
+        "ping" => Ok(format!(
+            "{{\"ok\":true,\"reply\":\"pong\",\"cache_entries\":{}}}",
+            state.disk.as_ref().map_or(0, |c| c.len())
+        )),
+        "estimate" => handle_estimate(&fields, state),
+        "frontier" => handle_frontier(&fields, state),
+        other => {
+            Err(format!("unknown cmd {other:?} (expected \"ping\", \"estimate\" or \"frontier\")"))
+        }
+    }
+}
+
+fn load_program(fields: &[(String, JsonValue)]) -> Result<LogicalProgram, String> {
+    let path = match fields.iter().find(|(k, _)| k == "program") {
+        Some((_, JsonValue::Str(s))) => s.clone(),
+        Some(_) => return Err("\"program\" must be a path string".to_string()),
+        None => return Err("request is missing \"program\"".to_string()),
+    };
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stem = PathBuf::from(&path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "program".to_string());
+    LogicalProgram::parse(stem, &text).map_err(|e| format!("{path}:{e}"))
+}
+
+fn field_f64(fields: &[(String, JsonValue)], name: &str, default: f64) -> Result<f64, String> {
+    match fields.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, JsonValue::Num(x))) => Ok(*x),
+        Some(_) => Err(format!("{name:?} must be a number")),
+    }
+}
+
+fn field_usize(
+    fields: &[(String, JsonValue)],
+    name: &str,
+    default: usize,
+) -> Result<usize, String> {
+    let x = field_f64(fields, name, default as f64)?;
+    if x.fract() != 0.0 || x < 0.0 || x > usize::MAX as f64 {
+        return Err(format!("{name:?} must be a non-negative integer"));
+    }
+    Ok(x as usize)
+}
+
+fn field_str<'a>(
+    fields: &'a [(String, JsonValue)],
+    name: &str,
+    default: &'a str,
+) -> Result<&'a str, String> {
+    match fields.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, JsonValue::Str(s))) => Ok(s.as_str()),
+        Some(_) => Err(format!("{name:?} must be a string")),
+    }
+}
+
+fn parse_mode(name: &str) -> Result<EstimateMode, String> {
+    name.parse::<EstimateMode>().map_err(|e| e.to_string())
+}
+
+/// Splits a comma-separated list field: entries are trimmed, empties
+/// dropped, and duplicates removed (first occurrence wins). An
+/// effectively empty list is an error naming the field.
+pub fn split_list(name: &str, raw: &str) -> Result<Vec<String>, String> {
+    let mut out: Vec<String> = Vec::new();
+    for entry in raw.split(',') {
+        let entry = entry.trim();
+        if !entry.is_empty() && !out.iter().any(|e| e == entry) {
+            out.push(entry.to_string());
+        }
+    }
+    if out.is_empty() {
+        return Err(format!("{name} list is empty (got {raw:?})"));
+    }
+    Ok(out)
+}
+
+fn parse_profiles(raw: &str) -> Result<Vec<HardwareSpec>, String> {
+    split_list("profiles", raw)?
+        .iter()
+        .map(|name| HardwareSpec::by_name(name).map_err(|e| e.to_string()))
+        .collect()
+}
+
+/// Parses one layout entry: a strategy name, optionally suffixed with an
+/// explicit grid as `name@RxC` (e.g. `checkerboard@8x8`).
+pub fn parse_layout_entry(entry: &str) -> Result<LayoutSpec, String> {
+    let (name, grid) = match entry.split_once('@') {
+        Some((name, grid)) => (name, Some(grid)),
+        None => (entry, None),
+    };
+    let mut layout = LayoutSpec::by_name(name).map_err(|e| e.to_string())?;
+    if let Some(grid) = grid {
+        let bad = || format!("layout {entry:?}: grid must be ROWSxCOLS (e.g. 8x8)");
+        let (rows, cols) = grid.split_once(['x', 'X']).ok_or_else(bad)?;
+        let rows: usize = rows.trim().parse().map_err(|_| bad())?;
+        let cols: usize = cols.trim().parse().map_err(|_| bad())?;
+        if rows == 0 || cols == 0 {
+            return Err(bad());
+        }
+        layout = layout.with_grid(rows, cols);
+    }
+    Ok(layout)
+}
+
+fn model_from(fields: &[(String, JsonValue)]) -> Result<ErrorModel, String> {
+    let defaults = ErrorModel::default();
+    Ok(ErrorModel {
+        p_physical: field_f64(fields, "p_phys", defaults.p_physical)?,
+        p_threshold: field_f64(fields, "p_th", defaults.p_threshold)?,
+        prefactor: field_f64(fields, "prefactor", defaults.prefactor)?,
+    })
+}
+
+fn handle_estimate(fields: &[(String, JsonValue)], state: &ServeState) -> Result<String, String> {
+    let program = load_program(fields)?;
+    let layout = parse_layout_entry(field_str(fields, "layout", "lane")?)?;
+    let spec = ProgramEstimateSpec {
+        budget: field_f64(fields, "budget", 1e-9)?,
+        model: model_from(fields)?,
+        profiles: parse_profiles(field_str(fields, "profiles", "h1")?)?,
+        d_max: field_usize(fields, "dmax", 49)?,
+        layout,
+        mode: parse_mode(field_str(fields, "mode", "compiled")?)?,
+    };
+    let est = estimate_program(&program, &spec, &state.compiler).map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "{{\"ok\":true,\"program\":{},\"logical_qubits\":{},\"rows\":[",
+        json_string(&est.program),
+        est.logical_qubits
+    );
+    for (i, row) in est.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"profile\":{},\"d\":{},\"error\":{},\"duration_s\":{},\"trapping_zones\":{},\
+             \"qubit_rounds\":{}}}",
+            json_string(&row.profile),
+            row.distance,
+            json_f64(row.achieved_error),
+            json_f64(row.duration_s),
+            row.trapping_zones,
+            row.qubit_rounds
+        ));
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+fn handle_frontier(fields: &[(String, JsonValue)], state: &ServeState) -> Result<String, String> {
+    let program = load_program(fields)?;
+    let layouts = split_list("layouts", field_str(fields, "layouts", "lane")?)?
+        .iter()
+        .map(|e| parse_layout_entry(e))
+        .collect::<Result<Vec<_>, _>>()?;
+    let spec = FrontierSpec {
+        layouts,
+        d_min: field_usize(fields, "dmin", 3)?,
+        d_max: field_usize(fields, "dmax", 13)?,
+        profiles: parse_profiles(field_str(fields, "profiles", "h1")?)?,
+        mode: parse_mode(field_str(fields, "mode", "compiled")?)?,
+        model: model_from(fields)?,
+    };
+    let report = run_frontier(&program, &spec, &state.compiler, state.disk.as_ref())
+        .map_err(|e| e.to_string())?;
+    let frontier = report.frontier();
+    let mut out = format!(
+        "{{\"ok\":true,\"program\":{},\"matrix_points\":{},\"disk_hits\":{},\"computed\":{},\
+         \"analytic_captures\":{},\"frontier\":[",
+        json_string(&report.program),
+        report.points.len(),
+        report.stats.disk_hits,
+        report.stats.computed,
+        report.stats.analytic_captures
+    );
+    for (i, p) in frontier.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"layout\":{},\"d\":{},\"profile\":{},\"physical_qubits\":{},\"duration_s\":{},\
+             \"error\":{}}}",
+            json_string(p.layout.strategy.name()),
+            p.d,
+            json_string(&p.profile),
+            p.physical_qubits,
+            json_f64(p.duration_s),
+            json_f64(p.error)
+        ));
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+/// A value of a flat JSON object: string, number, boolean or null —
+/// nested objects and arrays are deliberately out of protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (escapes decoded).
+    Str(String),
+    /// A JSON number.
+    Num(f64),
+    /// `true` or `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// Parses a single flat JSON object (`{"key":value,...}`) into its fields
+/// in source order. Duplicate keys are rejected.
+pub fn parse_flat_json(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate key {key:?}"));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.value()?;
+            fields.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err("expected ',' or '}' in object".to_string()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing characters after the JSON object".to_string());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            _ => Err(format!("expected {:?}", want as char)),
+        }
+    }
+
+    fn literal(&mut self, text: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') if self.literal("true") => Ok(JsonValue::Bool(true)),
+            Some(b'f') if self.literal("false") => Ok(JsonValue::Bool(false)),
+            Some(b'n') if self.literal("null") => Ok(JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'{' | b'[') => {
+                Err("nested objects/arrays are not part of the flat protocol".to_string())
+            }
+            _ => Err("expected a JSON value".to_string()),
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("malformed number {text:?}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"').map_err(|_| "expected a string".to_string())?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".to_string());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "malformed \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "malformed \\u escape".to_string())?;
+                        self.pos += 4;
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| "invalid \\u code point".to_string())?,
+                        );
+                    }
+                    other => return Err(format!("unsupported escape {other:?}")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Multi-byte UTF-8: re-decode from the byte before.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos - 1..])
+                        .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8() - 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::Path;
+
+    fn write_program(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("tiscc-serve-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.tql"));
+        std::fs::write(&path, "qubit a b\nprep_x a\nprep_z b\nmerge_zz a b\n").unwrap();
+        path
+    }
+
+    fn field<'a>(json: &'a str, key: &str) -> &'a str {
+        let at = json.find(&format!("\"{key}\":")).unwrap_or_else(|| panic!("{key} in {json}"));
+        &json[at + key.len() + 3..]
+    }
+
+    #[test]
+    fn flat_json_parses_every_scalar_kind() {
+        let fields = parse_flat_json(
+            "{\"s\":\"a\\nb\",\"n\":1e-4,\"i\":13,\"t\":true,\"f\":false,\"z\":null}",
+        )
+        .unwrap();
+        assert_eq!(fields[0], ("s".to_string(), JsonValue::Str("a\nb".to_string())));
+        assert_eq!(fields[1], ("n".to_string(), JsonValue::Num(1e-4)));
+        assert_eq!(fields[2], ("i".to_string(), JsonValue::Num(13.0)));
+        assert_eq!(fields[3], ("t".to_string(), JsonValue::Bool(true)));
+        assert_eq!(fields[4], ("f".to_string(), JsonValue::Bool(false)));
+        assert_eq!(fields[5], ("z".to_string(), JsonValue::Null));
+        assert_eq!(parse_flat_json("{}").unwrap(), vec![]);
+    }
+
+    #[test]
+    fn malformed_json_is_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":1}{",
+            "{\"a\":{\"nested\":1}}",
+            "{\"a\":[1]}",
+            "{\"a\":1,\"a\":2}",
+            "{\"a\":\"unterminated}",
+            "not json at all",
+        ] {
+            assert!(parse_flat_json(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ping_answers_pong() {
+        let state = ServeState::new(None);
+        let reply = handle_line("{\"cmd\":\"ping\"}", &state);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains("\"pong\""), "{reply}");
+    }
+
+    #[test]
+    fn bad_requests_get_error_responses() {
+        let state = ServeState::new(None);
+        for (request, expect) in [
+            ("nonsense", "ok\":false"),
+            ("{\"cmd\":\"warp\"}", "unknown cmd"),
+            ("{}", "missing \\\"cmd\\\""),
+            ("{\"cmd\":\"estimate\"}", "missing \\\"program\\\""),
+            ("{\"cmd\":\"frontier\",\"program\":\"/does/not/exist.tql\"}", "cannot read"),
+        ] {
+            let reply = handle_line(request, &state);
+            assert!(reply.contains("\"ok\":false"), "{request} -> {reply}");
+            assert!(reply.contains(expect), "{request} -> {reply}");
+            assert!(parse_flat_json(&reply).is_ok() || reply.contains("frontier"), "{reply}");
+        }
+    }
+
+    #[test]
+    fn estimate_and_frontier_requests_answer_inline() {
+        let path = write_program("serve_merge");
+        let state = ServeState::new(None);
+        let request = format!(
+            "{{\"cmd\":\"estimate\",\"program\":{},\"budget\":0.001,\"profiles\":\"h1,projected\"}}",
+            json_string(path.to_str().unwrap())
+        );
+        let reply = handle_line(&request, &state);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains("\"profile\":\"projected\""), "{reply}");
+        assert!(field(&reply, "logical_qubits").starts_with('2'), "{reply}");
+
+        let request = format!(
+            "{{\"cmd\":\"frontier\",\"program\":{},\"layouts\":\"lane,lane\",\"dmin\":3,\
+             \"dmax\":5,\"profiles\":\"h1\",\"mode\":\"analytic\"}}",
+            json_string(path.to_str().unwrap())
+        );
+        let reply = handle_line(&request, &state);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert!(reply.contains("\"matrix_points\":2"), "duplicate layout deduped: {reply}");
+        assert!(reply.contains("\"frontier\":[{"), "non-empty frontier: {reply}");
+
+        // The second identical request reuses the warm compiler memo: no
+        // new analytic captures.
+        let reply2 = handle_line(&request, &state);
+        assert!(reply2.contains("\"analytic_captures\":0"), "{reply2}");
+        let _ = std::fs::remove_file(Path::new(&path));
+    }
+
+    #[test]
+    fn split_list_dedupes_and_rejects_empty() {
+        assert_eq!(split_list("profiles", "a,b,a").unwrap(), vec!["a", "b"]);
+        assert_eq!(split_list("layouts", " x , ,x,").unwrap(), vec!["x"]);
+        let err = split_list("profiles", ", ,").unwrap_err();
+        assert!(err.contains("profiles list is empty"), "{err}");
+    }
+
+    #[test]
+    fn layout_entries_parse_with_optional_grids() {
+        assert_eq!(parse_layout_entry("lane").unwrap(), LayoutSpec::single_lane());
+        assert_eq!(
+            parse_layout_entry("checkerboard@8x8").unwrap(),
+            LayoutSpec::checkerboard().with_grid(8, 8)
+        );
+        assert!(parse_layout_entry("warp").is_err());
+        assert!(parse_layout_entry("row@8").is_err());
+        assert!(parse_layout_entry("row@0x8").is_err());
+    }
+}

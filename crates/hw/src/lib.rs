@@ -43,6 +43,6 @@ pub use circuit::{Circuit, MeasurementRecord, OpStream, OpView, TimedOp};
 pub use label::{Label, RoundLabel};
 pub use model::{HardwareModel, HwError, RoundReplication};
 pub use ops::NativeOp;
-pub use resources::ResourceReport;
+pub use resources::{RecordError, ResourceReport};
 pub use rounds::{CompiledRounds, ReplicatedSpan, RoundTemplate};
 pub use spec::{HardwareSpec, SpecFingerprint, UnknownProfile};

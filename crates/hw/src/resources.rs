@@ -125,6 +125,107 @@ impl ResourceReport {
         }
     }
 
+    /// Serializes the report as an exact, line-oriented `key=value` record.
+    ///
+    /// Float fields use shortest-round-trip (`{:?}`) formatting, so
+    /// [`ResourceReport::from_record`] reproduces the report **bit for
+    /// bit** — the format is the persistence layer of the on-disk compile
+    /// cache, where a lossy round trip would silently change published
+    /// numbers between cold and warm runs.
+    pub fn to_record(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("execution_time_s={:?}\n", self.execution_time_s));
+        out.push_str(&format!("area_m2={:?}\n", self.area_m2));
+        out.push_str(&format!("spacetime_volume_s_m2={:?}\n", self.spacetime_volume_s_m2));
+        out.push_str(&format!("trapping_zones={}\n", self.trapping_zones));
+        out.push_str(&format!("junctions={}\n", self.junctions));
+        out.push_str(&format!("zone_seconds={:?}\n", self.zone_seconds));
+        out.push_str(&format!("active_zone_seconds={:?}\n", self.active_zone_seconds));
+        out.push_str(&format!("total_ops={}\n", self.total_ops));
+        out.push_str(&format!("measurements={}\n", self.measurements));
+        out.push_str("op_counts=");
+        for (i, (op, n)) in self.op_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{op}:{n}"));
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Parses a record produced by [`ResourceReport::to_record`].
+    ///
+    /// Every field must be present exactly once and parse cleanly;
+    /// operation names must belong to the native gate set (they are
+    /// re-interned onto the [`NativeOp`] mnemonic table). Anything else —
+    /// truncation, unknown keys, malformed numbers, alien op names — is a
+    /// [`RecordError`], which persistent-cache consumers treat as a corrupt
+    /// entry to recompute, never as data to trust.
+    pub fn from_record(text: &str) -> Result<ResourceReport, RecordError> {
+        let mut fields: std::collections::HashMap<&str, &str> = std::collections::HashMap::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| RecordError::new(format!("line {line:?} is not key=value")))?;
+            if fields.insert(key, value).is_some() {
+                return Err(RecordError::new(format!("duplicate field {key:?}")));
+            }
+        }
+        fn take<'a>(
+            fields: &std::collections::HashMap<&str, &'a str>,
+            key: &str,
+        ) -> Result<&'a str, RecordError> {
+            fields
+                .get(key)
+                .copied()
+                .ok_or_else(|| RecordError::new(format!("missing field {key:?}")))
+        }
+        fn num<T: std::str::FromStr>(
+            fields: &std::collections::HashMap<&str, &str>,
+            key: &str,
+        ) -> Result<T, RecordError> {
+            let raw = take(fields, key)?;
+            raw.parse()
+                .map_err(|_| RecordError::new(format!("field {key:?} ({raw:?}) is malformed")))
+        }
+        let mut op_counts = BTreeMap::new();
+        let raw_counts = take(&fields, "op_counts")?;
+        if !raw_counts.is_empty() {
+            for pair in raw_counts.split(',') {
+                let (name, count) = pair.split_once(':').ok_or_else(|| {
+                    RecordError::new(format!("op_counts entry {pair:?} is not name:count"))
+                })?;
+                let interned = NativeOp::all()
+                    .iter()
+                    .map(|op| op.mnemonic())
+                    .find(|m| *m == name)
+                    .ok_or_else(|| RecordError::new(format!("unknown native op {name:?}")))?;
+                let count: usize = count.parse().map_err(|_| {
+                    RecordError::new(format!("op count {count:?} for {name:?} is malformed"))
+                })?;
+                if op_counts.insert(interned, count).is_some() {
+                    return Err(RecordError::new(format!("duplicate op count for {name:?}")));
+                }
+            }
+        }
+        Ok(ResourceReport {
+            execution_time_s: num(&fields, "execution_time_s")?,
+            area_m2: num(&fields, "area_m2")?,
+            spacetime_volume_s_m2: num(&fields, "spacetime_volume_s_m2")?,
+            trapping_zones: num(&fields, "trapping_zones")?,
+            junctions: num(&fields, "junctions")?,
+            zone_seconds: num(&fields, "zone_seconds")?,
+            active_zone_seconds: num(&fields, "active_zone_seconds")?,
+            op_counts,
+            total_ops: num(&fields, "total_ops")?,
+            measurements: num(&fields, "measurements")?,
+        })
+    }
+
     /// Multi-line human-readable summary.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -144,11 +245,89 @@ impl ResourceReport {
     }
 }
 
+/// A malformed [`ResourceReport`] record (see
+/// [`ResourceReport::from_record`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecordError {
+    /// What was wrong with the record.
+    pub message: String,
+}
+
+impl RecordError {
+    fn new(message: impl Into<String>) -> Self {
+        RecordError { message: message.into() }
+    }
+}
+
+impl std::fmt::Display for RecordError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "malformed resource record: {}", self.message)
+    }
+}
+
+impl std::error::Error for RecordError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::model::HardwareModel;
     use tiscc_grid::{QSite, ZONE_WIDTH_M};
+
+    #[test]
+    fn record_round_trips_bit_for_bit() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        hw.apply_1q(NativeOp::XPi2, q).unwrap();
+        hw.measure_z(q, "final").unwrap();
+        let layout = hw.grid().layout().clone();
+        let report = ResourceReport::from_circuit(hw.circuit(), &layout);
+        let parsed = ResourceReport::from_record(&report.to_record()).unwrap();
+        assert_eq!(parsed, report);
+        // The float fields survive exactly, not approximately.
+        assert_eq!(parsed.execution_time_s.to_bits(), report.execution_time_s.to_bits());
+        assert_eq!(parsed.area_m2.to_bits(), report.area_m2.to_bits());
+    }
+
+    #[test]
+    fn malformed_records_are_rejected() {
+        let mut hw = HardwareModel::new(1, 1);
+        let q = hw.place_qubit(QSite::new(0, 1)).unwrap();
+        hw.prepare_z(q).unwrap();
+        let layout = hw.grid().layout().clone();
+        let record = ResourceReport::from_circuit(hw.circuit(), &layout).to_record();
+
+        // Truncation drops required fields.
+        let truncated = &record[..record.len() / 2];
+        assert!(ResourceReport::from_record(truncated).is_err());
+        // An op name outside the native gate set cannot be interned.
+        let alien = record.replace("Prepare_Z", "Warp_Drive");
+        let err = ResourceReport::from_record(&alien).unwrap_err();
+        assert!(err.to_string().contains("Warp_Drive"), "{err}");
+        // A non-numeric numeric field is rejected.
+        let garbled = record.replace("trapping_zones=", "trapping_zones=x");
+        assert!(ResourceReport::from_record(&garbled).is_err());
+        // Duplicate fields are rejected rather than last-wins.
+        let doubled = format!("{record}total_ops=7\n");
+        assert!(ResourceReport::from_record(&doubled).is_err());
+    }
+
+    #[test]
+    fn empty_op_counts_round_trip() {
+        let report = ResourceReport {
+            execution_time_s: 0.5,
+            area_m2: 1e-6,
+            spacetime_volume_s_m2: 5e-7,
+            trapping_zones: 2,
+            junctions: 1,
+            zone_seconds: 1.0,
+            active_zone_seconds: 0.25,
+            op_counts: BTreeMap::new(),
+            total_ops: 0,
+            measurements: 0,
+        };
+        assert_eq!(ResourceReport::from_record(&report.to_record()).unwrap(), report);
+    }
 
     #[test]
     fn report_counts_basic_quantities() {

@@ -161,11 +161,21 @@ impl fmt::Display for BudgetError {
                 d.saturating_sub(1).max(3),
                 d + 1
             ),
-            BudgetError::Unsatisfiable { budget, d_max, error_at_d_max } => write!(
-                f,
-                "no distance up to d={d_max} meets the budget {budget:e} \
-                 (achieved {error_at_d_max:e} at d={d_max}); raise --dmax or the budget"
-            ),
+            BudgetError::Unsatisfiable { budget, d_max, error_at_d_max } => {
+                write!(
+                    f,
+                    "no distance up to d={d_max} meets the requested budget {budget:e}: \
+                     the best achievable error is {error_at_d_max:e} at d={d_max}"
+                )?;
+                // The shortfall factor tells the user at a glance whether a
+                // slightly larger --dmax could close the gap or the budget
+                // is orders of magnitude out of reach.
+                let shortfall = error_at_d_max / budget;
+                if shortfall.is_finite() {
+                    write!(f, ", {shortfall:.1e}x over budget")?;
+                }
+                write!(f, "; raise --dmax or loosen the budget")
+            }
         }
     }
 }
@@ -243,6 +253,24 @@ mod tests {
         ));
         let err = m.select_distance(u64::MAX, 1e-30, 3).unwrap_err();
         assert!(err.to_string().contains("--dmax"));
+    }
+
+    #[test]
+    fn unsatisfiable_message_names_budget_best_achievable_and_shortfall() {
+        let m = ErrorModel::default();
+        // 100 patch-steps at d=5: 100 * 0.1 * (0.1)^3 ≈ 1e-2 best achievable.
+        let err = m.select_distance(100, 1e-8, 5).unwrap_err();
+        let BudgetError::Unsatisfiable { budget, d_max, error_at_d_max } = err.clone() else {
+            panic!("expected Unsatisfiable, got {err:?}");
+        };
+        assert_eq!((budget, d_max), (1e-8, 5));
+        assert!((error_at_d_max - 1e-2).abs() < 1e-15);
+        let msg = err.to_string();
+        assert!(msg.contains("requested budget 1e-8"), "{msg}");
+        assert!(msg.contains("best achievable error is 1"), "{msg}");
+        assert!(msg.contains("at d=5"), "{msg}");
+        assert!(msg.contains("1.0e6x over budget"), "{msg}");
+        assert!(msg.contains("raise --dmax or loosen the budget"), "{msg}");
     }
 
     #[test]

@@ -19,7 +19,10 @@
 //!   selection,
 //! * [`estimator`] — the unified [`estimator::Compiler`] front door,
 //!   table/figure regeneration, the program-level estimator
-//!   ([`estimator::program`]) and the verification harness.
+//!   ([`estimator::program`]) and the verification harness,
+//! * [`frontier`] — Pareto-frontier search over the (layout × distance ×
+//!   profile) design space, a persistent on-disk compile cache, and the
+//!   `tiscc serve` stdin-JSON protocol.
 //!
 //! ## Quickstart
 //!
@@ -84,6 +87,7 @@
 
 pub use tiscc_core as core;
 pub use tiscc_estimator as estimator;
+pub use tiscc_frontier as frontier;
 pub use tiscc_grid as grid;
 pub use tiscc_hw as hw;
 pub use tiscc_math as math;
