@@ -27,22 +27,25 @@ use std::process::ExitCode;
 
 use tiscc_core::instruction::Instruction;
 use tiscc_estimator::compiler::{CompileRequest, Compiler, EstimateMode};
-use tiscc_estimator::program::{estimate_program, EstimateError, ProgramEstimateSpec};
-use tiscc_estimator::sweep::{parse_csv, run_sweep, CompileCache, DtPolicy, SweepSpec};
+use tiscc_estimator::program::{estimate_program_with, EstimateError, ProgramEstimateSpec};
+use tiscc_estimator::sweep::{parse_csv, run_sweep_with, CompileCache, DtPolicy, SweepSpec};
 use tiscc_estimator::tables;
 use tiscc_estimator::verify::{process_map_of, Fiducial, SingleTile};
 use tiscc_frontier::{
     frontier_to_csv, handle_line, matrix_from_csv, matrix_to_csv, parse_layout_entry,
-    report_to_json, run_frontier, split_list, DiskCache, FrontierError, FrontierSpec, ServeState,
+    report_to_json, run_frontier_with, split_list, stats_to_json, DiskCache, FrontierError,
+    FrontierSpec, ServeState,
 };
 use tiscc_hw::HardwareSpec;
 use tiscc_program::{BudgetError, ErrorModel, LayoutSpec, LogicalProgram, Placement};
+use tiscc_telemetry::{trace_from_json, JsonSink, Sink, Span, Telemetry, TraceFormat};
 
 const USAGE: &str = "usage: tiscc <subcommand> [args]
 
 subcommands:
   compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
           [--profile NAME]
+          [--trace[=tree|json]]          per-phase span trace on stderr
   estimate <program.tql>                 estimate a whole logical program
           [--budget X]                   total logical error budget (default 1e-9)
           [--profile NAME[,NAME...]]     one report row per profile
@@ -53,6 +56,7 @@ subcommands:
           [--grid HxW]                   tile-grid size, e.g. --grid 8x8
           [--show-layout]                print the ASCII floorplan
           [--mode compiled|analytic]     estimation strategy (default compiled)
+          [--trace[=tree|json]]          per-phase span trace on stderr
   frontier <program.tql>                 Pareto-frontier search: evaluate every
                                          layout x odd distance x profile cell,
                                          print the non-dominated set as CSV
@@ -66,9 +70,12 @@ subcommands:
           [--cache-dir DIR]              persistent compile cache (reused and
                                          extended across runs)
           [--out F.csv] [--json F.json]  write the full matrix as artifacts
+          [--stats-json F.json]          write run stats (+ trace) as JSON
+          [--trace[=tree|json]]          per-phase span trace on stderr
+          [--quiet]                      suppress stderr stats
   serve --stdin-json                     answer newline-delimited JSON requests
-                                         ({\"cmd\":\"ping\"|\"estimate\"|\"frontier\"})
-                                         on stdin until EOF
+                                         ({\"cmd\":\"ping\"|\"estimate\"|\"frontier\"
+                                         |\"metrics\"}) on stdin until EOF
           [--cache-dir DIR]              persistent compile cache
   tables [--d N] [--dt N]                regenerate Tables 1, 2, 3 and 5
          [--profile NAME]
@@ -76,12 +83,17 @@ subcommands:
         [--profile NAME[,NAME...]]       sweep the grid once per profile
         [--mode compiled|analytic]       estimation strategy (default compiled)
         [--out F.csv] [--json F.json]    write artifacts (default: CSV to stdout)
+        [--trace[=tree|json]]            per-phase span trace on stderr
+        [--quiet]                        suppress stderr stats
   profiles                               list hardware profiles and parameters
   verify [--seed N]                      run the verification harness
   bench-report <results.txt>...          parse `cargo bench` output into JSON
          [--out F.json]                  write the parsed measurements
          [--baseline F.json]             gate against a committed baseline
          [--tolerance X]                 allowed slowdown fraction (default 0.3)
+         [--trace=F.json]               ingest a --trace=json file: each phase
+                                        becomes a `trace/<path>` measurement
+         [--filter SUBSTR]              gate only ids containing SUBSTR
 
 flags take a value as `--flag VALUE` or `--flag=VALUE`
 
@@ -117,7 +129,7 @@ struct Args {
 
 /// Flags that never take a value (so they never swallow a following
 /// positional argument).
-const BOOLEAN_FLAGS: &[&str] = &["show-layout", "stdin-json"];
+const BOOLEAN_FLAGS: &[&str] = &["show-layout", "stdin-json", "trace", "quiet"];
 
 impl Args {
     fn parse(raw: &[String]) -> Args {
@@ -211,6 +223,36 @@ fn resolve_profile(name: &str) -> Result<HardwareSpec, CliError> {
     HardwareSpec::by_name(name).map_err(|e| CliError::usage(e.to_string()))
 }
 
+/// Resolves the `--trace[=tree|json]` flag: `None` when tracing is off,
+/// the selected format otherwise (a bare `--trace` means the tree).
+fn trace_format(args: &Args) -> Result<Option<TraceFormat>, CliError> {
+    match args.flag("trace") {
+        None => Ok(None),
+        Some(value) => TraceFormat::parse(value).map(Some).map_err(CliError::usage),
+    }
+}
+
+/// A recording telemetry handle when tracing (or another trace consumer)
+/// is requested, the no-op handle otherwise — so untraced runs pay
+/// nothing and stay byte-identical on stdout.
+fn telemetry_for(enabled: bool) -> Telemetry {
+    if enabled {
+        Telemetry::new_enabled()
+    } else {
+        Telemetry::off()
+    }
+}
+
+/// Renders the recorded trace through the selected sink onto **stderr**
+/// (stdout carries only results, traced or not).
+fn emit_trace(tel: &Telemetry, fmt: Option<TraceFormat>) {
+    if let (Some(fmt), Some(report)) = (fmt, tel.snapshot()) {
+        if let Some(text) = fmt.sink().render(&report) {
+            eprint!("{text}");
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     match run(&raw) {
@@ -279,11 +321,24 @@ fn cmd_compile(args: &Args) -> Result<(), CliError> {
     let dz = distance(2, "dz", dx)?;
     let dt = distance(3, "dt", dz.max(dx))?;
     let spec = args.profile()?;
+    let fmt = trace_format(args)?;
+    let tel = telemetry_for(fmt.is_some());
+    let root = tel.root("compile");
 
     let request = CompileRequest::new(instruction, dx, dz, dt).with_spec(spec);
-    let artifact = Compiler::new()
-        .compile(&request)
-        .map_err(|e| CliError::runtime(format!("compilation failed: {e}")))?;
+    let artifact = {
+        let span = root.child("compile_instruction");
+        let artifact = Compiler::new()
+            .compile(&request)
+            .map_err(|e| CliError::runtime(format!("compilation failed: {e}")))?;
+        // The capture-vs-replicate split: the round template is captured
+        // once and replicated for the remaining repeats.
+        span.add("compile.template_repeats", artifact.rounds.repeats as u64);
+        span.add("compile.rounds_replicated", artifact.rounds.repeats.saturating_sub(1) as u64);
+        artifact
+    };
+    root.finish();
+    emit_trace(&tel, fmt);
     println!(
         "{} at dx={dx} dz={dz} dt={dt} under profile '{}': {} logical time-step(s), {} tile(s)",
         instruction.name(),
@@ -321,16 +376,17 @@ fn layout_spec(args: &Args) -> Result<LayoutSpec, CliError> {
     Ok(layout)
 }
 
-/// Reads and parses a `.tql` program file; unreadable or unparseable
-/// files are usage errors naming the path.
-fn load_program(path: &str) -> Result<LogicalProgram, CliError> {
+/// Reads and parses a `.tql` program file under a `parse` span;
+/// unreadable or unparseable files are usage errors naming the path.
+fn load_program(path: &str, parent: &Span) -> Result<LogicalProgram, CliError> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
     let stem = PathBuf::from(path)
         .file_stem()
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| "program".to_string());
-    LogicalProgram::parse(stem, &text).map_err(|e| CliError::usage(format!("{path}:{e}")))
+    LogicalProgram::parse_with(stem, &text, parent)
+        .map_err(|e| CliError::usage(format!("{path}:{e}")))
 }
 
 /// Resolves the `--p-phys`, `--p-th` and `--prefactor` flags into an
@@ -350,7 +406,10 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
              [--layout lane|row|checkerboard] [--grid HxW] [--show-layout]",
         ));
     };
-    let program = load_program(path)?;
+    let fmt = trace_format(args)?;
+    let tel = telemetry_for(fmt.is_some());
+    let root = tel.root("estimate");
+    let program = load_program(path, &root)?;
 
     let model = error_model(args)?;
     let layout = layout_spec(args)?;
@@ -375,13 +434,16 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
     // error rate at or above threshold, an undersized or unroutable tile
     // grid) are bad arguments, not runtime failures: surface them as
     // usage errors before any compilation.
-    let estimate = estimate_program(&program, &spec, &Compiler::new()).map_err(|e| match e {
-        EstimateError::Budget(BudgetError::InvalidModel(_))
-        | EstimateError::Spec(_)
-        | EstimateError::Placement(_)
-        | EstimateError::Routing(_) => CliError::usage(e.to_string()),
-        other => CliError::runtime(other.to_string()),
-    })?;
+    let estimate =
+        estimate_program_with(&program, &spec, &Compiler::new(), &root).map_err(|e| match e {
+            EstimateError::Budget(BudgetError::InvalidModel(_))
+            | EstimateError::Spec(_)
+            | EstimateError::Placement(_)
+            | EstimateError::Routing(_) => CliError::usage(e.to_string()),
+            other => CliError::runtime(other.to_string()),
+        })?;
+    root.finish();
+    emit_trace(&tel, fmt);
     print!("{}", estimate.render());
     Ok(())
 }
@@ -441,10 +503,21 @@ fn cmd_frontier(args: &Args) -> Result<(), CliError> {
         return Err(CliError::usage(
             "usage: tiscc frontier <program.tql> [--layouts L[@RxC][,...]] [--grids RxC[,...]] \
              [--dmin N] [--dmax N] [--profile NAME[,NAME...]] [--mode compiled|analytic] \
-             [--cache-dir DIR] [--out F.csv] [--json F.json]",
+             [--cache-dir DIR] [--out F.csv] [--json F.json] [--stats-json F.json] \
+             [--trace[=tree|json]] [--quiet]",
         ));
     };
-    let program = load_program(path)?;
+    let quiet = args.flag("quiet").is_some();
+    let fmt = trace_format(args)?;
+    let stats_json = args.flag("stats-json").map(str::to_string);
+    if stats_json.as_deref() == Some("") {
+        return Err(CliError::usage("--stats-json expects a file path"));
+    }
+    // --stats-json embeds the span tree, so it records telemetry even
+    // when no --trace format was requested for stderr.
+    let tel = telemetry_for(fmt.is_some() || stats_json.is_some());
+    let root = tel.root("frontier");
+    let program = load_program(path, &root)?;
     let spec = FrontierSpec {
         layouts: frontier_layouts(args)?,
         d_min: args.flag_usize("dmin", 3)?,
@@ -457,18 +530,23 @@ fn cmd_frontier(args: &Args) -> Result<(), CliError> {
 
     let compiler = Compiler::new();
     let started = std::time::Instant::now();
-    let report =
-        run_frontier(&program, &spec, &compiler, disk.as_ref()).map_err(frontier_cli_error)?;
-    eprint!("{}", report.render_stats());
-    eprintln!("  elapsed: {:.3}s", started.elapsed().as_secs_f64());
-    if let Some(cache) = &disk {
-        eprintln!(
-            "  persistent cache: {} entr{} at {} ({} corrupt skipped)",
-            cache.len(),
-            if cache.len() == 1 { "y" } else { "ies" },
-            cache.dir().display(),
-            cache.corrupt_entries()
-        );
+    let report = run_frontier_with(&program, &spec, &compiler, disk.as_ref(), &root)
+        .map_err(frontier_cli_error)?;
+    let elapsed_s = started.elapsed().as_secs_f64();
+    root.finish();
+    emit_trace(&tel, fmt);
+    if !quiet {
+        eprint!("{}", report.render_stats());
+        eprintln!("  elapsed: {elapsed_s:.3}s");
+        if let Some(cache) = &disk {
+            eprintln!(
+                "  persistent cache: {} entr{} at {} ({} corrupt skipped)",
+                cache.len(),
+                if cache.len() == 1 { "y" } else { "ies" },
+                cache.dir().display(),
+                cache.corrupt_entries()
+            );
+        }
     }
 
     if let Some(out) = args.flag("out") {
@@ -483,12 +561,24 @@ fn cmd_frontier(args: &Args) -> Result<(), CliError> {
         if parsed != report.points {
             return Err(CliError::runtime("written CSV did not round-trip the matrix exactly"));
         }
-        eprintln!("wrote {out}");
+        if !quiet {
+            eprintln!("wrote {out}");
+        }
     }
     if let Some(json) = args.flag("json") {
         std::fs::write(json, report_to_json(&report))
             .map_err(|e| CliError::runtime(format!("cannot write {json}: {e}")))?;
-        eprintln!("wrote {json}");
+        if !quiet {
+            eprintln!("wrote {json}");
+        }
+    }
+    if let Some(stats_path) = &stats_json {
+        let trace = tel.snapshot().and_then(|r| JsonSink.render(&r));
+        std::fs::write(stats_path, stats_to_json(&report, elapsed_s, trace.as_deref()))
+            .map_err(|e| CliError::runtime(format!("cannot write {stats_path}: {e}")))?;
+        if !quiet {
+            eprintln!("wrote {stats_path}");
+        }
     }
     print!("{}", frontier_to_csv(&report));
     Ok(())
@@ -501,7 +591,7 @@ fn cmd_serve(args: &Args) -> Result<(), CliError> {
              requests on stdin, one JSON response per line on stdout, until EOF)",
         ));
     }
-    let state = ServeState { compiler: Compiler::new(), disk: open_cache(args)? };
+    let state = ServeState::new(open_cache(args)?);
     eprintln!(
         "tiscc serve: reading JSON requests from stdin{}",
         match &state.disk {
@@ -577,40 +667,54 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         }
     }
 
+    let quiet = args.flag("quiet").is_some();
+    let fmt = trace_format(args)?;
+    let tel = telemetry_for(fmt.is_some());
+    let root = tel.root("sweep");
     let cache = CompileCache::new();
     let profile_names: Vec<&str> = spec.profiles.iter().map(|p| p.name.as_str()).collect();
-    eprintln!(
-        "sweeping {} configurations ({} instructions x d=2..={} with dt policy {:?} x profiles {:?})",
-        spec.len(),
-        spec.instructions.len(),
-        dmax,
-        spec.dts,
-        profile_names
-    );
-    let result =
-        run_sweep(&spec, &cache).map_err(|e| CliError::runtime(format!("sweep failed: {e}")))?;
-    eprintln!(
-        "cold sweep: {} rows in {:.2}s on {} thread(s) ({} compiled, {} cache hits)",
-        result.rows.len(),
-        result.elapsed_s,
-        result.threads,
-        result.cache_misses,
-        result.cache_hits
-    );
+    if !quiet {
+        eprintln!(
+            "sweeping {} configurations ({} instructions x d=2..={} with dt policy {:?} x profiles {:?})",
+            spec.len(),
+            spec.instructions.len(),
+            dmax,
+            spec.dts,
+            profile_names
+        );
+    }
+    let result = run_sweep_with(&spec, &cache, &root)
+        .map_err(|e| CliError::runtime(format!("sweep failed: {e}")))?;
+    if !quiet {
+        eprintln!(
+            "cold sweep: {} rows in {:.2}s on {} thread(s) ({} compiled, {} cache hits)",
+            result.rows.len(),
+            result.elapsed_s,
+            result.threads,
+            result.cache_misses,
+            result.cache_hits
+        );
+    }
 
     // A second in-process sweep over the same spec: every row must now come
     // from the compile cache. This both demonstrates and regression-checks
     // the memoization (a real client issuing overlapping sweeps, e.g. the
-    // Table 1/2/3 generators, shares primitives exactly this way).
-    let warm = run_sweep(&spec, &cache)
+    // Table 1/2/3 generators, shares primitives exactly this way). Both
+    // passes share the one "sweep" root span, so phase totals aggregate
+    // the cold and warm expand/compile/assemble children.
+    let warm = run_sweep_with(&spec, &cache, &root)
         .map_err(|e| CliError::runtime(format!("warm sweep failed: {e}")))?;
-    eprintln!(
-        "warm sweep: {} rows in {:.3}s ({} cache hits, {} compiled)",
-        warm.rows.len(),
-        warm.elapsed_s,
-        warm.cache_hits,
-        warm.cache_misses
-    );
+    if !quiet {
+        eprintln!(
+            "warm sweep: {} rows in {:.3}s ({} cache hits, {} compiled)",
+            warm.rows.len(),
+            warm.elapsed_s,
+            warm.cache_hits,
+            warm.cache_misses
+        );
+    }
+    root.finish();
+    emit_trace(&tel, fmt);
     if warm.cache_misses != 0 || warm.rows != result.rows {
         return Err(CliError::runtime("cache inconsistency: warm sweep diverged from cold sweep"));
     }
@@ -633,13 +737,17 @@ fn cmd_sweep(args: &Args) -> Result<(), CliError> {
         })?;
         parse_csv(&text)
             .map_err(|e| CliError::runtime(format!("written CSV failed to re-parse: {e}")))?;
-        eprintln!("wrote {}", csv_path.display());
+        if !quiet {
+            eprintln!("wrote {}", csv_path.display());
+        }
     }
     if let Some(json_path) = &json_path {
         result
             .write_json(json_path)
             .map_err(|e| CliError::runtime(format!("cannot write {}: {e}", json_path.display())))?;
-        eprintln!("wrote {}", json_path.display());
+        if !quiet {
+            eprintln!("wrote {}", json_path.display());
+        }
     }
     if csv_path.is_none() && json_path.is_none() {
         print!("{}", result.to_csv());
@@ -797,10 +905,17 @@ fn bench_regressions(
 }
 
 fn cmd_bench_report(args: &Args) -> Result<(), CliError> {
-    if args.positional.is_empty() {
+    let trace_path = args.flag("trace");
+    if trace_path == Some("") {
         return Err(CliError::usage(
-            "usage: tiscc bench-report <results.txt>... [--out F.json] \
-             [--baseline F.json] [--tolerance X]",
+            "--trace expects a file path here (write one with e.g. \
+             `tiscc estimate ... --trace=json 2> trace.json`); pass it as --trace=FILE",
+        ));
+    }
+    if args.positional.is_empty() && trace_path.is_none() {
+        return Err(CliError::usage(
+            "usage: tiscc bench-report <results.txt>... [--trace=F.json] [--out F.json] \
+             [--baseline F.json] [--tolerance X] [--filter SUBSTR]",
         ));
     }
     let tolerance = args.flag_f64("tolerance", 0.3)?;
@@ -815,6 +930,24 @@ fn cmd_bench_report(args: &Args) -> Result<(), CliError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
         entries.extend(parse_bench_output(&text));
+    }
+    if let Some(path) = trace_path {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::usage(format!("cannot read {path}: {e}")))?;
+        let report = trace_from_json(&text)
+            .map_err(|e| CliError::runtime(format!("malformed trace {path}: {e}")))?;
+        // Each span path becomes one pseudo-benchmark whose median is the
+        // path's aggregated duration, so traces feed the same baseline
+        // gate as the real benchmark suites.
+        for (span_path, total_us, _calls) in report.phase_totals() {
+            entries.push(BenchEntry {
+                id: format!("trace/{span_path}"),
+                median_ns: total_us * 1000.0,
+            });
+        }
+    }
+    if let Some(filter) = args.flag("filter") {
+        entries.retain(|e| e.id.contains(filter));
     }
     if entries.is_empty() {
         return Err(CliError::runtime(
@@ -833,8 +966,11 @@ fn cmd_bench_report(args: &Args) -> Result<(), CliError> {
     if let Some(baseline_path) = args.flag("baseline") {
         let text = std::fs::read_to_string(baseline_path)
             .map_err(|e| CliError::usage(format!("cannot read {baseline_path}: {e}")))?;
-        let baseline = parse_bench_json(&text)
+        let mut baseline = parse_bench_json(&text)
             .map_err(|e| CliError::runtime(format!("malformed baseline {baseline_path}: {e}")))?;
+        if let Some(filter) = args.flag("filter") {
+            baseline.retain(|e| e.id.contains(filter));
+        }
         for base in &baseline {
             if !entries.iter().any(|c| c.id == base.id) {
                 eprintln!("warning: baseline benchmark {:?} was not measured", base.id);

@@ -36,5 +36,5 @@ pub mod verify;
 pub use compiler::{
     AnalyticArtifact, CompileArtifact, CompileRequest, Compiler, EstimateMode, ANALYTIC_DT_CAP,
 };
-pub use program::{estimate_program, ProgramEstimate, ProgramEstimateSpec};
-pub use sweep::{run_sweep, CompileCache, SweepResult, SweepSpec};
+pub use program::{estimate_program, estimate_program_with, ProgramEstimate, ProgramEstimateSpec};
+pub use sweep::{run_sweep, run_sweep_with, CompileCache, SweepResult, SweepSpec};

@@ -38,9 +38,10 @@ use tiscc_hw::HardwareSpec;
 use tiscc_program::budget::BudgetError;
 use tiscc_program::ir::ProgramError;
 use tiscc_program::{
-    schedule, ErrorModel, LayoutSpec, LogicalProgram, Placement, PlacementError, RoutingError,
+    schedule_with, ErrorModel, LayoutSpec, LogicalProgram, Placement, PlacementError, RoutingError,
     Schedule,
 };
+use tiscc_telemetry::{Span, Telemetry};
 
 use crate::compiler::{CompileRequest, Compiler, EstimateMode};
 
@@ -297,16 +298,41 @@ pub fn estimate_program(
     spec: &ProgramEstimateSpec,
     compiler: &Compiler,
 ) -> Result<ProgramEstimate, EstimateError> {
-    program.validate()?;
-    if spec.profiles.is_empty() {
-        return Err(EstimateError::Spec("at least one hardware profile is required".into()));
+    estimate_program_with(program, spec, compiler, &Telemetry::off().root("estimate"))
+}
+
+/// [`estimate_program`] with telemetry: each pipeline phase (`validate`,
+/// `place`, `schedule`, `select_distance`, `compile`, `assemble`) opens a
+/// child span under `parent`, and the compile phase records the
+/// `compile.cache_hits` / `compile.cache_misses` /
+/// `compile.analytic_captures` deltas of `compiler` across the fan-out.
+/// Passing a span from [`Telemetry::off`] makes this identical to
+/// [`estimate_program`].
+pub fn estimate_program_with(
+    program: &LogicalProgram,
+    spec: &ProgramEstimateSpec,
+    compiler: &Compiler,
+    parent: &Span,
+) -> Result<ProgramEstimate, EstimateError> {
+    {
+        let _validate = parent.child("validate");
+        program.validate()?;
+        if spec.profiles.is_empty() {
+            return Err(EstimateError::Spec("at least one hardware profile is required".into()));
+        }
     }
 
-    let placement = Placement::allocate_with(program, &spec.layout)?;
-    let sched = schedule(program, &placement)?;
+    let placement = {
+        let _place = parent.child("place");
+        Placement::allocate_with(program, &spec.layout)?
+    };
+    let sched = schedule_with(program, &placement, parent)?;
     let patch_steps = sched.patch_steps(placement.total_tiles());
-    let d = spec.model.select_distance(patch_steps, spec.budget, spec.d_max)?;
-    let achieved_error = spec.model.program_error(d, patch_steps);
+    let (d, achieved_error) = {
+        let _select = parent.child("select_distance");
+        let d = spec.model.select_distance(patch_steps, spec.budget, spec.d_max)?;
+        (d, spec.model.program_error(d, patch_steps))
+    };
 
     // The distinct instruction kinds of the program: each is compiled once
     // per profile at the selected distance (the compiler cache makes
@@ -318,6 +344,10 @@ pub fn estimate_program(
         }
     }
 
+    let compile_span = parent.child("compile");
+    let hits_before = compiler.cache().hits();
+    let misses_before = compiler.cache().misses();
+    let captures_before = compiler.analytic_captures();
     let requests: Vec<(usize, CompileRequest)> = spec
         .profiles
         .iter()
@@ -336,9 +366,21 @@ pub fn estimate_program(
         .collect();
     let times: HashMap<(usize, Instruction), f64> =
         compiled?.into_iter().map(|(key, row)| (key, row.resources.execution_time_s)).collect();
+    compile_span
+        .add("compile.cache_hits", compiler.cache().hits().saturating_sub(hits_before) as u64);
+    compile_span.add(
+        "compile.cache_misses",
+        compiler.cache().misses().saturating_sub(misses_before) as u64,
+    );
+    compile_span.add(
+        "compile.analytic_captures",
+        compiler.analytic_captures().saturating_sub(captures_before) as u64,
+    );
+    compile_span.finish();
 
     // The machine footprint depends only on the placement and the selected
     // distance, never on the profile.
+    let assemble_span = parent.child("assemble");
     let layout = placement.layout(d);
     let zones = layout.trapping_zone_count();
     let area_m2 = layout.area_m2();
@@ -360,6 +402,7 @@ pub fn estimate_program(
             }
         })
         .collect();
+    drop(assemble_span);
 
     Ok(ProgramEstimate {
         program: program.name().to_string(),

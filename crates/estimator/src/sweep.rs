@@ -33,6 +33,7 @@ use rayon::prelude::*;
 use tiscc_core::instruction::Instruction;
 use tiscc_core::CoreError;
 use tiscc_hw::{HardwareSpec, SpecFingerprint};
+use tiscc_telemetry::{Span, Telemetry};
 
 use crate::compiler::{AnalyticArtifact, EstimateMode};
 use crate::tables::{compile_instruction_row_with, csv_header, render_csv, ResourceRow};
@@ -363,7 +364,22 @@ fn json_escape(s: &str) -> String {
 /// compiled configurations stay cached, so a retried sweep resumes from
 /// where the failed one stopped.
 pub fn run_sweep(spec: &SweepSpec, cache: &CompileCache) -> Result<SweepResult, CoreError> {
+    run_sweep_with(spec, cache, &Telemetry::off().root("sweep"))
+}
+
+/// [`run_sweep`] with telemetry: the grid expansion/dedup, the compile
+/// fan-out and the row assembly each open a child span (`expand`,
+/// `compile`, `assemble`) under `parent`, and the sweep's cache traffic
+/// is recorded as the `sweep.rows` / `sweep.cache_hits` /
+/// `sweep.cache_misses` counters. Passing a span from [`Telemetry::off`]
+/// makes this identical to [`run_sweep`].
+pub fn run_sweep_with(
+    spec: &SweepSpec,
+    cache: &CompileCache,
+    parent: &Span,
+) -> Result<SweepResult, CoreError> {
     let started = Instant::now();
+    let expand_span = parent.child("expand");
     let keys = spec.keys();
     let profiles = spec.profiles_by_fingerprint();
 
@@ -385,8 +401,10 @@ pub fn run_sweep(spec: &SweepSpec, cache: &CompileCache) -> Result<SweepResult, 
     let missing: Vec<SweepKey> =
         to_resolve.iter().copied().filter(|key| cache.get(key).is_none()).collect();
     let unique_hits = to_resolve.len() - missing.len();
+    expand_span.finish();
 
     // Parallel fan-out over the missing configurations only.
+    let compile_span = parent.child("compile");
     let compiled: Result<Vec<(SweepKey, ResourceRow)>, CoreError> = match spec.mode {
         EstimateMode::Compiled => missing
             .into_par_iter()
@@ -443,9 +461,16 @@ pub fn run_sweep(spec: &SweepSpec, cache: &CompileCache) -> Result<SweepResult, 
     for (key, row) in compiled {
         cache.insert(key, row);
     }
+    compile_span.finish();
 
+    let assemble_span = parent.child("assemble");
     let rows: Vec<ResourceRow> =
         keys.iter().map(|key| cache.peek(key).expect("sweep key compiled or cached")).collect();
+    assemble_span.finish();
+
+    parent.add("sweep.rows", keys.len() as u64);
+    parent.add("sweep.cache_hits", (duplicate_hits + unique_hits) as u64);
+    parent.add("sweep.cache_misses", compiled_count as u64);
 
     Ok(SweepResult {
         keys,

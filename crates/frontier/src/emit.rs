@@ -149,6 +149,36 @@ fn point_to_json(p: &FrontierPoint) -> String {
     )
 }
 
+/// Renders the run's provenance — the `tiscc frontier --stats-json`
+/// artifact — as a single JSON object: the [`FrontierStats`] fields plus
+/// matrix/frontier sizes, the run's elapsed wall clock, and (when
+/// tracing is active) the embedded `tiscc.trace.v1` document, `null`
+/// otherwise. `trace_json` is spliced in verbatim, so it must already be
+/// valid JSON.
+///
+/// [`FrontierStats`]: crate::engine::FrontierStats
+pub fn stats_to_json(report: &FrontierReport, elapsed_s: f64, trace_json: Option<&str>) -> String {
+    let s = &report.stats;
+    format!(
+        "{{\"schema\":\"tiscc.frontier-stats.v1\",\"program\":{},\"mode\":{},\
+         \"matrix_points\":{},\"frontier_points\":{},\"jobs\":{},\"disk_hits\":{},\
+         \"computed\":{},\"corrupt_entries\":{},\"analytic_captures\":{},\
+         \"duplicates_dropped\":{},\"elapsed_s\":{},\"trace\":{}}}\n",
+        json_string(&report.program),
+        json_string(report.mode.name()),
+        report.points.len(),
+        report.frontier().len(),
+        s.jobs,
+        s.disk_hits,
+        s.computed,
+        s.corrupt_entries,
+        s.analytic_captures,
+        s.duplicates_dropped,
+        json_f64(elapsed_s),
+        trace_json.map_or("null", str::trim_end),
+    )
+}
+
 /// Formats a float as a JSON value: shortest round-trip text for finite
 /// values, `null` otherwise (JSON has no NaN/inf).
 pub fn json_f64(x: f64) -> String {

@@ -20,7 +20,8 @@ use rayon::prelude::*;
 use tiscc_core::instruction::Instruction;
 use tiscc_estimator::compiler::{CompileRequest, Compiler};
 use tiscc_estimator::sweep::SweepKey;
-use tiscc_program::{schedule, LayoutSpec, LogicalProgram, Placement, Schedule};
+use tiscc_program::{schedule_with, LayoutSpec, LogicalProgram, Placement, Schedule};
+use tiscc_telemetry::{Span, Telemetry};
 
 use crate::cache::DiskCache;
 use crate::pareto::pareto_flags;
@@ -147,25 +148,59 @@ pub fn run_frontier(
     compiler: &Compiler,
     disk: Option<&DiskCache>,
 ) -> Result<FrontierReport, FrontierError> {
-    let norm = spec.normalize()?;
-    program.validate().map_err(|e| FrontierError::Program(e.to_string()))?;
+    run_frontier_with(program, spec, compiler, disk, &Telemetry::off().root("frontier"))
+}
+
+/// [`run_frontier`] with telemetry: spec normalization, per-layout
+/// placement/scheduling, the disk-first compile resolution, matrix
+/// assembly and the Pareto sweep each open a child span under `parent`
+/// (`normalize`, `layout`, `resolve`, `assemble`, `pareto`), and the
+/// run's [`FrontierStats`] are mirrored into `frontier.*` counters.
+/// Passing a span from [`Telemetry::off`] makes this identical to
+/// [`run_frontier`].
+pub fn run_frontier_with(
+    program: &LogicalProgram,
+    spec: &FrontierSpec,
+    compiler: &Compiler,
+    disk: Option<&DiskCache>,
+    parent: &Span,
+) -> Result<FrontierReport, FrontierError> {
+    let norm = {
+        let _normalize = parent.child("normalize");
+        let norm = spec.normalize()?;
+        program.validate().map_err(|e| FrontierError::Program(e.to_string()))?;
+        norm
+    };
 
     // Place and schedule each floorplan once; both are distance- and
     // profile-independent.
+    let layout_span = parent.child("layout");
     let mut layouts = Vec::with_capacity(norm.layouts.len());
     for &layout in &norm.layouts {
         let placement = Placement::allocate_with(program, &layout)
             .map_err(|e| FrontierError::Placement(e.to_string()))?;
-        let sched =
-            schedule(program, &placement).map_err(|e| FrontierError::Placement(e.to_string()))?;
+        let sched = schedule_with(program, &placement, &layout_span)
+            .map_err(|e| FrontierError::Placement(e.to_string()))?;
         let patch_steps = sched.patch_steps(placement.total_tiles());
         layouts.push(PlacedLayout { spec: layout, placement, sched, patch_steps });
     }
+    layout_span.finish();
 
     let kinds = distinct_kinds(program);
-    let (times, stats) = resolve_rows(&kinds, &norm, spec, compiler, disk)?;
+    let (times, stats) = {
+        let resolve_span = parent.child("resolve");
+        let (times, stats) = resolve_rows(&kinds, &norm, spec, compiler, disk)?;
+        resolve_span.add("frontier.jobs", stats.jobs as u64);
+        resolve_span.add("frontier.disk_hits", stats.disk_hits as u64);
+        resolve_span.add("frontier.computed", stats.computed as u64);
+        resolve_span.add("frontier.corrupt_entries", stats.corrupt_entries as u64);
+        resolve_span.add("frontier.analytic_captures", stats.analytic_captures as u64);
+        resolve_span.add("frontier.duplicates_dropped", norm.duplicates_dropped as u64);
+        (times, stats)
+    };
 
     // Assemble the matrix in deterministic layout-major order.
+    let assemble_span = parent.child("assemble");
     let mut points = Vec::with_capacity(norm.matrix_len());
     for placed in &layouts {
         let grid = (placed.placement.tile_rows(), placed.placement.tile_cols());
@@ -196,11 +231,15 @@ pub fn run_frontier(
         }
     }
 
+    assemble_span.finish();
+
+    let pareto_span = parent.child("pareto");
     let axes: Vec<(usize, f64)> =
         points.iter().map(|p| (p.physical_qubits, p.duration_s)).collect();
     for (point, flag) in points.iter_mut().zip(pareto_flags(&axes)) {
         point.on_frontier = flag;
     }
+    pareto_span.finish();
 
     Ok(FrontierReport {
         program: program.name().to_string(),

@@ -53,8 +53,8 @@ pub mod serve;
 pub mod spec;
 
 pub use cache::{DiskCache, CACHE_FORMAT_VERSION};
-pub use emit::{frontier_to_csv, matrix_from_csv, matrix_to_csv, report_to_json};
-pub use engine::{run_frontier, FrontierPoint, FrontierReport, FrontierStats};
+pub use emit::{frontier_to_csv, matrix_from_csv, matrix_to_csv, report_to_json, stats_to_json};
+pub use engine::{run_frontier, run_frontier_with, FrontierPoint, FrontierReport, FrontierStats};
 pub use pareto::{pareto_flags, pareto_flags_bruteforce};
-pub use serve::{handle_line, parse_layout_entry, split_list, ServeState};
+pub use serve::{handle_line, parse_layout_entry, split_list, ServeState, MAX_REQUEST_BYTES};
 pub use spec::{FrontierError, FrontierSpec, NormalizedSpec};

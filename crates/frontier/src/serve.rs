@@ -12,68 +12,178 @@
 //! {"cmd":"estimate","program":"adder.tql","budget":1e-9,"profiles":"h1"}
 //! {"cmd":"frontier","program":"adder.tql","layouts":"row,checkerboard",
 //!  "dmin":3,"dmax":13,"profiles":"h1,projected","mode":"analytic"}
+//! {"op":"metrics"}
 //! ```
 //!
-//! Every response is one line: `{"ok":true,...}` on success,
-//! `{"ok":false,"error":"..."}` on failure. A malformed line never kills
-//! the server — it yields an error response and the loop continues.
+//! `"op"` is accepted as an alias for `"cmd"`. Every response is one
+//! line: `{"ok":true,...}` on success,
+//! `{"ok":false,"error":"...","kind":"..."}` on failure, where `kind` is
+//! one of `oversized_line` (the line exceeds [`MAX_REQUEST_BYTES`]),
+//! `malformed_json`, `unknown_op` or `bad_request`. A malformed line
+//! never kills the server — it yields an error response and the loop
+//! continues.
+//!
+//! The state keeps an always-on [`Telemetry`] recorder: every request
+//! bumps `serve.requests` (and `serve.requests.<op>` for known ops),
+//! every error bumps `serve.errors` and `serve.errors.<kind>`, and
+//! request latency accrues in `serve.request_us_total`. The `metrics`
+//! verb reports these counters together with the warm compiler-memo and
+//! persistent-cache statistics, so a session's cache behaviour is
+//! observable without scraping stderr.
 
 use std::path::PathBuf;
+use std::time::Instant;
 
 use tiscc_estimator::compiler::{Compiler, EstimateMode};
-use tiscc_estimator::program::{estimate_program, ProgramEstimateSpec};
+use tiscc_estimator::program::{estimate_program_with, ProgramEstimateSpec};
 use tiscc_hw::HardwareSpec;
 use tiscc_program::{ErrorModel, LayoutSpec, LogicalProgram};
+use tiscc_telemetry::Telemetry;
 
 use crate::cache::DiskCache;
 use crate::emit::{json_f64, json_string};
-use crate::engine::run_frontier;
+use crate::engine::run_frontier_with;
 use crate::spec::FrontierSpec;
 
-/// The state a serve loop holds across requests: the warm compiler memo
-/// and the optional persistent cache.
+/// Longest accepted request line in bytes; longer lines are answered with
+/// an `oversized_line` error without being parsed.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// The state a serve loop holds across requests: the warm compiler memo,
+/// the optional persistent cache, and the session's telemetry recorder.
 pub struct ServeState {
     /// The shared compiler; its memo makes repeated requests cheap.
     pub compiler: Compiler,
     /// The persistent cache, when the server was started with a cache dir.
     pub disk: Option<DiskCache>,
+    /// Always-on session telemetry: request/error counters and per-request
+    /// spans (span recording stops at the recorder's cap, counters never
+    /// do). The `metrics` verb reads from here.
+    pub tel: Telemetry,
 }
 
 impl ServeState {
     /// A fresh server state with no persistent cache.
     pub fn new(disk: Option<DiskCache>) -> ServeState {
-        ServeState { compiler: Compiler::new(), disk }
+        ServeState { compiler: Compiler::new(), disk, tel: Telemetry::new_enabled() }
+    }
+}
+
+/// A structured serve-loop failure: a stable machine-readable `kind`
+/// plus a human-readable message.
+struct ServeError {
+    kind: &'static str,
+    message: String,
+}
+
+impl ServeError {
+    fn bad_request(message: String) -> ServeError {
+        ServeError { kind: "bad_request", message }
     }
 }
 
 /// Handles one request line, returning exactly one JSON response line
 /// (without a trailing newline). Never panics on malformed input.
 pub fn handle_line(line: &str, state: &ServeState) -> String {
-    match handle(line, state) {
+    let started = Instant::now();
+    state.tel.add("serve.requests", 1);
+    let result = handle(line, state);
+    let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+    state.tel.add("serve.request_us_total", elapsed_us as u64);
+    state.tel.gauge("serve.last_request_us", elapsed_us);
+    match result {
         Ok(body) => body,
-        Err(message) => format!("{{\"ok\":false,\"error\":{}}}", json_string(&message)),
+        Err(e) => {
+            state.tel.add("serve.errors", 1);
+            state.tel.add(&format!("serve.errors.{}", e.kind), 1);
+            format!(
+                "{{\"ok\":false,\"error\":{},\"kind\":{}}}",
+                json_string(&e.message),
+                json_string(e.kind)
+            )
+        }
     }
 }
 
-fn handle(line: &str, state: &ServeState) -> Result<String, String> {
-    let fields = parse_flat_json(line)?;
+fn handle(line: &str, state: &ServeState) -> Result<String, ServeError> {
+    if line.len() > MAX_REQUEST_BYTES {
+        return Err(ServeError {
+            kind: "oversized_line",
+            message: format!("request line is {} bytes (limit {MAX_REQUEST_BYTES})", line.len()),
+        });
+    }
+    let fields =
+        parse_flat_json(line).map_err(|message| ServeError { kind: "malformed_json", message })?;
     let get = |name: &str| fields.iter().find(|(k, _)| k == name).map(|(_, v)| v);
-    let cmd = match get("cmd") {
+    // "op" is an alias for "cmd"; "cmd" wins when both are present.
+    let cmd = match get("cmd").or_else(|| get("op")) {
         Some(JsonValue::Str(s)) => s.as_str(),
-        Some(_) => return Err("\"cmd\" must be a string".to_string()),
-        None => return Err("request is missing \"cmd\"".to_string()),
+        Some(_) => return Err(ServeError::bad_request("\"cmd\" must be a string".to_string())),
+        None => return Err(ServeError::bad_request("request is missing \"cmd\"".to_string())),
     };
     match cmd {
-        "ping" => Ok(format!(
-            "{{\"ok\":true,\"reply\":\"pong\",\"cache_entries\":{}}}",
-            state.disk.as_ref().map_or(0, |c| c.len())
-        )),
-        "estimate" => handle_estimate(&fields, state),
-        "frontier" => handle_frontier(&fields, state),
-        other => {
-            Err(format!("unknown cmd {other:?} (expected \"ping\", \"estimate\" or \"frontier\")"))
+        "ping" => {
+            state.tel.add("serve.requests.ping", 1);
+            Ok(format!(
+                "{{\"ok\":true,\"reply\":\"pong\",\"cache_entries\":{}}}",
+                state.disk.as_ref().map_or(0, |c| c.len())
+            ))
         }
+        "metrics" => {
+            state.tel.add("serve.requests.metrics", 1);
+            Ok(handle_metrics(state))
+        }
+        "estimate" => {
+            state.tel.add("serve.requests.estimate", 1);
+            let span = state.tel.root("estimate");
+            handle_estimate(&fields, state, &span).map_err(ServeError::bad_request)
+        }
+        "frontier" => {
+            state.tel.add("serve.requests.frontier", 1);
+            let span = state.tel.root("frontier");
+            handle_frontier(&fields, state, &span).map_err(ServeError::bad_request)
+        }
+        other => Err(ServeError {
+            kind: "unknown_op",
+            message: format!(
+                "unknown cmd {other:?} (expected \"ping\", \"estimate\", \"frontier\" or \
+                 \"metrics\")"
+            ),
+        }),
     }
+}
+
+/// Renders the `metrics` response: session request/error counters from
+/// the telemetry registry plus the live compiler-memo and
+/// persistent-cache statistics. Counters are monotonically increasing
+/// over a session (the reply counts the `metrics` request itself).
+fn handle_metrics(state: &ServeState) -> String {
+    let tel = &state.tel;
+    format!(
+        "{{\"ok\":true,\"requests\":{},\"requests_ping\":{},\"requests_estimate\":{},\
+         \"requests_frontier\":{},\"requests_metrics\":{},\"errors\":{},\
+         \"errors_malformed_json\":{},\"errors_unknown_op\":{},\"errors_oversized_line\":{},\
+         \"errors_bad_request\":{},\"request_us_total\":{},\"compile_cache_hits\":{},\
+         \"compile_cache_misses\":{},\"compile_cache_entries\":{},\"analytic_captures\":{},\
+         \"disk_entries\":{},\"disk_corrupt\":{}}}",
+        tel.counter("serve.requests"),
+        tel.counter("serve.requests.ping"),
+        tel.counter("serve.requests.estimate"),
+        tel.counter("serve.requests.frontier"),
+        tel.counter("serve.requests.metrics"),
+        tel.counter("serve.errors"),
+        tel.counter("serve.errors.malformed_json"),
+        tel.counter("serve.errors.unknown_op"),
+        tel.counter("serve.errors.oversized_line"),
+        tel.counter("serve.errors.bad_request"),
+        tel.counter("serve.request_us_total"),
+        state.compiler.cache().hits(),
+        state.compiler.cache().misses(),
+        state.compiler.cache().len(),
+        state.compiler.analytic_captures(),
+        state.disk.as_ref().map_or(0, |c| c.len()),
+        state.disk.as_ref().map_or(0, |c| c.corrupt_entries()),
+    )
 }
 
 fn load_program(fields: &[(String, JsonValue)]) -> Result<LogicalProgram, String> {
@@ -180,7 +290,11 @@ fn model_from(fields: &[(String, JsonValue)]) -> Result<ErrorModel, String> {
     })
 }
 
-fn handle_estimate(fields: &[(String, JsonValue)], state: &ServeState) -> Result<String, String> {
+fn handle_estimate(
+    fields: &[(String, JsonValue)],
+    state: &ServeState,
+    span: &tiscc_telemetry::Span,
+) -> Result<String, String> {
     let program = load_program(fields)?;
     let layout = parse_layout_entry(field_str(fields, "layout", "lane")?)?;
     let spec = ProgramEstimateSpec {
@@ -191,7 +305,8 @@ fn handle_estimate(fields: &[(String, JsonValue)], state: &ServeState) -> Result
         layout,
         mode: parse_mode(field_str(fields, "mode", "compiled")?)?,
     };
-    let est = estimate_program(&program, &spec, &state.compiler).map_err(|e| e.to_string())?;
+    let est =
+        estimate_program_with(&program, &spec, &state.compiler, span).map_err(|e| e.to_string())?;
     let mut out = format!(
         "{{\"ok\":true,\"program\":{},\"logical_qubits\":{},\"rows\":[",
         json_string(&est.program),
@@ -216,7 +331,11 @@ fn handle_estimate(fields: &[(String, JsonValue)], state: &ServeState) -> Result
     Ok(out)
 }
 
-fn handle_frontier(fields: &[(String, JsonValue)], state: &ServeState) -> Result<String, String> {
+fn handle_frontier(
+    fields: &[(String, JsonValue)],
+    state: &ServeState,
+    span: &tiscc_telemetry::Span,
+) -> Result<String, String> {
     let program = load_program(fields)?;
     let layouts = split_list("layouts", field_str(fields, "layouts", "lane")?)?
         .iter()
@@ -230,7 +349,7 @@ fn handle_frontier(fields: &[(String, JsonValue)], state: &ServeState) -> Result
         mode: parse_mode(field_str(fields, "mode", "compiled")?)?,
         model: model_from(fields)?,
     };
-    let report = run_frontier(&program, &spec, &state.compiler, state.disk.as_ref())
+    let report = run_frontier_with(&program, &spec, &state.compiler, state.disk.as_ref(), span)
         .map_err(|e| e.to_string())?;
     let frontier = report.frontier();
     let mut out = format!(
@@ -520,6 +639,109 @@ mod tests {
         // new analytic captures.
         let reply2 = handle_line(&request, &state);
         assert!(reply2.contains("\"analytic_captures\":0"), "{reply2}");
+        let _ = std::fs::remove_file(Path::new(&path));
+    }
+
+    /// Extracts an integer metrics field from a `metrics` reply.
+    fn metric(json: &str, key: &str) -> u64 {
+        field(json, key)
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("{key} in {json}"))
+    }
+
+    #[test]
+    fn op_is_an_alias_for_cmd() {
+        let state = ServeState::new(None);
+        let reply = handle_line("{\"op\":\"ping\"}", &state);
+        assert!(reply.contains("\"reply\":\"pong\""), "{reply}");
+        // "cmd" wins when both are present.
+        let reply = handle_line("{\"cmd\":\"ping\",\"op\":\"warp\"}", &state);
+        assert!(reply.contains("\"reply\":\"pong\""), "{reply}");
+    }
+
+    #[test]
+    fn error_paths_yield_structured_kinds_and_counters() {
+        let state = ServeState::new(None);
+
+        // Malformed JSON.
+        let reply = handle_line("this is not json", &state);
+        assert!(reply.contains("\"ok\":false"), "{reply}");
+        assert!(reply.contains("\"kind\":\"malformed_json\""), "{reply}");
+        assert!(parse_flat_json(&reply).is_ok(), "error replies stay flat: {reply}");
+
+        // Unknown op.
+        let reply = handle_line("{\"op\":\"warp\"}", &state);
+        assert!(reply.contains("\"kind\":\"unknown_op\""), "{reply}");
+        assert!(reply.contains("unknown cmd"), "{reply}");
+
+        // Oversized line (valid JSON, but past the limit).
+        let oversized =
+            format!("{{\"cmd\":\"ping\",\"pad\":\"{}\"}}", "x".repeat(MAX_REQUEST_BYTES));
+        let reply = handle_line(&oversized, &state);
+        assert!(reply.contains("\"kind\":\"oversized_line\""), "{reply}");
+
+        // Bad request (known op, missing field).
+        let reply = handle_line("{\"cmd\":\"estimate\"}", &state);
+        assert!(reply.contains("\"kind\":\"bad_request\""), "{reply}");
+
+        // The loop survived all of the above: the metrics verb answers
+        // and attributes one error to each kind.
+        let reply = handle_line("{\"op\":\"metrics\"}", &state);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        assert_eq!(metric(&reply, "requests"), 5);
+        assert_eq!(metric(&reply, "errors"), 4);
+        assert_eq!(metric(&reply, "errors_malformed_json"), 1);
+        assert_eq!(metric(&reply, "errors_unknown_op"), 1);
+        assert_eq!(metric(&reply, "errors_oversized_line"), 1);
+        assert_eq!(metric(&reply, "errors_bad_request"), 1);
+        assert_eq!(metric(&reply, "requests_metrics"), 1);
+    }
+
+    #[test]
+    fn metrics_counters_increase_monotonically_across_a_warm_session() {
+        let path = write_program("serve_metrics");
+        let state = ServeState::new(None);
+        let request = format!(
+            "{{\"cmd\":\"estimate\",\"program\":{},\"budget\":0.001}}",
+            json_string(path.to_str().unwrap())
+        );
+
+        let reply = handle_line(&request, &state);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let m1 = handle_line("{\"op\":\"metrics\"}", &state);
+        let (r1, h1) = (metric(&m1, "requests"), metric(&m1, "compile_cache_hits"));
+        assert_eq!(metric(&m1, "requests_estimate"), 1);
+        assert!(metric(&m1, "compile_cache_entries") > 0, "{m1}");
+
+        // The identical second request is served from the warm memo: the
+        // hit counter rises, the entry count stays put.
+        let reply = handle_line(&request, &state);
+        assert!(reply.contains("\"ok\":true"), "{reply}");
+        let m2 = handle_line("{\"op\":\"metrics\"}", &state);
+        assert!(metric(&m2, "requests") > r1, "{m2}");
+        assert!(metric(&m2, "compile_cache_hits") > h1, "{m2}");
+        assert_eq!(metric(&m1, "compile_cache_entries"), metric(&m2, "compile_cache_entries"));
+        assert_eq!(metric(&m2, "requests_estimate"), 2);
+        assert_eq!(metric(&m2, "errors"), 0);
+        let _ = std::fs::remove_file(Path::new(&path));
+    }
+
+    #[test]
+    fn requests_record_spans_in_session_telemetry() {
+        let path = write_program("serve_spans");
+        let state = ServeState::new(None);
+        let request = format!(
+            "{{\"cmd\":\"estimate\",\"program\":{},\"budget\":0.001}}",
+            json_string(path.to_str().unwrap())
+        );
+        handle_line(&request, &state);
+        let report = state.tel.snapshot().expect("serve telemetry is always on");
+        assert_eq!(report.roots(), vec!["estimate"]);
+        let paths: Vec<String> = (0..report.spans.len()).map(|i| report.path(i)).collect();
+        assert!(paths.contains(&"estimate/compile".to_string()), "{paths:?}");
         let _ = std::fs::remove_file(Path::new(&path));
     }
 

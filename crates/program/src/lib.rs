@@ -51,4 +51,4 @@ pub use ir::{LogicalProgram, ProgramError, ProgramInstruction, QubitRef};
 pub use layout2d::{LayoutSpec, LayoutStrategy, Placement, PlacementError, Tile};
 pub use parse::ParseError;
 pub use route::{find_corridor, Reservations, RoutingError};
-pub use schedule::{schedule, Schedule, ScheduleStep};
+pub use schedule::{schedule, schedule_with, Schedule, ScheduleStep};

@@ -23,6 +23,7 @@
 use std::fmt;
 
 use tiscc_core::instruction::Instruction;
+use tiscc_telemetry::Span;
 
 use crate::ir::{LogicalProgram, QubitRef};
 
@@ -164,6 +165,23 @@ impl LogicalProgram {
         program
             .validate()
             .map_err(|e| ParseError { line: error_line(&e), message: e.to_string() })?;
+        Ok(program)
+    }
+
+    /// [`LogicalProgram::parse`] wrapped in a telemetry span: opens a
+    /// `parse` child under `parent`, and on success records the
+    /// `parse.qubits` and `parse.instructions` counters. With telemetry
+    /// off the only cost over [`LogicalProgram::parse`] is a few no-op
+    /// calls.
+    pub fn parse_with(
+        name: impl Into<String>,
+        text: &str,
+        parent: &Span,
+    ) -> Result<LogicalProgram, ParseError> {
+        let span = parent.child("parse");
+        let program = LogicalProgram::parse(name, text)?;
+        span.add("parse.qubits", program.qubit_count() as u64);
+        span.add("parse.instructions", program.instructions().len() as u64);
         Ok(program)
     }
 

@@ -34,6 +34,8 @@
 
 use std::collections::HashMap;
 
+use tiscc_telemetry::Span;
+
 use crate::ir::LogicalProgram;
 use crate::layout2d::{LayoutStrategy, Placement, Tile};
 use crate::route::{corridor_avoiding, Reservations, RoutingError};
@@ -110,6 +112,27 @@ pub fn schedule(program: &LogicalProgram, placement: &Placement) -> Result<Sched
     };
     sched.logical_time_steps = sched.steps.iter().map(|s| s.logical_time_steps).sum();
     sched.parallel_merges = parallel_merges(program, &sched.steps);
+    Ok(sched)
+}
+
+/// [`schedule`] wrapped in a telemetry span: opens a `schedule` child
+/// under `parent`, and on success promotes the schedule's ad-hoc
+/// congestion fields into counters — `schedule.routing_stalls`,
+/// `schedule.parallel_merges`, `schedule.routed_merges` and
+/// `schedule.corridor_tiles` (total tiles across all merge corridors).
+pub fn schedule_with(
+    program: &LogicalProgram,
+    placement: &Placement,
+    parent: &Span,
+) -> Result<Schedule, RoutingError> {
+    let span = parent.child("schedule");
+    let sched = schedule(program, placement)?;
+    span.add("schedule.routing_stalls", sched.routing_stalls as u64);
+    span.add("schedule.parallel_merges", sched.parallel_merges as u64);
+    span.add("schedule.routed_merges", sched.routed_merges() as u64);
+    let corridor_tiles: usize =
+        sched.corridors.iter().flatten().map(|corridor| corridor.len()).sum();
+    span.add("schedule.corridor_tiles", corridor_tiles as u64);
     Ok(sched)
 }
 

@@ -1,0 +1,374 @@
+//! A minimal recursive JSON reader for `tiscc.trace.v1` documents.
+//!
+//! The serve protocol deliberately rejects nesting, but a trace document
+//! carries arrays of span objects, so this module hosts its own small
+//! recursive parser instead of reusing the flat one. It only needs to
+//! round-trip what [`JsonSink`](crate::JsonSink) emits.
+
+use crate::{SpanRecord, TraceReport};
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: &str) -> String {
+        format!("trace json: {message} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected {word}")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(b) = self.peek() {
+            if b.is_ascii_digit() || b == b'.' || b == b'e' || b == b'E' || b == b'+' || b == b'-' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        text.parse::<f64>().map(Value::Num).map_err(|_| self.error("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex =
+                                std::str::from_utf8(hex).map_err(|_| self.error("bad \\u hex"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("bad \\u hex"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Advance one full UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid utf-8"))?;
+                    let ch = rest.chars().next().expect("non-empty");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a `tiscc.trace.v1` JSON document (as emitted by
+/// [`JsonSink`](crate::JsonSink)) back into a [`TraceReport`].
+pub fn trace_from_json(text: &str) -> Result<TraceReport, String> {
+    let mut parser = Parser::new(text);
+    let root = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing data after document"));
+    }
+
+    let schema =
+        root.get("schema").and_then(Value::as_str).ok_or("trace json: missing \"schema\" field")?;
+    if schema != "tiscc.trace.v1" {
+        return Err(format!("trace json: unsupported schema {schema:?}"));
+    }
+    let total_us = root
+        .get("total_us")
+        .and_then(Value::as_f64)
+        .ok_or("trace json: missing \"total_us\" field")?;
+
+    let mut spans = Vec::new();
+    for (i, item) in root
+        .get("spans")
+        .and_then(Value::as_arr)
+        .ok_or("trace json: missing \"spans\" array")?
+        .iter()
+        .enumerate()
+    {
+        let name = item
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or(format!("trace json: span {i} missing \"name\""))?
+            .to_string();
+        let parent = match item.get("parent") {
+            Some(Value::Null) | None => None,
+            Some(v) => {
+                let p = v.as_f64().ok_or(format!("trace json: span {i} bad \"parent\""))? as usize;
+                if p >= i {
+                    return Err(format!("trace json: span {i} parent {p} out of order"));
+                }
+                Some(p)
+            }
+        };
+        let start_us = item
+            .get("start_us")
+            .and_then(Value::as_f64)
+            .ok_or(format!("trace json: span {i} missing \"start_us\""))?;
+        let duration_us = match item.get("duration_us") {
+            Some(Value::Null) | None => None,
+            Some(v) => Some(v.as_f64().ok_or(format!("trace json: span {i} bad \"duration_us\""))?),
+        };
+        spans.push(SpanRecord { name, parent, start_us, duration_us });
+    }
+
+    let mut counters = Vec::new();
+    if let Some(items) = root.get("counters").and_then(Value::as_arr) {
+        for item in items {
+            let name = item
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("trace json: counter missing \"name\"")?;
+            let value = item
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or("trace json: counter missing \"value\"")?;
+            counters.push((name.to_string(), value as u64));
+        }
+    }
+
+    let mut gauges = Vec::new();
+    if let Some(items) = root.get("gauges").and_then(Value::as_arr) {
+        for item in items {
+            let name = item
+                .get("name")
+                .and_then(Value::as_str)
+                .ok_or("trace json: gauge missing \"name\"")?;
+            let value = item
+                .get("value")
+                .and_then(Value::as_f64)
+                .ok_or("trace json: gauge missing \"value\"")?;
+            gauges.push((name.to_string(), value));
+        }
+    }
+
+    Ok(TraceReport { total_us, spans, counters, gauges })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{JsonSink, Sink, Telemetry};
+
+    #[test]
+    fn round_trips_an_emitted_trace() {
+        let tel = Telemetry::new_enabled();
+        let root = tel.root("estimate");
+        root.child("parse").finish();
+        root.child("compile").finish();
+        root.finish();
+        tel.add("compile.cache_hits", 3);
+        tel.gauge("threads", 8.0);
+        let report = tel.snapshot().unwrap();
+        let json = JsonSink.render(&report).unwrap();
+        let back = trace_from_json(&json).unwrap();
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn round_trips_open_spans_and_escapes() {
+        let tel = Telemetry::new_enabled();
+        let _open = tel.root("serve \"v1\"\n");
+        let report = tel.snapshot().unwrap();
+        let json = JsonSink.render(&report).unwrap();
+        let back = trace_from_json(&json).unwrap();
+        assert_eq!(back.spans[0].name, "serve \"v1\"\n");
+        assert_eq!(back.spans[0].duration_us, None);
+    }
+
+    #[test]
+    fn rejects_bad_documents() {
+        assert!(trace_from_json("").is_err());
+        assert!(trace_from_json("not json").is_err());
+        assert!(trace_from_json("{\"schema\":\"other\"}").is_err());
+        assert!(trace_from_json("{\"schema\":\"tiscc.trace.v1\"}").is_err());
+        assert!(trace_from_json(
+            "{\"schema\":\"tiscc.trace.v1\",\"total_us\":1.0,\"spans\":[]} trailing"
+        )
+        .is_err());
+        // A span whose parent index is not strictly earlier is rejected.
+        assert!(trace_from_json(
+            "{\"schema\":\"tiscc.trace.v1\",\"total_us\":1.0,\
+             \"spans\":[{\"name\":\"a\",\"parent\":0,\"start_us\":0.0,\"duration_us\":1.0}]}"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        let json = "{\"schema\":\"tiscc.trace.v1\",\"total_us\":1.0,\
+                    \"spans\":[{\"name\":\"\\u0041\",\"parent\":null,\
+                    \"start_us\":0.0,\"duration_us\":null}],\"counters\":[],\"gauges\":[]}";
+        let report = trace_from_json(json).unwrap();
+        assert_eq!(report.spans[0].name, "A");
+    }
+}

@@ -9,6 +9,9 @@
 //! * [`hw`] — the native gate set, time-resolved circuits, ASAP scheduling
 //!   and space-time resource accounting,
 //! * [`math`] — GF(2) and Pauli algebra,
+//! * [`telemetry`] — hand-rolled pipeline observability: span trees with
+//!   monotonic timing, counter/gauge registries, and pluggable
+//!   no-op/tree/JSON sinks behind the CLI's `--trace` flag,
 //! * [`core`] — the surface-code compiler (patches, syndrome extraction,
 //!   lattice surgery, the Table 1/3 instruction sets),
 //! * [`orqcs`] — the quasi-Clifford simulator used for verification,
@@ -93,3 +96,4 @@ pub use tiscc_hw as hw;
 pub use tiscc_math as math;
 pub use tiscc_orqcs as orqcs;
 pub use tiscc_program as program;
+pub use tiscc_telemetry as telemetry;
