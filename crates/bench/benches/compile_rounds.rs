@@ -9,11 +9,13 @@
 //! composition over a periodic circuit (`stream_report`). A regression in
 //! `templated/*` is a regression of `tiscc estimate`'s dominant cost.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tiscc_core::instruction::Instruction;
-use tiscc_estimator::compiler::{AnalyticArtifact, CompileRequest, Compiler};
+use tiscc_estimator::compiler::{AnalyticArtifact, CompileRequest, Compiler, EstimateMode};
+use tiscc_estimator::program::{estimate_program, ProgramEstimateSpec};
 use tiscc_estimator::verify::{Fiducial, SingleTile};
 use tiscc_hw::{HardwareSpec, ResourceReport};
+use tiscc_workloads::{generate, Family, GenSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_rounds");
@@ -73,6 +75,23 @@ fn bench(c: &mut Criterion) {
     group.bench_function("analytic/derive/idle/d9", |b| {
         b.iter(|| captured.derive(9).expect("dt=9 is derivable"))
     });
+
+    // Whole-pipeline analytic estimates on generated workloads at
+    // N ∈ {64, 1k, 10k, 100k} instructions: place + schedule + budget +
+    // analytic pricing with a warm compiler (the first estimate below
+    // pays the captures; the measured iterations are what a cached
+    // `tiscc estimate --mode analytic` re-run costs).
+    for n in [64usize, 1024, 10_240, 102_400] {
+        let workload = GenSpec::new(Family::RandomCliffordT).with_n(n).with_seed(7);
+        let program = generate(&workload).expect("valid spec");
+        let est = ProgramEstimateSpec::new(1e-6).with_mode(EstimateMode::Analytic);
+        estimate_program(&program, &est, &compiler).expect("estimates");
+        group.bench_with_input(
+            BenchmarkId::new("workload_estimate/random-clifford-t", n),
+            &program,
+            |b, program| b.iter(|| estimate_program(program, &est, &compiler).expect("estimates")),
+        );
+    }
     group.finish();
 }
 

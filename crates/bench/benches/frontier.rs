@@ -5,11 +5,12 @@
 //! interactive consumers sit on, so a regression here is directly a
 //! latency regression for `tiscc serve`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tiscc_estimator::compiler::{Compiler, EstimateMode};
 use tiscc_frontier::{matrix_from_csv, matrix_to_csv, pareto_flags, run_frontier, FrontierSpec};
 use tiscc_hw::HardwareSpec;
 use tiscc_program::{examples, LayoutSpec};
+use tiscc_workloads::{generate, Family, GenSpec};
 
 /// Deterministic pseudo-random points (xorshift) — the bench must not
 /// depend on an RNG crate and must measure the same set every run.
@@ -52,6 +53,25 @@ fn bench(c: &mut Criterion) {
     group.bench_function("csv_round_trip/adder", |b| {
         b.iter(|| matrix_from_csv(&csv).expect("parses"))
     });
+
+    // Warm frontier runs over generated workloads at N ∈ {64, 1k, 10k,
+    // 100k} instructions: a deliberately small design space (lane layout,
+    // one profile, two odd distances) so the measurement tracks how the
+    // per-cell place + schedule + price pipeline scales with program
+    // length, not with matrix width.
+    for n in [64usize, 1024, 10_240, 102_400] {
+        let workload = GenSpec::new(Family::RandomCliffordT).with_n(n).with_seed(7);
+        let program = generate(&workload).expect("valid spec");
+        let spec = FrontierSpec::new(vec![LayoutSpec::single_lane()], vec![HardwareSpec::h1()])
+            .with_distances(3, 5)
+            .with_mode(EstimateMode::Analytic);
+        run_frontier(&program, &spec, &compiler, None).expect("warms");
+        group.bench_with_input(
+            BenchmarkId::new("workload_warm_run/random-clifford-t", n),
+            &program,
+            |b, program| b.iter(|| run_frontier(program, &spec, &compiler, None).expect("runs")),
+        );
+    }
     group.finish();
 }
 

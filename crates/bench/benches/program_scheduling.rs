@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use tiscc_program::{examples, schedule, LayoutSpec, LogicalProgram, Placement};
+use tiscc_workloads::{generate, Family, GenSpec};
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("program_scheduling");
@@ -58,6 +59,40 @@ fn bench(c: &mut Criterion) {
     group.bench_function("parse_tql/adder64", |b| {
         b.iter(|| LogicalProgram::parse("adder", &text).expect("parses"))
     });
+    // Generated workloads at N ≈ {64, 1k, 10k, 100k} instructions: the
+    // scaling curves PERFORMANCE.md records. The adder widths are chosen
+    // so 11w − 1 lands near each target; random-clifford-t hits it
+    // exactly. Each size benches the parser and the allocate + schedule
+    // pipeline separately, so a superlinear regression is attributable.
+    let workloads = [
+        GenSpec::new(Family::RippleCarryAdder).with_n(6),
+        GenSpec::new(Family::RippleCarryAdder).with_n(93),
+        GenSpec::new(Family::RippleCarryAdder).with_n(931),
+        GenSpec::new(Family::RippleCarryAdder).with_n(9309),
+        GenSpec::new(Family::RandomCliffordT).with_n(64).with_seed(7),
+        GenSpec::new(Family::RandomCliffordT).with_n(1024).with_seed(7),
+        GenSpec::new(Family::RandomCliffordT).with_n(10240).with_seed(7),
+        GenSpec::new(Family::RandomCliffordT).with_n(102_400).with_seed(7),
+    ];
+    for spec in workloads {
+        let program = generate(&spec).expect("valid spec");
+        let text = program.to_tql();
+        group.bench_with_input(
+            BenchmarkId::new(format!("gen_parse/{}", spec.family), program.len()),
+            &text,
+            |b, text| b.iter(|| LogicalProgram::parse("w", text).expect("parses")),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("gen_schedule/{}", spec.family), program.len()),
+            &program,
+            |b, program| {
+                b.iter(|| {
+                    let placement = Placement::allocate(program);
+                    schedule(program, &placement).expect("routes")
+                })
+            },
+        );
+    }
     group.finish();
 }
 

@@ -3,6 +3,8 @@
 //! ```text
 //! tiscc compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
 //! tiscc estimate <program.tql>                 estimate a whole logical program
+//! tiscc gen <family> [--n N] [--seed S]        generate a parametric workload
+//!                                              program as .tql text
 //! tiscc frontier <program.tql>                 Pareto-frontier search over the
 //!                                              layout x distance x profile space
 //! tiscc serve --stdin-json                     answer JSON estimate/frontier
@@ -39,6 +41,7 @@ use tiscc_frontier::{
 use tiscc_hw::HardwareSpec;
 use tiscc_program::{BudgetError, ErrorModel, LayoutSpec, LogicalProgram, Placement};
 use tiscc_telemetry::{trace_from_json, JsonSink, Sink, Span, Telemetry, TraceFormat};
+use tiscc_workloads::{generate, Family, GenSpec, WorkloadError};
 
 const USAGE: &str = "usage: tiscc <subcommand> [args]
 
@@ -57,6 +60,14 @@ subcommands:
           [--show-layout]                print the ASCII floorplan
           [--mode compiled|analytic]     estimation strategy (default compiled)
           [--trace[=tree|json]]          per-phase span trace on stderr
+  gen <family>                           generate a parametric workload program
+          [--n N]                        size: bit width / qubit count / lattice
+                                         width / chain depth (family default)
+          [--seed S]                     RNG seed (random-clifford-t, default 1)
+          [--t-frac X]                   T-gadget mix fraction (random-clifford-t)
+          [--qubits Q]                   data-qubit override (random-clifford-t)
+          [--steps K] [--j X] [--h X]    Trotter layers and couplings (ising-trotter)
+          [--out F.tql]                  write to a file (default: stdout)
   frontier <program.tql>                 Pareto-frontier search: evaluate every
                                          layout x odd distance x profile cell,
                                          print the non-dominated set as CSV
@@ -99,7 +110,9 @@ flags take a value as `--flag VALUE` or `--flag=VALUE`
 
 profiles: h1 (default) projected slow_junction
 instructions: prepare_z prepare_x inject_y inject_t measure_z measure_x
-              pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz";
+              pauli_x pauli_y pauli_z hadamard idle measure_xx measure_zz
+workload families: ripple-carry-adder carry-lookahead-adder qft ising-trotter
+                   ghz-chain teleport-chain random-clifford-t";
 
 /// A CLI failure: an exit code plus a one-line message. Bad arguments use
 /// code 2 (Unix convention for usage errors); runtime failures use code 1.
@@ -275,6 +288,7 @@ fn run(raw: &[String]) -> Result<(), CliError> {
     match subcommand.as_str() {
         "compile" => cmd_compile(&args),
         "estimate" => cmd_estimate(&args),
+        "gen" => cmd_gen(&args),
         "frontier" => cmd_frontier(&args),
         "serve" => cmd_serve(&args),
         "tables" => cmd_tables(&args),
@@ -347,6 +361,48 @@ fn cmd_compile(args: &Args) -> Result<(), CliError> {
         artifact.report.tiles
     );
     println!("{}", artifact.resources.render());
+    Ok(())
+}
+
+/// `tiscc gen <family>`: build a parametric workload program and emit its
+/// `.tql` text on stdout (or `--out`). Every parameter problem — unknown
+/// family, out-of-range knob — is a usage error naming the flag, so shell
+/// pipelines fail fast instead of estimating the wrong program.
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
+    let Some(family_name) = args.positional.first() else {
+        let families: Vec<&str> = Family::all().iter().map(|f| f.name()).collect();
+        return Err(CliError::usage(format!(
+            "usage: tiscc gen <family> [--n N] [--seed S] [--out F.tql]; families: {}",
+            families.join(" ")
+        )));
+    };
+    let family = Family::from_name(family_name).ok_or_else(|| {
+        CliError::usage(WorkloadError::UnknownFamily(family_name.clone()).to_string())
+    })?;
+    let mut spec = GenSpec::new(family);
+    spec.n = args.flag_usize("n", spec.n)?;
+    spec.steps = args.flag_usize("steps", spec.steps)?;
+    spec.coupling_j = args.flag_f64("j", spec.coupling_j)?;
+    spec.field_h = args.flag_f64("h", spec.field_h)?;
+    spec.t_fraction = args.flag_f64("t-frac", spec.t_fraction)?;
+    if let Some(v) = args.flag("seed") {
+        spec.seed = v.parse().map_err(|_| {
+            CliError::usage(format!("--seed expects an unsigned integer, got {v:?}"))
+        })?;
+    }
+    if let Some(v) = args.flag("qubits") {
+        let q = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("--qubits expects a number, got {v:?}")))?;
+        spec.qubits = Some(q);
+    }
+    let program = generate(&spec).map_err(|e| CliError::usage(e.to_string()))?;
+    let text = program.to_tql();
+    match args.flag("out") {
+        None | Some("") => print!("{text}"),
+        Some(path) => std::fs::write(path, &text)
+            .map_err(|e| CliError::runtime(format!("cannot write {path}: {e}")))?,
+    }
     Ok(())
 }
 

@@ -12,6 +12,7 @@
 //! `Measure XX`/`Measure ZZ` surgeries leave both operands alive (the
 //! merge-split sequence restores the individual patches).
 
+use std::collections::HashMap;
 use std::fmt;
 
 use tiscc_core::instruction::Instruction;
@@ -36,17 +37,35 @@ pub struct ProgramInstruction {
 
 /// A logical program: named logical qubits plus an ordered instruction
 /// sequence.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug)]
 pub struct LogicalProgram {
     name: String,
     qubits: Vec<String>,
+    // Name -> index mirror of `qubits`, so `qubit()` stays O(1) on the
+    // hundreds-of-qubits programs the workload generators emit.
+    qubit_index: HashMap<String, usize>,
     instructions: Vec<ProgramInstruction>,
 }
+
+impl PartialEq for LogicalProgram {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.qubits == other.qubits
+            && self.instructions == other.instructions
+    }
+}
+
+impl Eq for LogicalProgram {}
 
 impl LogicalProgram {
     /// An empty program with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        LogicalProgram { name: name.into(), qubits: Vec::new(), instructions: Vec::new() }
+        LogicalProgram {
+            name: name.into(),
+            qubits: Vec::new(),
+            qubit_index: HashMap::new(),
+            instructions: Vec::new(),
+        }
     }
 
     /// The program's name.
@@ -57,16 +76,17 @@ impl LogicalProgram {
     /// Declares a new logical qubit. Names must be unique within a program.
     pub fn add_qubit(&mut self, name: impl Into<String>) -> Result<QubitRef, ProgramError> {
         let name = name.into();
-        if self.qubits.contains(&name) {
+        if self.qubit_index.contains_key(&name) {
             return Err(ProgramError::DuplicateQubit(name));
         }
-        self.qubits.push(name);
+        self.qubits.push(name.clone());
+        self.qubit_index.insert(name, self.qubits.len() - 1);
         Ok(QubitRef(self.qubits.len() - 1))
     }
 
     /// Resolves a declared qubit by name.
     pub fn qubit(&self, name: &str) -> Option<QubitRef> {
-        self.qubits.iter().position(|q| q == name).map(QubitRef)
+        self.qubit_index.get(name).copied().map(QubitRef)
     }
 
     /// The name of a declared qubit.

@@ -1,0 +1,147 @@
+//! N-bit adder workloads.
+//!
+//! Both adders use the same register layout — per bit `i` the qubits
+//! `a{i}` (augend, kept), `b{i}` (addend, measured out) and a helper
+//! (`c{i}` carry / `g{i}` generate) are declared adjacently so the
+//! single-lane floorplan keeps intra-bit merges short — and differ only in
+//! the carry network: the ripple variant chains nearest-neighbour
+//! `merge_zz c{i} c{i+1}`, the lookahead variant runs a Kogge–Stone prefix
+//! network whose stride-2ᵏ merges reach across the whole register.
+
+use tiscc_program::{LogicalProgram, QubitRef};
+
+use crate::GenSpec;
+
+/// `11n − 1`: 3n preparations, n sum merges, n carry captures, n−1 carry
+/// chain links and 5n readout instructions.
+pub(crate) fn ripple_count(n: usize) -> usize {
+    11 * n - 1
+}
+
+/// `9n + Σ_{s=2ᵏ<n} (n − s)`: like the ripple adder but the n−1 chain
+/// links are replaced by the Kogge–Stone prefix tree (and one fewer
+/// readout Pauli per bit pays for the extra tree depth bookkeeping).
+pub(crate) fn lookahead_count(n: usize) -> usize {
+    let mut tree = 0usize;
+    let mut stride = 1usize;
+    while stride < n {
+        tree += n - stride;
+        stride *= 2;
+    }
+    9 * n + tree
+}
+
+fn declare_registers(
+    program: &mut LogicalProgram,
+    n: usize,
+    helper: char,
+) -> (Vec<QubitRef>, Vec<QubitRef>, Vec<QubitRef>) {
+    let (mut a, mut b, mut c) = (Vec::new(), Vec::new(), Vec::new());
+    for i in 0..n {
+        a.push(program.add_qubit(format!("a{i}")).unwrap());
+        b.push(program.add_qubit(format!("b{i}")).unwrap());
+        c.push(program.add_qubit(format!("{helper}{i}")).unwrap());
+    }
+    (a, b, c)
+}
+
+fn prepare(program: &mut LogicalProgram, a: &[QubitRef], b: &[QubitRef], c: &[QubitRef]) {
+    for i in 0..a.len() {
+        program.prepare_z(a[i]).unwrap();
+        program.prepare_x(b[i]).unwrap();
+        program.prepare_z(c[i]).unwrap();
+    }
+}
+
+pub(crate) fn ripple(spec: &GenSpec) -> LogicalProgram {
+    let n = spec.n;
+    let mut program = LogicalProgram::new(spec.program_name());
+    let (a, b, c) = declare_registers(&mut program, n, 'c');
+    prepare(&mut program, &a, &b, &c);
+    for i in 0..n {
+        program.measure_zz(a[i], b[i]).unwrap(); // sum
+    }
+    for i in 0..n {
+        program.measure_xx(a[i], c[i]).unwrap(); // carry generate
+    }
+    for i in 0..n - 1 {
+        program.measure_zz(c[i], c[i + 1]).unwrap(); // carry propagate
+    }
+    for &bi in &b {
+        program.measure_x(bi).unwrap();
+    }
+    for &ci in &c {
+        program.measure_z(ci).unwrap();
+    }
+    for &ai in &a {
+        program.pauli_x(ai).unwrap();
+        program.pauli_z(ai).unwrap();
+    }
+    for &ai in &a {
+        program.measure_z(ai).unwrap();
+    }
+    program
+}
+
+pub(crate) fn lookahead(spec: &GenSpec) -> LogicalProgram {
+    let n = spec.n;
+    let mut program = LogicalProgram::new(spec.program_name());
+    let (a, b, g) = declare_registers(&mut program, n, 'g');
+    prepare(&mut program, &a, &b, &g);
+    for i in 0..n {
+        program.measure_zz(a[i], b[i]).unwrap(); // generate
+    }
+    for i in 0..n {
+        program.measure_xx(b[i], g[i]).unwrap(); // capture into the g register
+    }
+    // Kogge–Stone prefix combine: at stride s every bit i >= s merges the
+    // prefix ending at i - s into its own — log2(n) layers of progressively
+    // longer-range surgeries.
+    let mut stride = 1usize;
+    while stride < n {
+        for i in stride..n {
+            program.measure_zz(g[i - stride], g[i]).unwrap();
+        }
+        stride *= 2;
+    }
+    for &bi in &b {
+        program.measure_x(bi).unwrap();
+    }
+    for &gi in &g {
+        program.measure_z(gi).unwrap();
+    }
+    for &ai in &a {
+        program.pauli_x(ai).unwrap();
+    }
+    for &ai in &a {
+        program.measure_z(ai).unwrap();
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    #[test]
+    fn ripple_matches_formula_and_validates() {
+        for n in [1usize, 2, 4, 7, 32] {
+            let spec = GenSpec::new(Family::RippleCarryAdder).with_n(n);
+            let p = ripple(&spec);
+            assert_eq!(p.len(), ripple_count(n));
+            assert_eq!(p.qubit_count(), 3 * n);
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn lookahead_tree_is_log_depth() {
+        // n = 8: strides 1, 2, 4 contribute 7 + 6 + 4 = 17 tree merges.
+        assert_eq!(lookahead_count(8), 9 * 8 + 17);
+        let spec = GenSpec::new(Family::CarryLookaheadAdder).with_n(8);
+        let p = lookahead(&spec);
+        assert_eq!(p.len(), lookahead_count(8));
+        p.validate().unwrap();
+    }
+}

@@ -1,0 +1,93 @@
+//! GHZ ladder and teleportation-chain workloads.
+//!
+//! The two linear-depth families: `ghz-chain` entangles N patches with one
+//! nearest-neighbour merge per link (the friendliest possible routing
+//! load, useful as a congestion floor), and `teleport-chain` repeats the
+//! three-patch logical teleportation of `tiscc_program::examples` D times,
+//! cycling the roles so only three tiles are ever allocated — a pure
+//! serial-latency workload.
+
+use tiscc_program::LogicalProgram;
+
+use crate::GenSpec;
+
+/// `3n − 1`: one preparation and one measurement per qubit plus n−1 chain
+/// merges.
+pub(crate) fn ghz_count(n: usize) -> usize {
+    3 * n - 1
+}
+
+/// `8d + 2`: the initial preparation and final measurement bracket d
+/// eight-instruction teleportation hops.
+pub(crate) fn teleport_count(d: usize) -> usize {
+    8 * d + 2
+}
+
+pub(crate) fn ghz(spec: &GenSpec) -> LogicalProgram {
+    let n = spec.n;
+    let mut program = LogicalProgram::new(spec.program_name());
+    let q: Vec<_> = (0..n).map(|i| program.add_qubit(format!("q{i}")).unwrap()).collect();
+    program.prepare_x(q[0]).unwrap();
+    for &qi in &q[1..] {
+        program.prepare_z(qi).unwrap();
+    }
+    for i in 0..n - 1 {
+        program.measure_zz(q[i], q[i + 1]).unwrap();
+    }
+    for &qi in &q {
+        program.measure_z(qi).unwrap();
+    }
+    program
+}
+
+pub(crate) fn teleport(spec: &GenSpec) -> LogicalProgram {
+    let depth = spec.n;
+    let mut program = LogicalProgram::new(spec.program_name());
+    let q: Vec<_> = (0..3).map(|i| program.add_qubit(format!("q{i}")).unwrap()).collect();
+    let mut holder = 0usize;
+    program.prepare_z(q[holder]).unwrap();
+    for _ in 0..depth {
+        let anc = (holder + 1) % 3;
+        let dst = (holder + 2) % 3;
+        program.prepare_x(q[anc]).unwrap();
+        program.prepare_z(q[dst]).unwrap();
+        program.measure_zz(q[anc], q[dst]).unwrap();
+        program.measure_xx(q[holder], q[anc]).unwrap();
+        program.measure_z(q[holder]).unwrap();
+        program.measure_z(q[anc]).unwrap();
+        program.pauli_x(q[dst]).unwrap();
+        program.pauli_z(q[dst]).unwrap();
+        holder = dst;
+    }
+    program.measure_z(q[holder]).unwrap();
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    #[test]
+    fn ghz_matches_formula_and_validates() {
+        for n in [2usize, 3, 10, 100] {
+            let spec = GenSpec::new(Family::GhzChain).with_n(n);
+            let p = ghz(&spec);
+            assert_eq!(p.len(), ghz_count(n));
+            assert_eq!(p.qubit_count(), n);
+            p.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn teleport_chain_reuses_three_patches() {
+        for d in [1usize, 2, 5, 50] {
+            let spec = GenSpec::new(Family::TeleportChain).with_n(d);
+            let p = teleport(&spec);
+            assert_eq!(p.len(), teleport_count(d));
+            assert_eq!(p.qubit_count(), 3);
+            p.validate().unwrap();
+            assert_eq!(p.max_live_qubits(), if d > 0 { 3 } else { 1 });
+        }
+    }
+}

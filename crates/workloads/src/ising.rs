@@ -1,0 +1,134 @@
+//! Transverse-field Ising Trotter-layer workload.
+//!
+//! First-order Trotterization of `H = -J Σ Z_i Z_j - h Σ X_i` on a W×W
+//! square lattice (the logical circuit family of the You/Geller/Stancil
+//! surface-code Ising simulation; see PAPERS.md): per step, a ZZ rotation
+//! on every lattice bond followed by an X rotation on every site. Each
+//! rotation is lowered to a parity merge plus a run of T-teleportation
+//! gadgets; the number of gadgets per rotation is a coarse
+//! synthesis-length proxy, `max(1, ceil(|θ| / (π/4)))` for angle θ, so the
+//! `--j`/`--h` knobs scale T-count the way longer rotation sequences
+//! would.
+
+use tiscc_program::{LogicalProgram, QubitRef};
+
+use crate::GenSpec;
+
+/// T-teleportation gadgets charged per rotation of angle `theta`: one
+/// gadget per π/4 of rotation, minimum one.
+pub(crate) fn t_reps(theta: f64) -> usize {
+    let reps = (theta.abs() / std::f64::consts::FRAC_PI_4).ceil() as usize;
+    reps.max(1)
+}
+
+/// `2w² + steps · [B(1 + 4·r_J) + w²(2 + 4·r_h)]` with `B = 2w(w−1)`
+/// lattice bonds: prepare + measure per site, and per step one merge plus
+/// `r_J` four-instruction gadgets per bond and two Hadamards plus `r_h`
+/// gadgets per site.
+pub(crate) fn count(w: usize, steps: usize, j: f64, h: f64) -> usize {
+    // Saturating: an absurd (w, steps) request must land on the
+    // MAX_INSTRUCTIONS cap, not wrap around it.
+    let sites = w.saturating_mul(w);
+    let bonds = 2 * w.saturating_mul(w - 1);
+    let per_bond = 1 + 4 * t_reps(j);
+    let per_site = 2 + 4 * t_reps(h);
+    let per_step = bonds.saturating_mul(per_bond).saturating_add(sites.saturating_mul(per_site));
+    (2 * sites).saturating_add(steps.saturating_mul(per_step))
+}
+
+pub(crate) fn generate(spec: &GenSpec) -> LogicalProgram {
+    let w = spec.n;
+    let rj = t_reps(spec.coupling_j);
+    let rh = t_reps(spec.field_h);
+    let mut program = LogicalProgram::new(spec.program_name());
+    let mut site = vec![vec![QubitRef(0); w]; w];
+    let mut anc = vec![vec![QubitRef(0); w]; w];
+    // Row-major, each site adjacent to its own T ancilla, so gadget merges
+    // are short and horizontal-bond merges span ~4 lane columns while
+    // vertical bonds span ~2w — the lattice's congestion anisotropy.
+    for r in 0..w {
+        for c in 0..w {
+            site[r][c] = program.add_qubit(format!("s{r}_{c}")).unwrap();
+            anc[r][c] = program.add_qubit(format!("t{r}_{c}")).unwrap();
+        }
+    }
+    for row in &site {
+        for &s in row {
+            program.prepare_z(s).unwrap();
+        }
+    }
+    let gadget = |program: &mut LogicalProgram, t: QubitRef, s: QubitRef, reps: usize| {
+        for _ in 0..reps {
+            program.inject_t(t).unwrap();
+            program.measure_zz(t, s).unwrap();
+            program.measure_x(t).unwrap();
+            program.pauli_z(s).unwrap();
+        }
+    };
+    for _ in 0..spec.steps {
+        // ZZ bond layer: horizontal then vertical bonds; the rotation
+        // gadget attaches to the bond's first endpoint.
+        for r in 0..w {
+            for c in 0..w - 1 {
+                program.measure_zz(site[r][c], site[r][c + 1]).unwrap();
+                gadget(&mut program, anc[r][c], site[r][c], rj);
+            }
+        }
+        for r in 0..w - 1 {
+            for c in 0..w {
+                program.measure_zz(site[r][c], site[r + 1][c]).unwrap();
+                gadget(&mut program, anc[r][c], site[r][c], rj);
+            }
+        }
+        // Transverse-field layer: X rotation = H · Z-rotation · H.
+        for r in 0..w {
+            for c in 0..w {
+                program.hadamard(site[r][c]).unwrap();
+                gadget(&mut program, anc[r][c], site[r][c], rh);
+                program.hadamard(site[r][c]).unwrap();
+            }
+        }
+    }
+    for row in &site {
+        for &s in row {
+            program.measure_z(s).unwrap();
+        }
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    #[test]
+    fn t_reps_scales_with_angle() {
+        assert_eq!(t_reps(0.0), 1);
+        assert_eq!(t_reps(0.5), 1);
+        assert_eq!(t_reps(1.0), 2); // 1 / (π/4) ≈ 1.27
+        assert_eq!(t_reps(-1.0), 2);
+        assert_eq!(t_reps(3.2), 5);
+    }
+
+    #[test]
+    fn ising_matches_formula_and_validates() {
+        for (w, steps) in [(1usize, 1usize), (2, 1), (3, 2), (4, 3)] {
+            let spec = GenSpec::new(Family::IsingTrotter).with_n(w).with_steps(steps);
+            let p = generate(&spec);
+            assert_eq!(p.len(), count(w, steps, 1.0, 1.0), "w={w} steps={steps}");
+            assert_eq!(p.qubit_count(), 2 * w * w);
+            p.validate().unwrap();
+        }
+        // w = 2, one step, J = h = 1 (two gadgets each): 4 bonds × 9 +
+        // 4 sites × 10 + 2·4 prep/measure = 84.
+        assert_eq!(count(2, 1, 1.0, 1.0), 84);
+    }
+
+    #[test]
+    fn stronger_coupling_means_more_t_gadgets() {
+        let base = count(3, 1, 0.5, 0.5);
+        let hot = count(3, 1, 3.0, 0.5);
+        assert!(hot > base);
+    }
+}

@@ -1,0 +1,72 @@
+//! Quantum Fourier transform workload.
+//!
+//! The textbook circuit — a Hadamard on each qubit followed by controlled
+//! phase rotations against every later qubit — lowered to the Table 1
+//! lattice-surgery set: each controlled phase becomes a ZZ parity merge
+//! plus a T-teleportation gadget on a per-target ancilla. The all-to-all
+//! `merge_zz q{i} q{j}` pattern makes QFT the natural worst case for
+//! corridor congestion: on any layout, late merges span nearly the whole
+//! fabric.
+
+use tiscc_program::LogicalProgram;
+
+use crate::GenSpec;
+
+/// `3n + 5·n(n−1)/2`: prepare + Hadamard + measure per qubit, and a
+/// five-instruction controlled-phase block per ordered pair `i < j`.
+pub(crate) fn count(n: usize) -> usize {
+    3 * n + 5 * (n * (n - 1)) / 2
+}
+
+pub(crate) fn generate(spec: &GenSpec) -> LogicalProgram {
+    let n = spec.n;
+    let mut program = LogicalProgram::new(spec.program_name());
+    let mut q = Vec::with_capacity(n);
+    let mut r = vec![None; n];
+    // Interleave each data qubit with its rotation ancilla (q1 r1 q2 r2 …)
+    // so the gadget's own merges stay short; the q–q merges are the
+    // long-range ones by design.
+    for (j, rj) in r.iter_mut().enumerate() {
+        q.push(program.add_qubit(format!("q{j}")).unwrap());
+        if j > 0 {
+            *rj = Some(program.add_qubit(format!("r{j}")).unwrap());
+        }
+    }
+    for &qj in &q {
+        program.prepare_z(qj).unwrap();
+    }
+    for i in 0..n {
+        program.hadamard(q[i]).unwrap();
+        for j in i + 1..n {
+            let rj = r[j].unwrap();
+            program.measure_zz(q[i], q[j]).unwrap();
+            program.inject_t(rj).unwrap();
+            program.measure_zz(rj, q[j]).unwrap();
+            program.measure_x(rj).unwrap();
+            program.pauli_z(q[j]).unwrap();
+        }
+    }
+    for &qj in &q {
+        program.measure_z(qj).unwrap();
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    #[test]
+    fn qft_matches_formula_and_validates() {
+        for n in [1usize, 2, 3, 8, 16] {
+            let spec = GenSpec::new(Family::Qft).with_n(n);
+            let p = generate(&spec);
+            assert_eq!(p.len(), count(n), "n={n}");
+            assert_eq!(p.qubit_count(), if n == 0 { 0 } else { 2 * n - 1 });
+            p.validate().unwrap();
+        }
+        // n = 4: 12 + 5 * 6 = 42.
+        assert_eq!(count(4), 42);
+    }
+}

@@ -1,0 +1,123 @@
+//! Seeded random Clifford+T workload.
+//!
+//! A program of *exactly* `n` instructions over `q ≈ √n` data patches
+//! (override with `--qubits`), drawn from a three-way mix: with
+//! probability `--t-frac` a four-instruction T-teleportation gadget,
+//! otherwise a two-qubit parity merge or a single-qubit Clifford/idle.
+//! Every draw comes from the vendored `rand` stub's `StdRng` seeded by
+//! `--seed`, so the same spec regenerates byte-identical `.tql` across
+//! processes and machines — which is what lets benchmark rows and
+//! PERFORMANCE.md curves name "random-clifford-t n=100000 seed=7" as a
+//! stable object.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tiscc_program::LogicalProgram;
+
+use crate::GenSpec;
+
+pub(crate) fn generate(spec: &GenSpec) -> LogicalProgram {
+    let n = spec.n;
+    let q = spec.qubits.unwrap_or_else(|| ((n as f64).sqrt().ceil() as usize).clamp(2, n.max(2)));
+    let ancillas = (q / 8).max(1);
+    let mut program = LogicalProgram::new(spec.program_name());
+    let data: Vec<_> = (0..q).map(|i| program.add_qubit(format!("d{i}")).unwrap()).collect();
+    let anc: Vec<_> = (0..ancillas).map(|i| program.add_qubit(format!("t{i}")).unwrap()).collect();
+
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut emitted = 0usize;
+    // Bring up as many data patches as the budget allows; everything after
+    // this acts only on live qubits.
+    let live = q.min(n);
+    for &d in &data[..live] {
+        program.prepare_z(d).unwrap();
+        emitted += 1;
+    }
+    while emitted < n {
+        let remaining = n - emitted;
+        if remaining >= 4 && rng.gen_bool(spec.t_fraction) {
+            // T gadget: inject on a cycling ancilla, merge into a data
+            // patch, measure the ancilla out, apply the correction.
+            let t = anc[rng.gen_range(0..ancillas)];
+            let d = data[rng.gen_range(0..live)];
+            program.inject_t(t).unwrap();
+            program.measure_zz(t, d).unwrap();
+            program.measure_x(t).unwrap();
+            program.pauli_z(d).unwrap();
+            emitted += 4;
+        } else if live >= 2 && rng.gen_bool(0.35) {
+            let a = rng.gen_range(0..live);
+            let b = (a + 1 + rng.gen_range(0..live - 1)) % live;
+            if rng.gen_bool(0.5) {
+                program.measure_zz(data[a], data[b]).unwrap();
+            } else {
+                program.measure_xx(data[a], data[b]).unwrap();
+            }
+            emitted += 1;
+        } else {
+            let d = data[rng.gen_range(0..live)];
+            match rng.gen_range(0..5u32) {
+                0 => program.hadamard(d).unwrap(),
+                1 => program.pauli_x(d).unwrap(),
+                2 => program.pauli_y(d).unwrap(),
+                3 => program.pauli_z(d).unwrap(),
+                _ => program.idle(d).unwrap(),
+            }
+            emitted += 1;
+        }
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Family;
+
+    fn spec(n: usize, seed: u64) -> GenSpec {
+        GenSpec::new(Family::RandomCliffordT).with_n(n).with_seed(seed)
+    }
+
+    #[test]
+    fn emits_exactly_n_instructions() {
+        for n in [1usize, 2, 3, 4, 7, 64, 1000] {
+            for seed in [0u64, 1, 42] {
+                let p = generate(&spec(n, seed));
+                assert_eq!(p.len(), n, "n={n} seed={seed}");
+                p.validate().unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_bytes_different_seed_different_program() {
+        let a = generate(&spec(500, 7)).to_tql();
+        let b = generate(&spec(500, 7)).to_tql();
+        let c = generate(&spec(500, 8)).to_tql();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn t_fraction_knob_changes_the_mix() {
+        let count_t = |t: f64| {
+            let s = spec(2000, 3).with_t_fraction(t);
+            let p = generate(&s);
+            p.instructions()
+                .iter()
+                .filter(|pi| pi.instruction == tiscc_core::instruction::Instruction::InjectT)
+                .count()
+        };
+        assert_eq!(count_t(0.0), 0);
+        assert!(count_t(0.8) > count_t(0.1));
+    }
+
+    #[test]
+    fn qubit_override_is_respected() {
+        let s = spec(100, 1).with_qubits(5);
+        let p = generate(&s);
+        // 5 data + 1 ancilla declared.
+        assert_eq!(p.qubit_count(), 6);
+        p.validate().unwrap();
+    }
+}

@@ -25,7 +25,10 @@
 //!   ([`estimator::program`]) and the verification harness,
 //! * [`frontier`] — Pareto-frontier search over the (layout × distance ×
 //!   profile) design space, a persistent on-disk compile cache, and the
-//!   `tiscc serve` stdin-JSON protocol.
+//!   `tiscc serve` stdin-JSON protocol,
+//! * [`workloads`] — parametric program generators (adders, QFT, Ising
+//!   Trotter layers, GHZ/teleport chains, seeded random Clifford+T) behind
+//!   the `tiscc gen` subcommand; see `docs/WORKLOADS.md`.
 //!
 //! ## Quickstart
 //!
@@ -97,3 +100,4 @@ pub use tiscc_math as math;
 pub use tiscc_orqcs as orqcs;
 pub use tiscc_program as program;
 pub use tiscc_telemetry as telemetry;
+pub use tiscc_workloads as workloads;
