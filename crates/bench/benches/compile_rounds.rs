@@ -32,6 +32,20 @@ fn bench(c: &mut Criterion) {
         }
     }
 
+    // The batched and contended paths through the same front door: SIMD
+    // width 4 on h1 (the batching pass does real merging) and the
+    // slow_junction recovery window (windowed junction scheduling with
+    // stalls). Both still template — a regression here is the realism
+    // knobs' overhead growing, not the default path's.
+    let mut wide = HardwareSpec::h1();
+    wide.simd_width = 4;
+    for (name, spec) in
+        [("batched/idle/d5", wide), ("contended/idle/d5", HardwareSpec::slow_junction())]
+    {
+        let request = CompileRequest::new(Instruction::Idle, 5, 5, 5).with_spec(spec);
+        group.bench_function(name, |b| b.iter(|| compiler.compile(&request).unwrap()));
+    }
+
     // The materialized reference: the same rounds compiled one by one
     // through the patch API with templating off (the pre-template path).
     group.bench_function("materialized/idle/d5", |b| {

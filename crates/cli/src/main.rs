@@ -48,6 +48,7 @@ const USAGE: &str = "usage: tiscc <subcommand> [args]
 subcommands:
   compile <instruction> [dx] [dz] [dt]   compile one instruction, print resources
           [--profile NAME]
+          [--simd-width N]               SIMD gate-batching width (default 1)
           [--trace[=tree|json]]          per-phase span trace on stderr
   estimate <program.tql>                 estimate a whole logical program
           [--budget X]                   total logical error budget (default 1e-9)
@@ -58,6 +59,7 @@ subcommands:
           [--layout lane|row|checkerboard]  floorplan strategy (default lane)
           [--grid HxW]                   tile-grid size, e.g. --grid 8x8
           [--show-layout]                print the ASCII floorplan
+          [--simd-width N]               SIMD gate-batching width (default 1)
           [--mode compiled|analytic]     estimation strategy (default compiled)
           [--trace[=tree|json]]          per-phase span trace on stderr
   gen <family>                           generate a parametric workload program
@@ -228,6 +230,24 @@ impl Args {
             Some(v) => v.parse().map_err(CliError::usage),
         }
     }
+
+    /// Resolves `--simd-width` to a SIMD batching width (default 1, which
+    /// keeps the gate stream byte-identical). Zero is a usage error: a
+    /// width-0 batch would merge nothing and is always a typo.
+    fn simd_width(&self) -> Result<usize, CliError> {
+        match self.flag("simd-width") {
+            None => Ok(1),
+            Some(v) => {
+                let width: usize = v.parse().map_err(|_| {
+                    CliError::usage(format!("--simd-width expects a positive integer, got {v:?}"))
+                })?;
+                if width == 0 {
+                    return Err(CliError::usage("--simd-width must be at least 1".to_string()));
+                }
+                Ok(width)
+            }
+        }
+    }
 }
 
 /// Looks up a preset profile by name; unknown names are a usage error
@@ -334,7 +354,8 @@ fn cmd_compile(args: &Args) -> Result<(), CliError> {
     let dx = distance(1, "dx", 3)?;
     let dz = distance(2, "dz", dx)?;
     let dt = distance(3, "dt", dz.max(dx))?;
-    let spec = args.profile()?;
+    let mut spec = args.profile()?;
+    spec.simd_width = args.simd_width()?;
     let fmt = trace_format(args)?;
     let tel = telemetry_for(fmt.is_some());
     let root = tel.root("compile");
@@ -349,6 +370,10 @@ fn cmd_compile(args: &Args) -> Result<(), CliError> {
         // once and replicated for the remaining repeats.
         span.add("compile.template_repeats", artifact.rounds.repeats as u64);
         span.add("compile.rounds_replicated", artifact.rounds.repeats.saturating_sub(1) as u64);
+        // Scheduling-realism counters from the pass pipeline: junction
+        // recovery waits and SIMD-merged pulses (both 0 at default knobs).
+        span.add("compile.junction_stalls", artifact.stats.junction_stalls as u64);
+        span.add("compile.batched_pulses", artifact.stats.batched_pulses as u64);
         artifact
     };
     root.finish();
@@ -469,10 +494,20 @@ fn cmd_estimate(args: &Args) -> Result<(), CliError> {
 
     let model = error_model(args)?;
     let layout = layout_spec(args)?;
+    // `--simd-width` is a scheduling knob, not a new profile: it applies
+    // uniformly to every profile in the comparison list.
+    let simd_width = args.simd_width()?;
     let spec = ProgramEstimateSpec {
         budget: args.flag_f64("budget", 1e-9)?,
         model,
-        profiles: args.profile_list()?,
+        profiles: args
+            .profile_list()?
+            .into_iter()
+            .map(|mut profile| {
+                profile.simd_width = simd_width;
+                profile
+            })
+            .collect(),
         d_max: args.flag_usize("dmax", 49)?,
         layout,
         mode: args.estimate_mode()?,

@@ -22,8 +22,8 @@ use tiscc_core::CoreError;
 use tiscc_grid::Layout;
 use tiscc_hw::rounds::replay_round;
 use tiscc_hw::{
-    Circuit, CompiledRounds, HardwareModel, HardwareSpec, OpStream, OpView, ResourceReport,
-    TimedOp, UnknownProfile,
+    batch_ops, batch_rounds, Circuit, CompiledRounds, HardwareModel, HardwareSpec, OpStream,
+    OpView, ResourceReport, RoundBatchStats, TimedOp, UnknownProfile,
 };
 
 use crate::sweep::{CompileCache, SweepKey};
@@ -73,6 +73,21 @@ impl std::str::FromStr for EstimateMode {
             other => Err(format!("unknown estimate mode '{other}' (expected compiled|analytic)")),
         }
     }
+}
+
+/// Scheduling-pass observables of one compiled instruction: how often the
+/// contention-aware scheduler stalled an op on a saturated junction, and how
+/// many SIMD pulses carry two or more merged ops (totals across every round
+/// occurrence). Both are zero under the default knobs
+/// (`junction_capacity = 1` never over-admits on the preset specs'
+/// schedules, `simd_width = 1` never batches).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CompileStats {
+    /// Ops whose start a saturated junction pushed past what ions, zones
+    /// and the barrier alone would have allowed.
+    pub junction_stalls: usize,
+    /// Multi-op SIMD pulses in the final op stream.
+    pub batched_pulses: usize,
 }
 
 /// A fully specified compilation request: one Table 1 instruction, the code
@@ -138,6 +153,9 @@ pub struct CompileArtifact {
     /// Measured space-time resources of [`CompileArtifact::rounds`] under
     /// the request's profile.
     pub resources: ResourceReport,
+    /// Scheduling-pass observables (junction stalls, SIMD batches) of the
+    /// instruction's own ops, totalled across every round occurrence.
+    pub stats: CompileStats,
 }
 
 impl CompileArtifact {
@@ -188,6 +206,20 @@ enum EpiPred {
     Barrier,
     /// The op starts at the end of epilogue op `i` (an earlier one).
     Chain(usize),
+    /// The op starts at the end of epilogue op `i` plus the junction
+    /// recovery window (it waited out op `i`'s recool time).
+    ChainRecovery(usize),
+}
+
+/// Junction-stall counts of a capture split by circuit segment, so the
+/// total for any `dt` is `prologue + repeats × round + epilogue` — every
+/// round occurrence replays the representative round's schedule (and thus
+/// its stalls) verbatim.
+#[derive(Clone, Copy, Debug, Default)]
+struct SegmentStalls {
+    prologue: usize,
+    round: usize,
+    epilogue: usize,
 }
 
 /// One analytic capture: the compiled shape of an instruction at
@@ -212,6 +244,10 @@ pub struct AnalyticArtifact {
     /// periodic part — then every derived `dt` returns the capture
     /// verbatim).
     epi_preds: Vec<EpiPred>,
+    /// Junction stalls of the capture, split by segment for scaling.
+    stalls: SegmentStalls,
+    /// SIMD batching statistics of the capture, split by segment.
+    batch: RoundBatchStats,
 }
 
 impl AnalyticArtifact {
@@ -235,38 +271,93 @@ impl AnalyticArtifact {
             // circuit's dt-dependence is invisible to span inspection.
             return Ok(None);
         }
-        let (rounds, resources) = instruction_rounds(&hw, before);
+        let rounds_raw = CompiledRounds::extract(hw.circuit(), before);
+        // Batch through the same pass a real compile runs. The epilogue's
+        // raw→pulse remap is recomputed here (batching is deterministic) so
+        // each batched pulse can be traced back to an absolute start time.
+        let (epi_remap, rounds, batch) = if request.spec.simd_width > 1 {
+            let remap = batch_ops(rounds_raw.epilogue.ops(), &request.spec).1;
+            let (batched, stats) = batch_rounds(&rounds_raw, &request.spec);
+            (remap, batched, stats)
+        } else {
+            (
+                (0..rounds_raw.epilogue.len()).collect::<Vec<_>>(),
+                rounds_raw,
+                RoundBatchStats::default(),
+            )
+        };
+        let resources =
+            ResourceReport::from_stream_with_spec(&rounds, hw.grid().layout(), hw.spec());
         let layout = hw.grid().layout().clone();
         let circuit = hw.circuit();
+        let flags = hw.stall_flags();
+        let count = |r: std::ops::Range<usize>| flags[r].iter().filter(|&&stalled| stalled).count();
         let spans: Vec<_> = circuit.spans().iter().filter(|s| s.op_end > before).collect();
-        let epi_preds = match spans.as_slice() {
-            [] => Vec::new(),
+        let (epi_preds, stalls) = match spans.as_slice() {
+            [] => (
+                Vec::new(),
+                SegmentStalls { prologue: count(before..flags.len()), ..Default::default() },
+            ),
             [span] => {
                 if rounds.repeats != ANALYTIC_DT_CAP - 1 {
                     // The periodic part is not `dt` rounds long; scaling it
                     // with `dt` would be wrong.
                     return Ok(None);
                 }
+                let stalls = SegmentStalls {
+                    prologue: count(before..span.op_start),
+                    round: count(span.op_start..span.op_end),
+                    epilogue: count(span.op_end..flags.len()),
+                };
                 let barrier = span.end_makespan_us;
-                let epilogue = &circuit.ops()[span.op_end..];
-                let mut preds = Vec::with_capacity(epilogue.len());
-                let mut ends: Vec<f64> = Vec::with_capacity(epilogue.len());
-                for op in epilogue {
-                    let pred = if op.start_us == barrier {
+                // Attribution runs in ABSOLUTE time (the scheduler's own
+                // frame) so derived addition chains are bit-exact. For a
+                // batched epilogue the pulses' absolute starts are
+                // reconstructed from the raw ops through the remap (a
+                // pulse starts when its first member did).
+                let raw_epilogue = &circuit.ops()[span.op_end..];
+                let mut abs_starts = vec![f64::NAN; rounds.epilogue.len()];
+                for (raw_idx, &pulse) in epi_remap.iter().enumerate() {
+                    if abs_starts[pulse].is_nan() {
+                        abs_starts[pulse] = raw_epilogue[raw_idx].start_us;
+                    }
+                }
+                let recovery = request.spec.junction_recovery_us;
+                let mut preds = Vec::with_capacity(rounds.epilogue.len());
+                let mut ends: Vec<f64> = Vec::with_capacity(rounds.epilogue.len());
+                for (pulse, op) in rounds.epilogue.ops().iter().enumerate() {
+                    let start = abs_starts[pulse];
+                    // The recovery comparison replays the scheduler's own
+                    // `end + recovery` addition, so the match is bit-exact.
+                    let pred = if start == barrier {
                         EpiPred::Barrier
-                    } else if let Some(i) = ends.iter().rposition(|&e| e == op.start_us) {
+                    } else if let Some(i) = ends.iter().rposition(|&e| e == start) {
                         EpiPred::Chain(i)
+                    } else if let Some(i) = (recovery > 0.0)
+                        .then(|| ends.iter().rposition(|&e| e + recovery == start))
+                        .flatten()
+                    {
+                        EpiPred::ChainRecovery(i)
                     } else {
                         return Ok(None);
                     };
                     preds.push(pred);
-                    ends.push(op.start_us + op.duration_us);
+                    ends.push(start + op.duration_us);
                 }
-                preds
+                (preds, stalls)
             }
             _ => return Ok(None),
         };
-        let artifact = AnalyticArtifact { request, report, rounds, resources, layout, epi_preds };
+        let artifact = AnalyticArtifact {
+            request,
+            report,
+            rounds,
+            resources,
+            layout,
+            epi_preds,
+            stalls,
+            batch,
+        };
         // Self-check: deriving at the capture's own `dt` must reproduce the
         // measured report bit-for-bit, or the capture is unusable.
         if artifact.derive(ANALYTIC_DT_CAP).as_ref() != Some(&artifact.resources) {
@@ -278,6 +369,23 @@ impl AnalyticArtifact {
     /// The capture's compiler-side accounting report.
     pub fn report(&self) -> &InstructionReport {
         &self.report
+    }
+
+    /// The template occurrence count a compile at `dt` would produce, or
+    /// `None` when that `dt` is outside the derivable range. With SIMD
+    /// batching active (`simd_width > 1`) a target of exactly one
+    /// occurrence is also non-derivable: a real compile at that `dt` leaves
+    /// no replicated span, so its whole stream batches as one flat segment
+    /// — a different (usually tighter) grouping than the capture's
+    /// segmented prologue/template/epilogue batching. Those dts fall back
+    /// to [`EstimateMode::Compiled`] and are counted.
+    fn derived_repeats(&self, dt: usize) -> Option<usize> {
+        let repeats =
+            (self.rounds.repeats + dt).checked_sub(ANALYTIC_DT_CAP).filter(|&r| r >= 1)?;
+        if self.request.spec.simd_width > 1 && repeats < 2 {
+            return None;
+        }
+        Some(repeats)
     }
 
     /// Derives the [`ResourceReport`] of this instruction at `dt` rounds
@@ -299,8 +407,7 @@ impl AnalyticArtifact {
             // and its resources are the same at every dt.
             return Some(self.resources.clone());
         }
-        let repeats =
-            (self.rounds.repeats + dt).checked_sub(ANALYTIC_DT_CAP).filter(|&r| r >= 1)?;
+        let repeats = self.derived_repeats(dt)?;
         let grown = repeats as isize - self.rounds.repeats as isize;
         let measurements = self.rounds.measurements.len() as isize
             + grown * self.rounds.template.meas_per_round as isize;
@@ -328,6 +435,30 @@ impl AnalyticArtifact {
         })
     }
 
+    /// Derives the [`CompileStats`] of this instruction at `dt` rounds per
+    /// logical time-step: every round occurrence replays the captured
+    /// round's schedule verbatim, so its stalls and batches scale linearly
+    /// with the occurrence count. Same derivable range as
+    /// [`AnalyticArtifact::derive`].
+    pub fn derive_stats(&self, dt: usize) -> Option<CompileStats> {
+        if dt == 0 {
+            return None;
+        }
+        if self.rounds.repeats == 0 {
+            return Some(CompileStats {
+                junction_stalls: self.stalls.prologue + self.stalls.epilogue,
+                batched_pulses: self.batch.total_batched_pulses(0),
+            });
+        }
+        let repeats = self.derived_repeats(dt)?;
+        Some(CompileStats {
+            junction_stalls: self.stalls.prologue
+                + repeats * self.stalls.round
+                + self.stalls.epilogue,
+            batched_pulses: self.batch.total_batched_pulses(repeats),
+        })
+    }
+
     /// Rebuilds the epilogue for `repeats` round occurrences: replays the
     /// round chain to the final barrier, then re-derives each epilogue op's
     /// start from its recorded provenance — exactly the addition chain the
@@ -337,7 +468,8 @@ impl AnalyticArtifact {
         let mut barrier = t.ops.iter().map(TimedOp::end_us).fold(t.base_us, f64::max);
         let (mut starts, mut ends) = (Vec::new(), Vec::new());
         for _ in 1..repeats {
-            barrier = replay_round(&t.ops, &t.preds, barrier, &mut starts, &mut ends);
+            barrier =
+                replay_round(&t.ops, &t.preds, barrier, t.recovery_us, &mut starts, &mut ends);
         }
         let mut ops = Vec::with_capacity(self.epi_preds.len());
         let mut abs_ends: Vec<f64> = Vec::with_capacity(self.epi_preds.len());
@@ -345,6 +477,7 @@ impl AnalyticArtifact {
             let abs_start = match *pred {
                 EpiPred::Barrier => barrier,
                 EpiPred::Chain(i) => abs_ends[i],
+                EpiPred::ChainRecovery(i) => abs_ends[i] + t.recovery_us,
             };
             abs_ends.push(abs_start + op.duration_us);
             let mut op = op.clone();
@@ -383,7 +516,7 @@ impl OpStream for DerivedStream<'_> {
         let mut base = t.ops.iter().map(TimedOp::end_us).fold(t.base_us, f64::max);
         let (mut starts, mut ends) = (Vec::new(), Vec::new());
         for r in 1..self.repeats {
-            base = replay_round(&t.ops, &t.preds, base, &mut starts, &mut ends);
+            base = replay_round(&t.ops, &t.preds, base, t.recovery_us, &mut starts, &mut ends);
             let meas_shift = r * t.meas_per_round;
             for (i, op) in t.ops.iter().enumerate() {
                 f(OpView {
@@ -419,6 +552,8 @@ pub struct Compiler {
     cache: CompileCache,
     analytic: Mutex<HashMap<SweepKey, Option<Arc<AnalyticArtifact>>>>,
     captures: AtomicUsize,
+    stats: Mutex<HashMap<SweepKey, CompileStats>>,
+    analytic_fallbacks: AtomicUsize,
 }
 
 impl Compiler {
@@ -442,6 +577,26 @@ impl Compiler {
         self.captures.load(Ordering::Relaxed)
     }
 
+    /// How many [`EstimateMode::Analytic`] requests this compiler answered
+    /// by falling back to a real compile (non-derivable cell, or `dt`
+    /// outside the derivable range). Fallbacks are counted, never silent.
+    pub fn analytic_fallbacks(&self) -> usize {
+        self.analytic_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// The scheduling-pass statistics recorded for the request, or zeros if
+    /// the request was never compiled (or derived) through this compiler.
+    /// Rows served from the in-process cache keep the stats their original
+    /// compile recorded — the key is the same.
+    pub fn stats_for(&self, request: &CompileRequest) -> CompileStats {
+        self.stats
+            .lock()
+            .expect("stats map poisoned")
+            .get(&request.key())
+            .copied()
+            .unwrap_or_default()
+    }
+
     /// Compiles a request end-to-end, returning the full artifact. The
     /// instruction is compiled in a realistic context: input tiles are
     /// first prepared (and idled) as required, then only the instruction's
@@ -460,7 +615,9 @@ impl Compiler {
         if let Some(row) = self.cache.get(&key) {
             return Ok(row);
         }
-        let row = self.compile(request)?.row();
+        let artifact = self.compile(request)?;
+        self.stats.lock().expect("stats map poisoned").insert(key, artifact.stats);
+        let row = artifact.row();
         self.cache.insert(key, row.clone());
         Ok(row)
     }
@@ -477,12 +634,24 @@ impl Compiler {
     ) -> Result<ResourceRow, CoreError> {
         match mode {
             EstimateMode::Compiled => self.compile_row(request),
-            EstimateMode::Analytic => {
-                match self.analytic_artifact(request)?.and_then(|a| a.derive_row(request.dt)) {
-                    Some(row) => Ok(row),
-                    None => self.compile_row(request),
+            EstimateMode::Analytic => match self.analytic_artifact(request)? {
+                Some(artifact) => match artifact.derive_row(request.dt) {
+                    Some(row) => {
+                        let stats =
+                            artifact.derive_stats(request.dt).expect("row derivable => stats too");
+                        self.stats.lock().expect("stats map poisoned").insert(request.key(), stats);
+                        Ok(row)
+                    }
+                    None => {
+                        self.analytic_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        self.compile_row(request)
+                    }
+                },
+                None => {
+                    self.analytic_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    self.compile_row(request)
                 }
-            }
+            },
         }
     }
 
@@ -524,8 +693,8 @@ impl Compiler {
 /// throwaway [`Compiler`] per row.
 pub(crate) fn compile_uncached(request: &CompileRequest) -> Result<CompileArtifact, CoreError> {
     let (hw, before, report) = compile_physical(request)?;
-    let (rounds, resources) = instruction_rounds(&hw, before);
-    Ok(CompileArtifact { request: request.clone(), rounds, report, resources })
+    let (rounds, resources, stats) = instruction_rounds_with_stats(&hw, before);
+    Ok(CompileArtifact { request: request.clone(), rounds, report, resources, stats })
 }
 
 /// The physical compile behind both [`compile_uncached`] and
@@ -584,9 +753,45 @@ pub(crate) fn instruction_rounds(
     hw: &HardwareModel,
     start_op: usize,
 ) -> (CompiledRounds, ResourceReport) {
-    let rounds = CompiledRounds::extract(hw.circuit(), start_op);
-    let resources = ResourceReport::from_stream_with_spec(&rounds, hw.grid().layout(), hw.spec());
+    let (rounds, resources, _) = instruction_rounds_with_stats(hw, start_op);
     (rounds, resources)
+}
+
+/// [`instruction_rounds`] plus the scheduling-pass observables: runs the
+/// SIMD batching pass over the extracted rounds when the profile asks for
+/// it (`simd_width > 1`; the default width skips the pass entirely and the
+/// stream is byte-identical to the unbatched one), and totals the model's
+/// per-op junction-stall flags across every round occurrence.
+pub(crate) fn instruction_rounds_with_stats(
+    hw: &HardwareModel,
+    start_op: usize,
+) -> (CompiledRounds, ResourceReport, CompileStats) {
+    let rounds = CompiledRounds::extract(hw.circuit(), start_op);
+    let (rounds, batch) = if hw.spec().simd_width > 1 {
+        batch_rounds(&rounds, hw.spec())
+    } else {
+        (rounds, RoundBatchStats::default())
+    };
+    let resources = ResourceReport::from_stream_with_spec(&rounds, hw.grid().layout(), hw.spec());
+    let stats = CompileStats {
+        junction_stalls: junction_stalls_of(hw, start_op),
+        batched_pulses: batch.total_batched_pulses(rounds.repeats),
+    };
+    (rounds, resources, stats)
+}
+
+/// Total junction stalls of the instruction starting at `start_op`,
+/// counting each templated round occurrence: the flags cover the distinct
+/// (materialized) ops; each replicated span replays its round `extra` more
+/// times with the identical schedule, stalls included.
+fn junction_stalls_of(hw: &HardwareModel, start_op: usize) -> usize {
+    let flags = hw.stall_flags();
+    let count = |r: std::ops::Range<usize>| flags[r].iter().filter(|&&stalled| stalled).count();
+    let mut total = count(start_op..flags.len());
+    for span in hw.circuit().spans().iter().filter(|s| s.op_end > start_op) {
+        total += span.extra * count(span.op_start..span.op_end);
+    }
+    total
 }
 
 #[cfg(test)]
@@ -687,5 +892,48 @@ mod tests {
         let compiled = compile_uncached(&req).unwrap().row();
         assert_eq!(analytic, compiled);
         assert_eq!(compiler.cache().len(), 1, "the fallback is a compiled-cache entry");
+        assert_eq!(compiler.analytic_fallbacks(), 1, "the fallback is counted, never silent");
+    }
+
+    #[test]
+    fn default_knobs_report_zero_stats() {
+        let compiler = Compiler::new();
+        let req = CompileRequest::new(Instruction::Idle, 3, 3, 3);
+        compiler.compile_row(&req).unwrap();
+        assert_eq!(compiler.stats_for(&req), CompileStats::default());
+        let artifact = compiler.compile(&req).unwrap();
+        assert_eq!(artifact.stats, CompileStats::default());
+    }
+
+    #[test]
+    fn simd_batching_reports_batched_pulses_and_shrinks_the_stream() {
+        let mut spec = HardwareSpec::h1();
+        spec.simd_width = 4;
+        let compiler = Compiler::new();
+        let req = CompileRequest::new(Instruction::Idle, 3, 3, 3).with_spec(spec);
+        let batched = compiler.compile(&req).unwrap();
+        let plain = compiler.compile(&CompileRequest::new(Instruction::Idle, 3, 3, 3)).unwrap();
+        assert!(batched.stats.batched_pulses > 0, "d=3 rounds have co-scheduled 1q gates");
+        assert!(batched.rounds.total_ops() < plain.rounds.total_ops());
+        // With zero discount, batching merges pulses but moves no start:
+        // the makespan is unchanged.
+        assert_eq!(
+            batched.resources.execution_time_s.to_bits(),
+            plain.resources.execution_time_s.to_bits()
+        );
+    }
+
+    #[test]
+    fn analytic_stats_match_compiled_stats() {
+        let mut spec = HardwareSpec::h1();
+        spec.simd_width = 2;
+        for dt in [2usize, 3, 5, 7] {
+            let req = CompileRequest::new(Instruction::MeasureZZ, 3, 3, dt).with_spec(spec.clone());
+            let analytic = Compiler::new();
+            let row = analytic.estimate_row(&req, EstimateMode::Analytic).unwrap();
+            let compiled = compile_uncached(&req).unwrap();
+            assert_eq!(row, compiled.row(), "dt={dt}");
+            assert_eq!(analytic.stats_for(&req), compiled.stats, "dt={dt}");
+        }
     }
 }

@@ -43,7 +43,7 @@ use tiscc_program::{
 };
 use tiscc_telemetry::{Span, Telemetry};
 
-use crate::compiler::{CompileRequest, Compiler, EstimateMode};
+use crate::compiler::{CompileRequest, CompileStats, Compiler, EstimateMode};
 
 /// What to estimate: the error budget, the per-step error model, the
 /// floorplan, the hardware profiles to compare, and the distance-search
@@ -130,6 +130,13 @@ pub struct ProfileEstimate {
     /// Zone-rounds: trapping zones × error-correction rounds
     /// (logical time steps × `dt = d`).
     pub qubit_rounds: u64,
+    /// Ops across the program whose start the contention-aware scheduler
+    /// stalled on a junction (summed per instruction instance; zero under
+    /// every clean profile's default knobs).
+    pub junction_stalls: usize,
+    /// Multi-op SIMD pulses across the program (summed per instruction
+    /// instance; zero at `simd_width = 1`).
+    pub batched_pulses: usize,
     /// How this row's per-instruction resources were obtained.
     pub estimate_mode: EstimateMode,
 }
@@ -197,14 +204,18 @@ impl ProgramEstimate {
             "  routing: {} routed merge(s), parallel_merges {}, routing_stalls {}\n\n",
             self.routed_merges, self.parallel_merges, self.routing_stalls
         ));
-        // The mode column appears only when some row was not produced by
-        // the default compiled pipeline, so default-mode reports are
-        // byte-identical to releases that predate estimate modes.
+        // The mode and scheduling-stat columns appear only when some row
+        // carries a non-default value, so default-knob compiled reports are
+        // byte-identical to releases that predate these columns.
         let show_mode = self.rows.iter().any(|r| r.estimate_mode != EstimateMode::Compiled);
+        let show_stats = self.rows.iter().any(|r| r.junction_stalls > 0 || r.batched_pulses > 0);
         out.push_str(&format!(
             "  {:<14} {:>4} {:>12} {:>12} {:>8} {:>12} {:>14}",
             "profile", "d", "error", "duration", "zones", "area", "qubit-rounds"
         ));
+        if show_stats {
+            out.push_str(&format!(" {:>15} {:>14}", "junction_stalls", "batched_pulses"));
+        }
         if show_mode {
             out.push_str(&format!(" {:>9}", "mode"));
         }
@@ -220,6 +231,9 @@ impl ProgramEstimate {
                 row.area_m2,
                 row.qubit_rounds
             ));
+            if show_stats {
+                out.push_str(&format!(" {:>15} {:>14}", row.junction_stalls, row.batched_pulses));
+            }
             if show_mode {
                 out.push_str(&format!(" {:>9}", row.estimate_mode.name()));
             }
@@ -361,11 +375,31 @@ pub fn estimate_program_with(
     let compiled: Result<Vec<_>, CoreError> = requests
         .into_par_iter()
         .map(|(pi, request)| {
-            compiler.estimate_row(&request, spec.mode).map(|row| ((pi, request.instruction), row))
+            compiler.estimate_row(&request, spec.mode).map(|row| {
+                (
+                    (pi, request.instruction),
+                    (row.resources.execution_time_s, compiler.stats_for(&request)),
+                )
+            })
         })
         .collect();
+    let results: HashMap<(usize, Instruction), (f64, CompileStats)> =
+        compiled?.into_iter().collect();
     let times: HashMap<(usize, Instruction), f64> =
-        compiled?.into_iter().map(|(key, row)| (key, row.resources.execution_time_s)).collect();
+        results.iter().map(|(&key, &(time, _))| (key, time)).collect();
+    // Scheduling-pass observables, summed per instruction *instance* so a
+    // kind occurring k times contributes k× its compiled stats.
+    let profile_stats = |pi: usize| {
+        program.instructions().iter().fold((0usize, 0usize), |(stalls, pulses), inst| {
+            let (_, stats) = results[&(pi, inst.instruction)];
+            (stalls + stats.junction_stalls, pulses + stats.batched_pulses)
+        })
+    };
+    let (total_stalls, total_pulses) = (0..spec.profiles.len())
+        .map(profile_stats)
+        .fold((0usize, 0usize), |(a, b), (s, p)| (a + s, b + p));
+    compile_span.add("compile.junction_stalls", total_stalls as u64);
+    compile_span.add("compile.batched_pulses", total_pulses as u64);
     compile_span
         .add("compile.cache_hits", compiler.cache().hits().saturating_sub(hits_before) as u64);
     compile_span.add(
@@ -390,6 +424,7 @@ pub fn estimate_program_with(
         .enumerate()
         .map(|(pi, profile)| {
             let duration_s = program_duration_s(program, &sched, |kind| times[&(pi, kind)]);
+            let (junction_stalls, batched_pulses) = profile_stats(pi);
             ProfileEstimate {
                 profile: profile.name.clone(),
                 distance: d,
@@ -398,6 +433,8 @@ pub fn estimate_program_with(
                 trapping_zones: zones,
                 area_m2,
                 qubit_rounds: zones as u64 * sched.logical_time_steps as u64 * d as u64,
+                junction_stalls,
+                batched_pulses,
                 estimate_mode: spec.mode,
             }
         })

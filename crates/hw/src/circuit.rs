@@ -306,7 +306,8 @@ impl OpStream for Circuit {
             let ops = &self.ops[span.op_start..span.op_end];
             let mut base = ops.iter().map(TimedOp::end_us).fold(span.base_us, f64::max);
             for r in 1..=span.extra {
-                base = replay_round(ops, &span.preds, base, &mut starts, &mut ends);
+                base =
+                    replay_round(ops, &span.preds, base, span.recovery_us, &mut starts, &mut ends);
                 let meas_shift = r * span.meas_per_round;
                 for (i, op) in ops.iter().enumerate() {
                     f(OpView {
@@ -442,6 +443,7 @@ mod tests {
             extra: 1,
             base_us: 100.0,
             end_makespan_us: 360.0,
+            recovery_us: 0.0,
             preds: vec![None, Some(0)],
         });
 

@@ -20,6 +20,10 @@
 //!   Quantinuum H1 constructions,
 //! * [`ResourceReport`] — the space-time resource counters of paper Sec. 3.4,
 //!   computed with running accumulators over any [`OpStream`],
+//! * [`passes`] — the explicit pass pipeline (schedule → batch → template)
+//!   behind the model: contention-aware junction scheduling with an
+//!   explicit capacity and stall accounting, plus SIMD gate batching
+//!   (see `docs/SCHEDULING.md`),
 //! * [`validity`] — an independent replay checker for compiled circuits,
 //! * [`rounds`] — periodic (round-templated) circuit representations:
 //!   captured syndrome-extraction rounds are replicated analytically with a
@@ -34,6 +38,7 @@ pub mod circuit;
 pub mod label;
 pub mod model;
 pub mod ops;
+pub mod passes;
 pub mod resources;
 pub mod rounds;
 pub mod spec;
@@ -43,6 +48,9 @@ pub use circuit::{Circuit, MeasurementRecord, OpStream, OpView, TimedOp};
 pub use label::{Label, RoundLabel};
 pub use model::{HardwareModel, HwError, RoundReplication};
 pub use ops::NativeOp;
+pub use passes::{
+    batch_ops, batch_rounds, BatchStats, RoundBatchStats, SchedulePolicy, Scheduler, Slot,
+};
 pub use resources::{RecordError, ResourceReport};
 pub use rounds::{CompiledRounds, ReplicatedSpan, RoundTemplate};
 pub use spec::{HardwareSpec, SpecFingerprint, UnknownProfile};

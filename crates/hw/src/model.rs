@@ -9,14 +9,20 @@
 //! all ions, zones and junctions it needs are free and the current barrier
 //! has passed. Junction conflicts are therefore resolved by serialising the
 //! conflicting hops, exactly as described in paper Sec. 3.3.
-
-use std::collections::HashMap;
+//!
+//! The contention rules themselves live in the explicit pass pipeline
+//! ([`crate::passes`]): the model delegates every ready-time/occupancy
+//! decision to a [`Scheduler`], which enforces
+//! [`HardwareSpec::junction_capacity`] at schedule time and flags every op
+//! that stalled waiting for a junction slot
+//! ([`HardwareModel::junction_stalls`]).
 
 use tiscc_grid::{route_avoiding_with, GridError, GridManager, MoveStep, QSite, QubitId, SiteKind};
 
 use crate::circuit::{Circuit, MeasurementRecord, TimedOp};
 use crate::label::Label;
 use crate::ops::NativeOp;
+use crate::passes::{SchedulePolicy, Scheduler};
 use crate::resources::ResourceReport;
 use crate::rounds::{replay_round, ReplicatedSpan};
 use crate::spec::HardwareSpec;
@@ -81,13 +87,12 @@ struct CaptureState {
 pub struct HardwareModel {
     grid: GridManager,
     circuit: Circuit,
-    // Busy maps record, per resource, the end time of its last operation
-    // and that operation's index — the index is what lets a round capture
-    // identify each op's critical predecessor for bit-exact replication.
-    site_busy: HashMap<QSite, (f64, usize)>,
-    qubit_busy: HashMap<QubitId, (f64, usize)>,
-    junction_busy: HashMap<QSite, (f64, usize)>,
-    barrier_us: f64,
+    // The scheduling pass: per-resource busy windows, the barrier, and the
+    // junction-capacity contention rule.
+    sched: Scheduler,
+    // Per materialized op: did a saturated junction delay its start? Kept
+    // beside the circuit (not on `TimedOp`) so the op encoding is unchanged.
+    stall_flags: Vec<bool>,
     spec: HardwareSpec,
     templating: bool,
     capture: Option<CaptureState>,
@@ -107,15 +112,45 @@ impl HardwareModel {
         HardwareModel {
             grid: GridManager::new(unit_rows, unit_cols),
             circuit: Circuit::new(),
-            site_busy: HashMap::new(),
-            qubit_busy: HashMap::new(),
-            junction_busy: HashMap::new(),
-            barrier_us: 0.0,
+            sched: Scheduler::new(spec.junction_capacity, spec.junction_recovery_us),
+            stall_flags: Vec::new(),
             spec,
             templating: false,
             capture: None,
             round_fallbacks: 0,
         }
+    }
+
+    /// Switches the scheduling pass's junction-contention rule. The default
+    /// [`SchedulePolicy::Windowed`] rule is byte-identical to
+    /// [`SchedulePolicy::Legacy`] at `junction_capacity == 1`; the legacy
+    /// rule is kept as the oracle for the differential test harness.
+    pub fn set_schedule_policy(&mut self, policy: SchedulePolicy) {
+        self.sched.set_policy(policy);
+    }
+
+    /// The active junction-contention rule.
+    pub fn schedule_policy(&self) -> SchedulePolicy {
+        self.sched.policy()
+    }
+
+    /// Number of materialized ops that *junction-stalled* — waited on a
+    /// junction beyond pure transit exclusivity, either into a recovery
+    /// (recool) window ([`HardwareSpec::junction_recovery_us`] > 0) or
+    /// behind a hop that was itself junction-delayed (see
+    /// [`Slot::junction_stall`](crate::passes::Slot::junction_stall)).
+    /// This is the scheduling pass's contention measure. Replicated rounds
+    /// are not included (each replica repeats its captured round's stalls;
+    /// consumers scale by the repeat count).
+    pub fn junction_stalls(&self) -> usize {
+        self.stall_flags.iter().filter(|&&s| s).count()
+    }
+
+    /// Per-materialized-op stall flags (parallel to `circuit().ops()`):
+    /// `true` where the op junction-stalled (see
+    /// [`HardwareModel::junction_stalls`]).
+    pub fn stall_flags(&self) -> &[bool] {
+        &self.stall_flags
     }
 
     /// How many round captures could not be proven replicable and fell back
@@ -188,43 +223,12 @@ impl HardwareModel {
     /// no earlier than the current makespan. Used between rounds of error
     /// correction so that logical time-steps are cleanly separated.
     pub fn barrier(&mut self) {
-        self.barrier_us = self.now_us();
+        self.sched.barrier(self.now_us());
     }
 
     /// The position of `qubit`, or an error if it is not on the grid.
     pub fn position_of(&self, qubit: QubitId) -> Result<QSite, HwError> {
         self.grid.position_of(qubit).ok_or(HwError::Grid(GridError::UnknownQubit(qubit)))
-    }
-
-    /// The earliest start for an op over the given resources, together with
-    /// the index of the op whose end determined it (`None` when the current
-    /// barrier dominates, including exact ties).
-    fn ready_time(
-        &self,
-        qubits: &[QubitId],
-        sites: &[QSite],
-        junction: Option<QSite>,
-    ) -> (f64, Option<usize>) {
-        let mut t = self.barrier_us;
-        let mut src = None;
-        let mut consider = |busy: Option<&(f64, usize)>| {
-            if let Some(&(end, idx)) = busy {
-                if end > t {
-                    t = end;
-                    src = Some(idx);
-                }
-            }
-        };
-        for q in qubits {
-            consider(self.qubit_busy.get(q));
-        }
-        for s in sites {
-            consider(self.site_busy.get(s));
-        }
-        if let Some(j) = junction {
-            consider(self.junction_busy.get(&j));
-        }
-        (t, src)
     }
 
     fn emit(
@@ -236,7 +240,8 @@ impl HardwareModel {
         measurement: Option<usize>,
     ) -> f64 {
         let duration = op.duration_us(&self.spec);
-        let (start, src) = self.ready_time(&qubits, &sites, junction);
+        let slot = self.sched.ready(&qubits, &sites, junction);
+        let (start, src) = (slot.start_us, slot.src);
         let end = start + duration;
         let op_idx = self.circuit.len();
         if let Some(cap) = &mut self.capture {
@@ -252,15 +257,11 @@ impl HardwareModel {
             };
             cap.preds.push(pred);
         }
-        for q in &qubits {
-            self.qubit_busy.insert(*q, (end, op_idx));
+        self.sched.occupy(&qubits, &sites, junction, end, op_idx);
+        if slot.junction_bound {
+            self.sched.note_junction_delay(op_idx);
         }
-        for s in &sites {
-            self.site_busy.insert(*s, (end, op_idx));
-        }
-        if let Some(j) = junction {
-            self.junction_busy.insert(j, (end, op_idx));
-        }
+        self.stall_flags.push(slot.junction_stall);
         self.circuit.push(TimedOp {
             op,
             sites,
@@ -282,13 +283,13 @@ impl HardwareModel {
     pub fn begin_round_capture(&mut self) {
         debug_assert!(self.capture.is_none(), "nested round capture");
         debug_assert!(
-            self.barrier_us >= self.circuit.makespan_us(),
+            self.sched.barrier_us() >= self.circuit.makespan_us(),
             "round capture must begin at a barrier-quiescent point"
         );
         self.capture = Some(CaptureState {
             op_start: self.circuit.len(),
             meas_start: self.circuit.measurements().len(),
-            base_us: self.barrier_us,
+            base_us: self.sched.barrier_us(),
             snapshot: self.grid.snapshot(),
             preds: Vec::new(),
             poisoned: false,
@@ -344,7 +345,14 @@ impl HardwareModel {
             let (mut starts, mut ends) = (Vec::new(), Vec::new());
             let mut new_records = Vec::with_capacity(extra * meas_per_round);
             for r in 1..=extra {
-                base = replay_round(ops, &cap.preds, base, &mut starts, &mut ends);
+                base = replay_round(
+                    ops,
+                    &cap.preds,
+                    base,
+                    self.spec.junction_recovery_us,
+                    &mut starts,
+                    &mut ends,
+                );
                 for &(m, pos) in &meas_ops {
                     let template = &template_recs[m - cap.meas_start];
                     new_records.push(MeasurementRecord {
@@ -362,7 +370,7 @@ impl HardwareModel {
         for rec in new_records {
             self.circuit.push_measurement(rec);
         }
-        self.barrier_us = end_makespan;
+        self.sched.barrier(end_makespan);
         self.circuit.push_span(ReplicatedSpan {
             op_start: cap.op_start,
             op_end,
@@ -371,6 +379,7 @@ impl HardwareModel {
             extra,
             base_us: cap.base_us,
             end_makespan_us: end_makespan,
+            recovery_us: self.spec.junction_recovery_us,
             preds: cap.preds,
         });
         Some(info)

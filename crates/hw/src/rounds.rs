@@ -47,8 +47,14 @@ pub struct ReplicatedSpan {
     pub base_us: f64,
     /// Circuit makespan after the last replica (µs, absolute).
     pub end_makespan_us: f64,
+    /// Junction recovery window the round was scheduled under
+    /// ([`HardwareSpec::junction_recovery_us`](crate::spec::HardwareSpec::junction_recovery_us)).
+    /// Replay needs it to reproduce `end + recovery` edges bit-exactly.
+    pub recovery_us: f64,
     /// Per-op critical predecessor: `Some(i)` if the op's start equals the
-    /// end of in-round op `i`, `None` if it equals the round barrier.
+    /// end of in-round op `i` (or that end plus `recovery_us`, for ops that
+    /// waited out a junction recovery window), `None` if it equals the
+    /// round barrier.
     pub preds: Vec<Option<u32>>,
 }
 
@@ -72,10 +78,18 @@ impl ReplicatedSpan {
 /// occurrence (the fold-max of its op ends). The arithmetic — one addition
 /// per op, one max-fold for the barrier — is exactly what the scheduler
 /// performs when materializing, so replayed times are bit-identical.
+///
+/// `recovery_us` is the junction recovery window the round was scheduled
+/// under. Each predecessor edge is classified from the captured absolute
+/// times: a start that is *not* exactly its predecessor's end was pushed by
+/// the junction's recovery window, and the replica replays the scheduler's
+/// `end + recovery` addition instead of the plain chain. At recovery 0 no
+/// edge classifies as recovery and the replay is unchanged.
 pub fn replay_round(
     ops: &[TimedOp],
     preds: &[Option<u32>],
     base: f64,
+    recovery_us: f64,
     starts: &mut Vec<f64>,
     ends: &mut Vec<f64>,
 ) -> f64 {
@@ -85,7 +99,14 @@ pub fn replay_round(
     ends.reserve(ops.len());
     for (op, pred) in ops.iter().zip(preds) {
         let start = match pred {
-            Some(p) => ends[*p as usize],
+            Some(p) => {
+                let p = *p as usize;
+                if recovery_us > 0.0 && op.start_us != ops[p].start_us + ops[p].duration_us {
+                    ends[p] + recovery_us
+                } else {
+                    ends[p]
+                }
+            }
             None => base,
         };
         starts.push(start);
@@ -108,6 +129,9 @@ pub struct RoundTemplate {
     pub preds: Vec<Option<u32>>,
     /// Barrier the captured occurrence was scheduled from (µs, absolute).
     pub base_us: f64,
+    /// Junction recovery window the round was scheduled under (µs); see
+    /// [`ReplicatedSpan::recovery_us`].
+    pub recovery_us: f64,
     /// Measurement records emitted per round.
     pub meas_per_round: usize,
 }
@@ -233,6 +257,7 @@ impl CompiledRounds {
                         .collect(),
                     preds: span.preds.clone(),
                     base_us: span.base_us,
+                    recovery_us: span.recovery_us,
                     meas_per_round: span.meas_per_round,
                 },
                 repeats: span.extra + 1,
@@ -284,6 +309,7 @@ impl OpStream for CompiledRounds {
                     &self.template.ops,
                     &self.template.preds,
                     base,
+                    self.template.recovery_us,
                     &mut starts,
                     &mut ends,
                 );
@@ -339,10 +365,24 @@ mod tests {
         let ops = vec![op_at(100.0, 10.0), op_at(110.0, 5.0), op_at(100.0, 7.0)];
         let preds = vec![None, Some(0), None];
         let (mut starts, mut ends) = (Vec::new(), Vec::new());
-        let next = replay_round(&ops, &preds, 200.0, &mut starts, &mut ends);
+        let next = replay_round(&ops, &preds, 200.0, 0.0, &mut starts, &mut ends);
         assert_eq!(starts, vec![200.0, 210.0, 200.0]);
         assert_eq!(ends, vec![210.0, 215.0, 207.0]);
         assert_eq!(next, 215.0);
+    }
+
+    #[test]
+    fn replay_round_replays_recovery_edges() {
+        // Op 1 chains off op 0, but its captured start (135) is 25 µs past
+        // op 0's end (110): a junction recovery edge. The replica must
+        // replay the same `end + recovery` addition.
+        let ops = vec![op_at(100.0, 10.0), op_at(135.0, 5.0)];
+        let preds = vec![None, Some(0)];
+        let (mut starts, mut ends) = (Vec::new(), Vec::new());
+        let next = replay_round(&ops, &preds, 200.0, 25.0, &mut starts, &mut ends);
+        assert_eq!(starts, vec![200.0, 235.0]);
+        assert_eq!(ends, vec![210.0, 240.0]);
+        assert_eq!(next, 240.0);
     }
 
     #[test]
@@ -363,6 +403,7 @@ mod tests {
                 extra: 1,
                 base_us: start,
                 end_makespan_us: start + 20.0,
+                recovery_us: 0.0,
                 preds: vec![None],
             });
         };

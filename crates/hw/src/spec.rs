@@ -55,6 +55,32 @@ pub struct HardwareSpec {
     /// the profile so denser-packing scenarios carry their assumption
     /// explicitly.
     pub ions_per_zone: usize,
+    /// Maximum number of hops a single junction may host concurrently.
+    /// The scheduling pass treats junction occupancy windows as a resource
+    /// with this capacity: a hop requested while `junction_capacity` hops
+    /// are still in flight through the same junction is delayed until a
+    /// slot frees.
+    pub junction_capacity: usize,
+    /// Recovery (recool) time a junction needs after a hop, in
+    /// microseconds: the hop's occupancy window is held for
+    /// `duration + junction_recovery_us` before its slot frees. Shuttling
+    /// through a junction heats the ion chain, and the junction region
+    /// needs sympathetic recooling before the next transport. `0.0` (the
+    /// default on every clean profile) leaves schedules bit-identical to
+    /// pure exclusive transit; a hop that waits into another hop's recovery
+    /// window is a *junction stall* (the wait exceeds physical transit
+    /// exclusivity) and is counted in the estimate report.
+    pub junction_recovery_us: f64,
+    /// SIMD gate-batching width: the maximum number of co-scheduled
+    /// identical single-qubit pulses merged into one multi-zone pulse by
+    /// the batching pass. Width 1 disables batching and is a strict no-op
+    /// (byte-identical compiled output).
+    pub simd_width: usize,
+    /// Fractional duration discount applied to merged (k ≥ 2) SIMD pulses
+    /// in non-templated circuit segments: a merged pulse lasts
+    /// `duration * (1 - batch_discount)`. Round templates are never
+    /// discounted so replicated rounds keep their bit-exact period.
+    pub batch_discount: f64,
 }
 
 impl Default for HardwareSpec {
@@ -83,6 +109,10 @@ impl HardwareSpec {
             junction_speed_m_s: 4.0,
             junction_traversals_per_hop: 2,
             ions_per_zone: 1,
+            junction_capacity: 1,
+            junction_recovery_us: 0.0,
+            simd_width: 1,
+            batch_discount: 0.0,
         }
     }
 
@@ -104,15 +134,27 @@ impl HardwareSpec {
             junction_speed_m_s: 20.0,
             junction_traversals_per_hop: 2,
             ions_per_zone: 1,
+            junction_capacity: 1,
+            junction_recovery_us: 0.0,
+            simd_width: 1,
+            batch_discount: 0.0,
         }
     }
 
     /// A junction-transport stress profile: identical to [`HardwareSpec::h1`]
-    /// except junctions are traversed 10× slower (0.4 m/s). Isolates how
-    /// much of an instruction's makespan is junction-bound.
+    /// except junctions are traversed 10× slower (0.4 m/s) and each hop
+    /// leaves the junction hot for a 100 µs recool window
+    /// ([`HardwareSpec::junction_recovery_us`]). Junction occupancy is an
+    /// explicit scheduling resource (capacity 1, one hop in flight per
+    /// junction), so with 2.1 ms hops plus recovery the capacity actually
+    /// bites: concurrent transports through a shared junction serialize,
+    /// recovery waits are counted as `junction_stalls`, and the profile
+    /// isolates how much of an instruction's makespan is junction-bound.
     pub fn slow_junction() -> Self {
         HardwareSpec {
             junction_speed_m_s: 0.4,
+            junction_capacity: 1,
+            junction_recovery_us: 100.0,
             name: "slow_junction".to_string(),
             description: "h1 with 10x slower junction transport (stress profile)".to_string(),
             ..HardwareSpec::h1()
@@ -195,6 +237,10 @@ impl HardwareSpec {
             junction_speed_m_s: self.junction_speed_m_s / k,
             junction_traversals_per_hop: self.junction_traversals_per_hop,
             ions_per_zone: self.ions_per_zone,
+            junction_capacity: self.junction_capacity,
+            junction_recovery_us: self.junction_recovery_us,
+            simd_width: self.simd_width,
+            batch_discount: self.batch_discount,
         }
     }
 
@@ -218,6 +264,10 @@ impl HardwareSpec {
         }
         h.write(&(self.junction_traversals_per_hop as u64).to_le_bytes());
         h.write(&(self.ions_per_zone as u64).to_le_bytes());
+        h.write(&(self.junction_capacity as u64).to_le_bytes());
+        h.write(&self.junction_recovery_us.to_bits().to_le_bytes());
+        h.write(&(self.simd_width as u64).to_le_bytes());
+        h.write(&self.batch_discount.to_bits().to_le_bytes());
         SpecFingerprint(h.finish())
     }
 
@@ -236,6 +286,10 @@ impl HardwareSpec {
         out.push_str(&format!("  junction transport  : {:>9.2} m/s\n", self.junction_speed_m_s));
         out.push_str(&format!("  traversals per hop  : {:>9}\n", self.junction_traversals_per_hop));
         out.push_str(&format!("  ions per zone       : {:>9}\n", self.ions_per_zone));
+        out.push_str(&format!("  junction capacity   : {:>9}\n", self.junction_capacity));
+        out.push_str(&format!("  junction recovery   : {:>9.2} us\n", self.junction_recovery_us));
+        out.push_str(&format!("  simd width          : {:>9}\n", self.simd_width));
+        out.push_str(&format!("  batch discount      : {:>9.2}\n", self.batch_discount));
         out.push_str(&format!("  derived Move        : {:>9.2} us\n", self.move_us()));
         out.push_str(&format!("  derived Junction    : {:>9.2} us\n", self.junction_hop_us()));
         out
@@ -372,8 +426,37 @@ mod tests {
     #[test]
     fn render_lists_all_parameters() {
         let text = HardwareSpec::h1().render();
-        for needle in ["prepare", "measure", "zone pitch", "junction transport", "Move"] {
+        for needle in
+            ["prepare", "measure", "zone pitch", "junction transport", "Move", "simd width"]
+        {
             assert!(text.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn scheduling_knobs_default_to_the_identity_and_feed_the_fingerprint() {
+        for p in HardwareSpec::presets() {
+            assert_eq!(p.junction_capacity, 1, "{}", p.name);
+            assert_eq!(p.simd_width, 1, "{}", p.name);
+            assert_eq!(p.batch_discount, 0.0, "{}", p.name);
+        }
+        // Clean profiles schedule with zero recovery (bit-identical to pure
+        // exclusive transit); the stress profile carries a real recool window.
+        assert_eq!(HardwareSpec::h1().junction_recovery_us, 0.0);
+        assert_eq!(HardwareSpec::projected().junction_recovery_us, 0.0);
+        assert!(HardwareSpec::slow_junction().junction_recovery_us > 0.0);
+        let base = HardwareSpec::h1();
+        let mut wide = HardwareSpec::h1();
+        wide.simd_width = 4;
+        assert_ne!(base.fingerprint(), wide.fingerprint());
+        let mut roomy = HardwareSpec::h1();
+        roomy.junction_capacity = 2;
+        assert_ne!(base.fingerprint(), roomy.fingerprint());
+        let mut hot = HardwareSpec::h1();
+        hot.junction_recovery_us = 50.0;
+        assert_ne!(base.fingerprint(), hot.fingerprint());
+        let mut cheap = HardwareSpec::h1();
+        cheap.batch_discount = 0.25;
+        assert_ne!(base.fingerprint(), cheap.fingerprint());
     }
 }

@@ -102,6 +102,24 @@ pub fn check_stream(
     initial_positions: &[(QubitId, QSite)],
     stream: &(impl OpStream + ?Sized),
 ) -> Result<(), ValidityError> {
+    check_stream_with_capacity(layout, initial_positions, stream, 1)
+}
+
+/// [`check_stream`] under a relaxed junction-exclusivity rule: up to
+/// `junction_capacity` hops may overlap in time on one junction before a
+/// [`ValidityError::JunctionTimeConflict`] is reported. Capacity 1 is
+/// exactly [`check_stream`]; the scheduling pass enforces the same capacity
+/// constructively ([`HardwareSpec::junction_capacity`]), so circuits it
+/// compiles are clean under the capacity they were scheduled with.
+///
+/// [`HardwareSpec::junction_capacity`]: crate::spec::HardwareSpec::junction_capacity
+pub fn check_stream_with_capacity(
+    layout: &Layout,
+    initial_positions: &[(QubitId, QSite)],
+    stream: &(impl OpStream + ?Sized),
+    junction_capacity: usize,
+) -> Result<(), ValidityError> {
+    let junction_capacity = junction_capacity.max(1);
     let mut pos: HashMap<QubitId, QSite> = initial_positions.iter().copied().collect();
     let mut occ: HashMap<QSite, QubitId> = initial_positions.iter().map(|&(q, s)| (s, q)).collect();
 
@@ -204,10 +222,17 @@ pub fn check_stream(
     }
     for (junction, mut intervals) in junction_intervals {
         intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-        for w in intervals.windows(2) {
-            if w[1].0 < w[0].1 - EPS {
-                return Err(ValidityError::JunctionTimeConflict { junction, at_us: w[1].0 });
+        // Sweep in start order counting hops still in flight: a hop
+        // arriving while `junction_capacity` others are open (beyond the
+        // EPS tolerance) is a conflict. At capacity 1 this reports exactly
+        // the adjacent-pair overlaps the original rule reported.
+        let mut open: Vec<f64> = Vec::new();
+        for (start, end) in intervals {
+            open.retain(|&e| e > start + EPS);
+            if open.len() >= junction_capacity {
+                return Err(ValidityError::JunctionTimeConflict { junction, at_us: start });
             }
+            open.push(end);
         }
     }
 
@@ -286,6 +311,39 @@ mod tests {
         });
         let err = check_circuit(&layout, &[(q0, QSite::new(0, 1))], &circuit).unwrap_err();
         assert!(matches!(err, ValidityError::WrongSite { .. }));
+    }
+
+    #[test]
+    fn junction_capacity_relaxes_the_exclusivity_rule() {
+        use crate::circuit::TimedOp;
+        let layout = Layout::new(2, 2);
+        // Interior junction with four disjoint neighbor zones: two hops can
+        // overlap on the junction alone, with every zone conflict-free.
+        let junction = QSite::new(4, 4);
+        let hops = [
+            (QubitId(0), QSite::new(4, 3), QSite::new(4, 5), 0.0),
+            (QubitId(1), QSite::new(3, 4), QSite::new(5, 4), 100.0),
+        ];
+        let mut circuit = Circuit::new();
+        for &(q, from, to, start) in &hops {
+            circuit.push(TimedOp {
+                op: NativeOp::JunctionMove,
+                sites: vec![from, to],
+                qubits: vec![q],
+                start_us: start,
+                duration_us: 210.0,
+                junction: Some(junction),
+                measurement: None,
+            });
+        }
+        let initial = vec![(QubitId(0), QSite::new(4, 3)), (QubitId(1), QSite::new(3, 4))];
+        assert_eq!(
+            check_stream(&layout, &initial, &circuit).unwrap_err(),
+            ValidityError::JunctionTimeConflict { junction, at_us: 100.0 },
+            "capacity 1 keeps the exclusive rule"
+        );
+        check_stream_with_capacity(&layout, &initial, &circuit, 2)
+            .expect("two concurrent hops fit in capacity 2");
     }
 
     #[test]

@@ -237,6 +237,58 @@ fn analytic_rows_match_compiled_rows_on_every_profile() {
     }
 }
 
+/// The batched/contended axis of the analytic cross-validation: with the
+/// scheduling-realism knobs on, [`EstimateMode::Analytic`] either derives
+/// the batched/stalled rounds bit-for-bit or falls back to the compiled
+/// path — and every fallback is counted, never silent.
+#[test]
+fn analytic_mode_handles_batched_and_contended_specs() {
+    let instructions = [Instruction::Idle, Instruction::PrepareZ, Instruction::MeasureZZ];
+
+    // Contended (junction recovery window, width 1): replication replays
+    // recovery edges exactly, so every row derives — zero fallbacks.
+    let compiler = Compiler::new();
+    for instruction in instructions {
+        for dt in [2usize, 3, 5] {
+            let request =
+                CompileRequest::new(instruction, 3, 3, dt).with_spec(HardwareSpec::slow_junction());
+            let compiled = compiler.estimate_row(&request, EstimateMode::Compiled).unwrap();
+            let analytic = compiler.estimate_row(&request, EstimateMode::Analytic).unwrap();
+            assert_eq!(analytic, compiled, "{instruction:?} dt={dt} slow_junction");
+        }
+    }
+    assert_eq!(
+        compiler.analytic_fallbacks(),
+        0,
+        "recovery-stretched rounds must derive analytically, not fall back"
+    );
+
+    // Batched (SIMD width > 1), alone and combined with recovery: rows
+    // always agree (a fallback lands on the compiled path), the
+    // non-derivable dts are counted, and at least some dts do derive.
+    for base in [HardwareSpec::h1(), HardwareSpec::slow_junction()] {
+        let compiler = Compiler::new();
+        let mut spec = base.clone();
+        spec.simd_width = 2;
+        let mut rows = 0usize;
+        for instruction in instructions {
+            // dt = 1 is the pre-existing out-of-range fallback; dt = 2
+            // compiles to a single template occurrence, which batches as
+            // one flat segment and must also fall back.
+            for dt in [1usize, 2, 3, 5] {
+                let request = CompileRequest::new(instruction, 3, 3, dt).with_spec(spec.clone());
+                let compiled = compiler.estimate_row(&request, EstimateMode::Compiled).unwrap();
+                let analytic = compiler.estimate_row(&request, EstimateMode::Analytic).unwrap();
+                assert_eq!(analytic, compiled, "{instruction:?} dt={dt} {} width=2", base.name);
+                rows += 1;
+            }
+        }
+        let fallbacks = compiler.analytic_fallbacks();
+        assert!(fallbacks > 0, "{}: non-derivable batched dts must be counted", base.name);
+        assert!(fallbacks < rows, "{}: some batched dts must derive analytically", base.name);
+    }
+}
+
 /// Whole-program estimates agree between the modes on both 2D floorplans,
 /// with the same ulp discipline as the per-instruction comparison. The
 /// analytic rows must also say they are analytic.
